@@ -1,0 +1,270 @@
+package gsight
+
+// One benchmark per table and figure of the paper's evaluation: each
+// regenerates the artifact via the experiments harness at a reduced
+// scale and reports headline metrics. Run the full-size reproduction
+// with cmd/gsight-experiments (-scale 1.0); these benches keep the
+// whole pipeline exercised and timed under `go test -bench`.
+
+import (
+	"strings"
+	"testing"
+
+	"gsight/internal/core"
+	"gsight/internal/experiments"
+	"gsight/internal/ml"
+	"gsight/internal/perfmodel"
+	"gsight/internal/resources"
+	"gsight/internal/scenario"
+)
+
+// benchOptions keeps bench iterations affordable while preserving every
+// experiment's structure.
+func benchOptions() experiments.Options {
+	return experiments.Options{Seed: 42, Scale: 0.05}
+}
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.Run(id, benchOptions())
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if len(rep.Rows) == 0 {
+			b.Fatalf("%s: empty report", id)
+		}
+		if i == 0 && testing.Verbose() {
+			b.Logf("\n%s", rep.String())
+		}
+	}
+}
+
+// BenchmarkTable1Survey regenerates Table 1 (workload taxonomy).
+func BenchmarkTable1Survey(b *testing.B) { runExperiment(b, "table1") }
+
+// BenchmarkTable3Correlations regenerates Table 3 (metric screening).
+func BenchmarkTable3Correlations(b *testing.B) { runExperiment(b, "table3") }
+
+// BenchmarkTable4Testbed regenerates Table 4 (testbed configuration).
+func BenchmarkTable4Testbed(b *testing.B) { runExperiment(b, "table4") }
+
+// BenchmarkFig3aVolatility regenerates Figure 3(a): the 36
+// partial-interference scenarios.
+func BenchmarkFig3aVolatility(b *testing.B) { runExperiment(b, "fig3a") }
+
+// BenchmarkFig3bTemporal regenerates Figure 3(b): LR+KMeans start-delay
+// sweep.
+func BenchmarkFig3bTemporal(b *testing.B) { runExperiment(b, "fig3b") }
+
+// BenchmarkFig4Propagation regenerates Figure 4: hotspot and restoring
+// propagation.
+func BenchmarkFig4Propagation(b *testing.B) { runExperiment(b, "fig4") }
+
+// BenchmarkFig5ProfilingLevel regenerates Figure 5: function-level vs
+// workload-level profiling.
+func BenchmarkFig5ProfilingLevel(b *testing.B) { runExperiment(b, "fig5") }
+
+// BenchmarkFig7Knee regenerates Figure 7: the latency-IPC curve.
+func BenchmarkFig7Knee(b *testing.B) { runExperiment(b, "fig7") }
+
+// BenchmarkFig8Importance regenerates Figure 8: IRFR metric importance.
+func BenchmarkFig8Importance(b *testing.B) { runExperiment(b, "fig8") }
+
+// BenchmarkFig9PredictionError regenerates Figure 9: the model/baseline
+// error comparison across colocation kinds.
+func BenchmarkFig9PredictionError(b *testing.B) { runExperiment(b, "fig9") }
+
+// BenchmarkFig10aConvergence regenerates Figure 10(a): serverless vs
+// serverful convergence.
+func BenchmarkFig10aConvergence(b *testing.B) { runExperiment(b, "fig10a") }
+
+// BenchmarkFig10bStability regenerates Figure 10(b): post-convergence
+// stability.
+func BenchmarkFig10bStability(b *testing.B) { runExperiment(b, "fig10b") }
+
+// BenchmarkFig10cMultiWorkload regenerates Figure 10(c): error vs the
+// number of colocated workloads.
+func BenchmarkFig10cMultiWorkload(b *testing.B) { runExperiment(b, "fig10c") }
+
+// BenchmarkFig11Scheduling regenerates Figure 11: density/utilization
+// under the three schedulers.
+func BenchmarkFig11Scheduling(b *testing.B) { runExperiment(b, "fig11") }
+
+// BenchmarkFig12SLA regenerates Figure 12: SLA guarantee ratios.
+func BenchmarkFig12SLA(b *testing.B) { runExperiment(b, "fig12") }
+
+// BenchmarkFig13Recovery regenerates Figure 13: concept-shift recovery.
+func BenchmarkFig13Recovery(b *testing.B) { runExperiment(b, "fig13") }
+
+// BenchmarkFig14Overhead regenerates Figure 14: online running cost.
+func BenchmarkFig14Overhead(b *testing.B) { runExperiment(b, "fig14") }
+
+// BenchmarkExtPCA runs the §6.4 PCA ablation.
+func BenchmarkExtPCA(b *testing.B) { runExperiment(b, "ext-pca") }
+
+// BenchmarkExtHierarchy runs the §6.4 hierarchical-scheduling ablation.
+func BenchmarkExtHierarchy(b *testing.B) { runExperiment(b, "ext-hierarchy") }
+
+// BenchmarkExtColdStart runs the §5.2 cold-start-aware prediction study.
+func BenchmarkExtColdStart(b *testing.B) { runExperiment(b, "ext-coldstart") }
+
+// BenchmarkExtIsolation runs the §6.3 isolation-orthogonality study.
+func BenchmarkExtIsolation(b *testing.B) { runExperiment(b, "ext-isolation") }
+
+// ---- micro-benchmarks of the paper's operational costs (§6.4) ----
+
+func trainedPredictor(b *testing.B) (*core.Predictor, []core.Observation) {
+	b.Helper()
+	m := perfmodel.New(resources.DefaultTestbed())
+	scenario.FastConfig(m)
+	g := scenario.NewGenerator(m, 42)
+	var obs []core.Observation
+	for i := 0; i < 120; i++ {
+		sc := g.Colocation(core.LSSC, 2)
+		samples, err := g.Label(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range samples {
+			if s.Kind == core.IPCQoS {
+				obs = append(obs, core.Observation{Target: s.Target, Inputs: s.Inputs, Label: s.Label})
+			}
+		}
+	}
+	p := core.NewPredictor(core.Config{Seed: 1, UpdateEvery: 1 << 30})
+	if err := p.TrainObservations(core.IPCQoS, obs); err != nil {
+		b.Fatal(err)
+	}
+	return p, obs
+}
+
+// BenchmarkInference measures one QoS inference — the paper reports
+// 3.48 ms per inference on its testbed.
+func BenchmarkInference(b *testing.B) {
+	p, obs := trainedPredictor(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o := obs[i%len(obs)]
+		if _, err := p.Predict(core.IPCQoS, o.Target, o.Inputs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIncrementalUpdate measures one batched incremental model
+// update — the paper reports 24.784 ms per update.
+func BenchmarkIncrementalUpdate(b *testing.B) {
+	p, obs := trainedPredictor(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 20; j++ {
+			o := obs[(i*20+j)%len(obs)]
+			if err := p.Observe(core.IPCQoS, o.Target, o.Inputs, o.Label); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := p.Flush(core.IPCQoS); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEncode measures the spatial-temporal interference coding.
+func BenchmarkEncode(b *testing.B) {
+	_, obs := trainedPredictor(b)
+	coder := core.DefaultCoder()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o := obs[i%len(obs)]
+		if _, err := coder.Encode(o.Target, o.Inputs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScenarioEvaluation measures one ground-truth evaluation of a
+// two-workload colocation on the simulated testbed.
+func BenchmarkScenarioEvaluation(b *testing.B) {
+	m := perfmodel.New(resources.DefaultTestbed())
+	scenario.FastConfig(m)
+	g := scenario.NewGenerator(m, 42)
+	scenarios := make([]*perfmodel.Scenario, 16)
+	for i := range scenarios {
+		scenarios[i] = g.Colocation(core.LSSC, 2)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Evaluate(scenarios[i%len(scenarios)], nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkForestTraining measures IRFR training on a paper-shaped
+// dataset (2580-dimensional codes).
+func BenchmarkForestTraining(b *testing.B) {
+	_, obs := trainedPredictor(b)
+	coder := core.DefaultCoder()
+	var ds ml.Dataset
+	for _, o := range obs {
+		x, err := coder.Encode(o.Target, o.Inputs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ds.Append(x, o.Label)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := ml.NewForest(ml.ForestConfig{Trees: 8, Seed: uint64(i), Tree: ml.TreeConfig{MTry: 96}})
+		if err := f.Fit(ds.X, ds.Y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBinarySearchScheduling measures one placement decision of
+// the §4 scheduler (the paper reports "a few milliseconds").
+func BenchmarkBinarySearchScheduling(b *testing.B) {
+	p, obs := trainedPredictor(b)
+	spec := resources.DefaultServerSpec("bench")
+	scheduler := NewScheduler(p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := schedState(spec)
+		o := obs[i%len(obs)]
+		req := &PlacementRequest{Input: o.Inputs[o.Target], SLA: SLA{MinIPC: 0.5}}
+		if _, err := scheduler.Place(st, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func schedState(spec resources.ServerSpec) *SchedulerState {
+	caps := make([]resources.Vector, 8)
+	for i := range caps {
+		caps[i] = spec.Capacity
+	}
+	return &SchedulerState{Caps: caps, Used: make([]resources.Vector, 8)}
+}
+
+// sanity keeps the example expectations in one place: the registry and
+// the bench list must stay in lockstep.
+func TestBenchRegistryCoverage(t *testing.T) {
+	covered := map[string]bool{}
+	for _, id := range experiments.IDs() {
+		covered[id] = false
+	}
+	// every registry id has a BenchmarkXxx above (by construction of
+	// runExperiment call sites); verify ids resolve.
+	for id := range covered {
+		if _, err := experiments.Run("nope-"+id, benchOptions()); err == nil {
+			t.Fatal("bogus id resolved")
+		}
+	}
+	for _, id := range experiments.IDs() {
+		if !strings.HasPrefix(id, "table") && !strings.HasPrefix(id, "fig") && !strings.HasPrefix(id, "ext-") {
+			t.Errorf("unexpected experiment id %q", id)
+		}
+	}
+}

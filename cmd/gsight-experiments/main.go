@@ -1,0 +1,74 @@
+// Command gsight-experiments regenerates the paper's tables and
+// figures on the simulated testbed and prints paper-vs-measured notes.
+//
+// Usage:
+//
+//	gsight-experiments [-scale 1.0] [-seed 42] [-run fig3a,fig9|all] [-list]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"gsight/internal/experiments"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "effort scale: 1.0 = paper-size runs, 0.2 = quick")
+	seed := flag.Uint64("seed", 42, "experiment seed (all results reproduce bit-identically per seed)")
+	run := flag.String("run", "all", "comma-separated experiment ids, or 'all'")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	format := flag.String("format", "text", "output format: text or markdown")
+	out := flag.String("o", "", "write output to this file instead of stdout")
+	flag.Parse()
+
+	sink := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		sink = f
+	}
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	var ids []string
+	if *run == "all" {
+		ids = experiments.IDs()
+	} else {
+		ids = strings.Split(*run, ",")
+	}
+	opt := experiments.Options{Seed: *seed, Scale: *scale}
+	failed := 0
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		t0 := time.Now()
+		rep, err := experiments.Run(id, opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: error: %v\n", id, err)
+			failed++
+			continue
+		}
+		took := time.Since(t0).Round(time.Millisecond)
+		if *format == "markdown" {
+			fmt.Fprintf(sink, "%s\n*(regenerated in %v at scale %.2f, seed %d)*\n\n", rep.Markdown(), took, *scale, *seed)
+		} else {
+			fmt.Fprintf(sink, "%s\n(%s took %v)\n\n", rep.String(), id, took)
+		}
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

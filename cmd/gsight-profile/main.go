@@ -1,0 +1,77 @@
+// Command gsight-profile runs the solo-run profiler over a catalog
+// workload and prints its per-function 16-metric table — what the
+// paper's perf/pqos collector would report (§3.2).
+//
+// Usage:
+//
+//	gsight-profile [-workload social-network] [-all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"gsight/internal/metrics"
+	"gsight/internal/profile"
+	"gsight/internal/resources"
+	"gsight/internal/workload"
+)
+
+func main() {
+	name := flag.String("workload", "social-network", "catalog workload to profile")
+	all := flag.Bool("all", false, "profile every catalog workload")
+	flag.Parse()
+
+	cat := workload.Catalog()
+	var names []string
+	if *all {
+		for n := range cat {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+	} else {
+		if _, ok := cat[*name]; !ok {
+			fmt.Fprintf(os.Stderr, "unknown workload %q; available:\n", *name)
+			for n := range cat {
+				fmt.Fprintf(os.Stderr, "  %s\n", n)
+			}
+			os.Exit(1)
+		}
+		names = []string{*name}
+	}
+
+	spec := resources.DefaultServerSpec("profiler")
+	for _, n := range names {
+		w := cat[n]
+		fmt.Printf("== %s (%s", w.Name, w.Class)
+		if w.Class == workload.LS {
+			fmt.Printf(", SLA p99 %.0f ms, max %.0f qps", w.SLAp99Ms, w.MaxQPS)
+		} else {
+			fmt.Printf(", solo %.0f s x %d instances", w.SoloDurationS, w.Instances)
+		}
+		fmt.Println(") ==")
+		ps := profile.WorkloadProfiles(w, spec, nil)
+		fmt.Printf("%-22s", "metric")
+		for _, p := range ps {
+			fmt.Printf("  %12s", trunc(p.Function, 12))
+		}
+		fmt.Println()
+		for _, id := range metrics.Selected() {
+			fmt.Printf("%-22s", id)
+			for _, p := range ps {
+				fmt.Printf("  %12.3f", p.Metrics[id])
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+}
+
+func trunc(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n]
+}

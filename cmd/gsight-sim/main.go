@@ -1,0 +1,151 @@
+// Command gsight-sim runs the trace-driven serverless platform
+// simulation under a chosen scheduler and prints density, utilization
+// and SLA statistics — the §6.3 case study as a tool.
+//
+// Usage:
+//
+//	gsight-sim [-scheduler gsight|bestfit|worstfit] [-hours 24]
+//	           [-train 800] [-seed 42]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"gsight/internal/baselines"
+	"gsight/internal/core"
+	"gsight/internal/perfmodel"
+	"gsight/internal/platform"
+	"gsight/internal/resources"
+	"gsight/internal/scenario"
+	"gsight/internal/sched"
+	"gsight/internal/stats"
+	"gsight/internal/trace"
+	"gsight/internal/workload"
+)
+
+func main() {
+	schedName := flag.String("scheduler", "gsight", "gsight, bestfit (Pythia), worstfit")
+	hours := flag.Float64("hours", 24, "simulated duration")
+	trainScen := flag.Int("train", 800, "bootstrap scenarios for the predictor")
+	seed := flag.Uint64("seed", 42, "seed")
+	flag.Parse()
+
+	m := perfmodel.New(resources.DefaultTestbed())
+	scenario.FastConfig(m)
+	g := scenario.NewGenerator(m, *seed)
+
+	var pred core.QoSPredictor
+	var scheduler sched.Scheduler
+	needTraining := true
+	switch *schedName {
+	case "gsight":
+		pred = core.NewPredictor(core.Config{Seed: *seed})
+		scheduler = sched.NewGsight(pred)
+	case "bestfit":
+		pred = baselines.NewPythia(*seed)
+		scheduler = sched.NewBestFit(pred)
+	case "worstfit":
+		scheduler = sched.NewWorstFit()
+		needTraining = false
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scheduler %q\n", *schedName)
+		os.Exit(1)
+	}
+
+	if needTraining {
+		fmt.Printf("bootstrapping %s's predictor on %d scenarios...\n", scheduler.Name(), *trainScen)
+		t0 := time.Now()
+		var ipcObs, jctObs []core.Observation
+		for i := 0; i < *trainScen; i++ {
+			sc := g.Colocation(core.LSSC, 2+g.Rand().Intn(2))
+			samples, err := g.Label(sc)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			for _, s := range samples {
+				o := core.Observation{Target: s.Target, Inputs: s.Inputs, Label: s.Label}
+				switch s.Kind {
+				case core.IPCQoS:
+					ipcObs = append(ipcObs, o)
+				case core.JCTQoS:
+					jctObs = append(jctObs, o)
+				}
+			}
+		}
+		if err := pred.TrainObservations(core.IPCQoS, ipcObs); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if len(jctObs) > 0 {
+			if err := pred.TrainObservations(core.JCTQoS, jctObs); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("trained in %v\n", time.Since(t0).Round(time.Millisecond))
+	}
+
+	var services []platform.LSService
+	for i, w := range []*workload.Workload{
+		workload.SocialNetwork(), workload.ECommerce(), workload.MLServing(),
+	} {
+		curve := sched.BuildCurve(m, w, 250, *seed+uint64(i))
+		minIPC, _ := curve.MinIPCFor(w.SLAp99Ms)
+		p := trace.DefaultPattern(w.MaxQPS * 0.6)
+		p.PhaseShift = float64(i) * 7200
+		services = append(services, platform.LSService{W: w, Pattern: p, SLA: sched.SLA{MinIPC: minIPC}})
+	}
+
+	fmt.Printf("running %.0fh trace-driven simulation under %s...\n", *hours, scheduler.Name())
+	t0 := time.Now()
+	st, err := platform.Run(platform.Config{
+		Model:     perfmodel.New(m.Testbed),
+		Scheduler: scheduler,
+		Services:  services,
+		SCPool: []*workload.Workload{
+			workload.MatMul(), workload.DD(), workload.Iperf(),
+			workload.VideoProcessing(), workload.FloatOp(),
+			workload.FeatureGeneration(), workload.DataPipeline(),
+			workload.IoTCollector(), workload.Monitor(),
+		},
+		SCMeanIntervalS: 150,
+		DurationS:       *hours * 3600,
+		StepS:           30,
+		Seed:            *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("simulated in %v (%d steps)\n\n", time.Since(t0).Round(time.Millisecond), st.Steps)
+
+	fmt.Printf("function density (inst/core): mean %.3f, p50 %.3f, p90 %.3f\n",
+		stats.Mean(st.Density), stats.Median(st.Density), stats.Percentile(st.Density, 90))
+	fmt.Printf("CPU utilization:              mean %.3f, p50 %.3f, p90 %.3f\n",
+		stats.Mean(st.CPUUtil), stats.Median(st.CPUUtil), stats.Percentile(st.CPUUtil, 90))
+	fmt.Printf("memory utilization:           mean %.3f, p50 %.3f, p90 %.3f\n",
+		stats.Mean(st.MemUtil), stats.Median(st.MemUtil), stats.Percentile(st.MemUtil, 90))
+	fmt.Println()
+	var names []string
+	for n := range st.SLAOK {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Printf("SLA guarantee %-16s %.2f%% of the time\n", n+":", 100*st.SLARatio(n))
+	}
+	fmt.Printf("\ncold starts %d, reactive migrations %d, scale-out reschedules %d, jobs rejected %d\n",
+		st.ColdStarts, st.Migrations, st.Reschedules, st.RejectedJobs)
+	fmt.Printf("scheduling wall-clock: %v over %d placements\n",
+		st.SchedulingTime.Round(time.Millisecond), st.Placements)
+	total := 0
+	for _, jcts := range st.JCTs {
+		total += len(jcts)
+	}
+	fmt.Printf("batch jobs completed: %d\n", total)
+}

@@ -1,0 +1,139 @@
+// Command gsight-train generates a labeled colocation dataset on the
+// simulated testbed, trains a chosen predictor incrementally, and
+// reports its error curve — the paper's Figure 10 pipeline as a tool.
+//
+// Usage:
+//
+//	gsight-train [-model irfr|iknn|ilr|isvr|imlp|pythia|esp]
+//	             [-colocation lssc|lsls|scsc] [-qos ipc|p99|jct]
+//	             [-scenarios 1000] [-seed 42]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"gsight/internal/baselines"
+	"gsight/internal/core"
+	"gsight/internal/perfmodel"
+	"gsight/internal/resources"
+	"gsight/internal/scenario"
+)
+
+func main() {
+	model := flag.String("model", "irfr", "predictor: irfr, iknn, ilr, isvr, imlp, pythia, esp")
+	colo := flag.String("colocation", "lssc", "colocation kind: lsls, lssc, scsc")
+	qosName := flag.String("qos", "ipc", "QoS target: ipc, p99, jct")
+	scenarios := flag.Int("scenarios", 1000, "number of colocation scenarios to label")
+	seed := flag.Uint64("seed", 42, "seed")
+	flag.Parse()
+
+	kinds := map[string]core.ColocationKind{"lsls": core.LSLS, "lssc": core.LSSC, "scsc": core.SCSC}
+	colocation, ok := kinds[*colo]
+	if !ok {
+		fatal("unknown colocation %q", *colo)
+	}
+	qosKinds := map[string]core.QoSKind{"ipc": core.IPCQoS, "p99": core.TailLatencyQoS, "jct": core.JCTQoS}
+	qos, ok := qosKinds[*qosName]
+	if !ok {
+		fatal("unknown qos %q", *qosName)
+	}
+	var pred core.QoSPredictor
+	switch *model {
+	case "irfr":
+		pred = core.NewPredictor(core.Config{Seed: *seed})
+	case "iknn":
+		pred = baselines.NewGsightVariant("Gsight-IKNN", baselines.IKNNFactory, *seed)
+	case "ilr":
+		pred = baselines.NewGsightVariant("Gsight-ILR", baselines.ILRFactory, *seed)
+	case "isvr":
+		pred = baselines.NewGsightVariant("Gsight-ISVR", baselines.ISVRFactory, *seed)
+	case "imlp":
+		pred = baselines.NewGsightVariant("Gsight-IMLP", baselines.IMLPFactory, *seed)
+	case "pythia":
+		pred = baselines.NewPythia(*seed)
+	case "esp":
+		pred = baselines.NewESP(*seed)
+	default:
+		fatal("unknown model %q", *model)
+	}
+
+	m := perfmodel.New(resources.DefaultTestbed())
+	scenario.FastConfig(m)
+	g := scenario.NewGenerator(m, *seed)
+
+	fmt.Printf("generating %d %s scenarios on the simulated testbed...\n", *scenarios, colocation)
+	t0 := time.Now()
+	var obs []core.Observation
+	for i := 0; i < *scenarios; i++ {
+		k := 2 + g.Rand().Intn(2)
+		sc := g.Colocation(colocation, k)
+		samples, err := g.Label(sc)
+		if err != nil {
+			fatal("labeling: %v", err)
+		}
+		for _, s := range samples {
+			if s.Kind == qos {
+				obs = append(obs, core.Observation{Target: s.Target, Inputs: s.Inputs, Label: s.Label})
+			}
+		}
+	}
+	fmt.Printf("labeled %d observations in %v\n", len(obs), time.Since(t0).Round(time.Millisecond))
+
+	var train, test []core.Observation
+	for i, o := range obs {
+		if (i+1)%5 == 0 {
+			test = append(test, o)
+		} else {
+			train = append(train, o)
+		}
+	}
+
+	// Incremental training in quarters, reporting the error trajectory.
+	fmt.Printf("training %s incrementally (%d train, %d test)\n", pred.Name(), len(train), len(test))
+	const stages = 4
+	for s := 0; s < stages; s++ {
+		lo, hi := s*len(train)/stages, (s+1)*len(train)/stages
+		t0 = time.Now()
+		if s == 0 {
+			if err := pred.TrainObservations(qos, train[lo:hi]); err != nil {
+				fatal("train: %v", err)
+			}
+		} else {
+			for _, o := range train[lo:hi] {
+				if err := pred.Observe(qos, o.Target, o.Inputs, o.Label); err != nil {
+					fatal("observe: %v", err)
+				}
+			}
+			if err := pred.Flush(qos); err != nil {
+				fatal("flush: %v", err)
+			}
+		}
+		trainDur := time.Since(t0)
+		sum, n := 0.0, 0
+		for _, o := range test {
+			if o.Label == 0 {
+				continue
+			}
+			got, err := pred.Predict(qos, o.Target, o.Inputs)
+			if err != nil {
+				fatal("predict: %v", err)
+			}
+			e := (got - o.Label) / o.Label
+			if e < 0 {
+				e = -e
+			}
+			sum += e
+			n++
+		}
+		fmt.Printf("  after %4d samples: error %.2f%% (stage took %v)\n",
+			hi, 100*sum/float64(n), trainDur.Round(time.Millisecond))
+	}
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,154 @@
+// Command gsight-workload validates a JSON workload definition and
+// reports how the system will see it: the call-path structure, critical
+// path, solo-run profile, default replica sizing, and — optionally — a
+// quick interference characterization against the catalog
+// micro-benchmarks (a one-workload Figure 3(a)).
+//
+// Usage:
+//
+//	gsight-workload -file app.json [-characterize]
+//	gsight-workload -catalog social-network [-characterize]
+//	gsight-workload -export social-network      # print a catalog entry as JSON
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gsight/internal/metrics"
+	"gsight/internal/perfmodel"
+	"gsight/internal/profile"
+	"gsight/internal/resources"
+	"gsight/internal/workload"
+)
+
+func main() {
+	file := flag.String("file", "", "JSON workload definition to validate")
+	catalogName := flag.String("catalog", "", "inspect a catalog workload instead")
+	export := flag.String("export", "", "print a catalog workload as JSON and exit")
+	characterize := flag.Bool("characterize", false, "run the micro-benchmark interference sweep")
+	flag.Parse()
+
+	if *export != "" {
+		w, ok := workload.Catalog()[*export]
+		if !ok {
+			fatal("unknown catalog workload %q", *export)
+		}
+		if err := workload.WriteJSON(os.Stdout, w); err != nil {
+			fatal("%v", err)
+		}
+		return
+	}
+
+	var w *workload.Workload
+	switch {
+	case *file != "":
+		var err error
+		w, err = workload.LoadJSONFile(*file)
+		if err != nil {
+			fatal("invalid workload: %v", err)
+		}
+	case *catalogName != "":
+		var ok bool
+		w, ok = workload.Catalog()[*catalogName]
+		if !ok {
+			fatal("unknown catalog workload %q", *catalogName)
+		}
+	default:
+		fatal("pass -file <def.json>, -catalog <name> or -export <name>")
+	}
+
+	fmt.Printf("workload %q (%s) — valid\n", w.Name, w.Class)
+	if w.Class == workload.LS {
+		fmt.Printf("  SLA: p99 <= %.0f ms at up to %.0f qps\n", w.SLAp99Ms, w.MaxQPS)
+	} else {
+		fmt.Printf("  solo duration %.0f s x %d instances\n", w.SoloDurationS, w.Instances)
+	}
+	fmt.Printf("  %d functions, critical path:", w.NumFunctions())
+	for _, i := range w.CriticalPath() {
+		fmt.Printf(" %s", w.Functions[i].Name)
+	}
+	fmt.Println()
+
+	spec := resources.DefaultServerSpec("validator")
+	ps := profile.WorkloadProfiles(w, spec, nil)
+	fmt.Println("\nsolo-run profile (16 model inputs):")
+	fmt.Printf("  %-22s", "function")
+	for _, id := range []metrics.ID{metrics.IPC, metrics.CPUUtil, metrics.LLCOcc, metrics.L3MPKI, metrics.NetBW, metrics.DiskIO} {
+		fmt.Printf("  %10s", id)
+	}
+	fmt.Println()
+	for _, p := range ps {
+		fmt.Printf("  %-22s", p.Function)
+		for _, id := range []metrics.ID{metrics.IPC, metrics.CPUUtil, metrics.LLCOcc, metrics.L3MPKI, metrics.NetBW, metrics.DiskIO} {
+			fmt.Printf("  %10.3f", p.Metrics[id])
+		}
+		fmt.Println()
+	}
+
+	if w.Class == workload.LS {
+		fmt.Println("\nreplica sizing at max load:")
+		total := 0
+		for f := range w.Functions {
+			n := perfmodel.LSReplicasFor(w, f, w.MaxQPS)
+			total += n
+			fmt.Printf("  %-22s %d instances\n", w.Functions[f].Name, n)
+		}
+		fmt.Printf("  total: %d instances\n", total)
+	}
+
+	if *characterize {
+		fmt.Println("\ninterference characterization (micro-benchmark beside each function):")
+		m := perfmodel.New(resources.DefaultTestbed())
+		solo := deploy(w, m)
+		base, err := m.Evaluate(&perfmodel.Scenario{Deployments: []*perfmodel.Deployment{solo}}, nil)
+		if err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("  %-22s", "beside")
+		for _, mb := range workload.MicroBenchmarks() {
+			fmt.Printf("  %16s", mb.Name)
+		}
+		fmt.Println()
+		for f := range w.Functions {
+			fmt.Printf("  %-22s", w.Functions[f].Name)
+			for _, mb := range workload.MicroBenchmarks() {
+				d := deploy(w, m)
+				c := perfmodel.NewDeployment(mb.Clone())
+				for cf := range c.Placement {
+					c.Placement[cf] = d.Placement[f]
+					c.Socket[cf] = d.Socket[f]
+				}
+				res, err := m.Evaluate(&perfmodel.Scenario{Deployments: []*perfmodel.Deployment{d, c}}, nil)
+				if err != nil {
+					fatal("%v", err)
+				}
+				if w.Class == workload.LS {
+					fmt.Printf("  %15.1fms", res.Deployments[0].E2EP99Ms)
+				} else {
+					fmt.Printf("  %15.1fs ", res.Deployments[0].JCTS)
+				}
+			}
+			fmt.Println()
+		}
+		if w.Class == workload.LS {
+			fmt.Printf("  (solo: %.1f ms p99)\n", base.Deployments[0].E2EP99Ms)
+		} else {
+			fmt.Printf("  (solo: %.1f s JCT)\n", base.Deployments[0].JCTS)
+		}
+	}
+}
+
+func deploy(w *workload.Workload, m *perfmodel.Model) *perfmodel.Deployment {
+	d := perfmodel.SpreadDeployment(w, m.Testbed)
+	if w.Class == workload.LS {
+		d.QPS = w.MaxQPS / 2
+	}
+	return d
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,82 @@
+package gsight_test
+
+import (
+	"fmt"
+
+	"gsight"
+)
+
+// ExampleNewTestbedModel evaluates the paper's canonical partial
+// interference scenario — matmul beside the social network's most
+// sensitive function — and shows the end-to-end degradation.
+func ExampleNewTestbedModel() {
+	model := gsight.NewTestbedModel()
+	cat := gsight.Catalog()
+
+	sn := cat["social-network"]
+	d := gsight.SpreadDeployment(sn, model.Testbed)
+	d.QPS = sn.MaxQPS / 2
+
+	solo, err := model.Evaluate(&gsight.Scenario{Deployments: []*gsight.Deployment{d}}, nil)
+	if err != nil {
+		panic(err)
+	}
+
+	d2 := gsight.SpreadDeployment(sn, model.Testbed)
+	d2.QPS = sn.MaxQPS / 2
+	mm := gsight.NewDeployment(cat["matmul"].Clone())
+	mm.Placement[0] = d2.Placement[8] // beside get-followers
+	mm.Socket[0] = d2.Socket[8]
+	co, err := model.Evaluate(&gsight.Scenario{Deployments: []*gsight.Deployment{d2, mm}}, nil)
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("interference beside get-followers inflates p99: %v\n",
+		co.Deployments[0].E2EP99Ms > 2*solo.Deployments[0].E2EP99Ms)
+	fmt.Printf("and reduces IPC: %v\n", co.Deployments[0].IPC < solo.Deployments[0].IPC)
+	// Output:
+	// interference beside get-followers inflates p99: true
+	// and reduces IPC: true
+}
+
+// ExampleNewPredictor trains Gsight on labeled colocations and predicts
+// a held-out one.
+func ExampleNewPredictor() {
+	model := gsight.NewTestbedModel()
+	gen := gsight.NewGenerator(model, 7)
+
+	var obs []gsight.Observation
+	for i := 0; i < 150; i++ {
+		sc := gen.Colocation(gsight.LSSC, 2)
+		samples, err := gen.Label(sc)
+		if err != nil {
+			panic(err)
+		}
+		for _, s := range samples {
+			if s.Kind == gsight.IPCQoS {
+				obs = append(obs, gsight.Observation{Target: s.Target, Inputs: s.Inputs, Label: s.Label})
+			}
+		}
+	}
+	hold := 20
+	pred := gsight.NewPredictor(gsight.PredictorConfig{Seed: 7})
+	if err := pred.TrainObservations(gsight.IPCQoS, obs[:len(obs)-hold]); err != nil {
+		panic(err)
+	}
+	sum := 0.0
+	for _, o := range obs[len(obs)-hold:] {
+		got, err := pred.Predict(gsight.IPCQoS, o.Target, o.Inputs)
+		if err != nil {
+			panic(err)
+		}
+		rel := (got - o.Label) / o.Label
+		if rel < 0 {
+			rel = -rel
+		}
+		sum += rel
+	}
+	fmt.Printf("mean held-out error under 15%%: %v\n", sum/float64(hold) < 0.15)
+	// Output:
+	// mean held-out error under 15%: true
+}

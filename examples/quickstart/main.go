@@ -1,0 +1,73 @@
+// Quickstart: profile two workloads, colocate them on the simulated
+// testbed, train Gsight on a few hundred labeled colocations, and
+// compare its prediction against the measured QoS.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gsight"
+)
+
+func main() {
+	// 1. The simulated 8-node testbed (Table 4 hardware).
+	model := gsight.NewTestbedModel()
+
+	// 2. A scenario generator: profiles every catalog workload solo
+	//    (the paper's §3.2 profiling phase) and draws randomized
+	//    colocations with ground-truth labels.
+	gen := gsight.NewGenerator(model, 42)
+
+	// 3. Bootstrap dataset: label 300 LS+SC/BG colocations.
+	var obs []gsight.Observation
+	for i := 0; i < 300; i++ {
+		sc := gen.Colocation(gsight.LSSC, 2)
+		samples, err := gen.Label(sc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, s := range samples {
+			if s.Kind == gsight.IPCQoS {
+				obs = append(obs, gsight.Observation{
+					Target: s.Target, Inputs: s.Inputs, Label: s.Label,
+				})
+			}
+		}
+	}
+	fmt.Printf("labeled %d colocation observations\n", len(obs))
+
+	// 4. Train the Gsight predictor (incremental random forest over
+	//    the spatial-temporal interference code).
+	pred := gsight.NewPredictor(gsight.PredictorConfig{Seed: 42})
+	if err := pred.TrainObservations(gsight.IPCQoS, obs[:len(obs)-20]); err != nil {
+		log.Fatal(err)
+	}
+
+	// 5. Predict held-out colocations and compare with ground truth.
+	fmt.Println("\nheld-out predictions (IPC):")
+	for _, o := range obs[len(obs)-20:] {
+		got, err := pred.Predict(gsight.IPCQoS, o.Target, o.Inputs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		errPct := 100 * abs(got-o.Label) / o.Label
+		fmt.Printf("  %-18s predicted %.3f  measured %.3f  (%.1f%% off)\n",
+			o.Inputs[o.Target].Name, got, o.Label, errPct)
+	}
+
+	// 6. The predictor keeps learning online: feed a measurement back.
+	last := obs[len(obs)-1]
+	if err := pred.Observe(gsight.IPCQoS, last.Target, last.Inputs, last.Label); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsamples seen so far: %d (model updates in batches as they stream in)\n",
+		pred.SamplesSeen(gsight.IPCQoS))
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,102 @@
+// Scheduler bake-off: trains Gsight, then drives the trace-driven
+// serverless platform for a few simulated hours under the Gsight
+// binary-search scheduler, Pythia's Best Fit and Worst Fit, comparing
+// function density, utilization and SLA compliance (the paper's §6.3
+// case study in miniature).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gsight"
+	"gsight/internal/perfmodel"
+	"gsight/internal/platform"
+	"gsight/internal/sched"
+	"gsight/internal/stats"
+	"gsight/internal/trace"
+)
+
+func main() {
+	model := gsight.NewTestbedModel()
+	gen := gsight.NewGenerator(model, 42)
+	cat := gsight.Catalog()
+
+	// Bootstrap the predictors.
+	fmt.Println("bootstrapping predictors on 400 labeled colocations...")
+	var ipcObs, jctObs []gsight.Observation
+	for i := 0; i < 400; i++ {
+		sc := gen.Colocation(gsight.LSSC, 2)
+		samples, err := gen.Label(sc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, s := range samples {
+			o := gsight.Observation{Target: s.Target, Inputs: s.Inputs, Label: s.Label}
+			switch s.Kind {
+			case gsight.IPCQoS:
+				ipcObs = append(ipcObs, o)
+			case gsight.JCTQoS:
+				jctObs = append(jctObs, o)
+			}
+		}
+	}
+	gsightPred := gsight.NewPredictor(gsight.PredictorConfig{Seed: 42})
+	must(gsightPred.TrainObservations(gsight.IPCQoS, ipcObs))
+	must(gsightPred.TrainObservations(gsight.JCTQoS, jctObs))
+	pythiaPred := gsight.NewPythia(43)
+	must(pythiaPred.TrainObservations(gsight.IPCQoS, ipcObs))
+
+	// SLAs via the latency->IPC transform (Figure 7).
+	services := func() []platform.LSService {
+		var out []platform.LSService
+		for i, name := range []string{"social-network", "e-commerce"} {
+			w := cat[name]
+			curve := gsight.BuildCurve(model, w, 200, uint64(50+i))
+			minIPC, _ := curve.MinIPCFor(w.SLAp99Ms)
+			p := trace.DefaultPattern(w.MaxQPS * 0.55)
+			p.PhaseShift = float64(i) * 7200
+			out = append(out, platform.LSService{W: w, Pattern: p, SLA: sched.SLA{MinIPC: minIPC}})
+		}
+		return out
+	}
+
+	for _, entry := range []struct {
+		name string
+		s    sched.Scheduler
+	}{
+		{"Gsight (binary-search)", gsight.NewScheduler(gsightPred)},
+		{"Pythia (best fit)", gsight.NewBestFit(pythiaPred)},
+		{"Worst Fit (spread)", gsight.NewWorstFit()},
+	} {
+		st, err := platform.Run(platform.Config{
+			Model:     perfmodel.New(model.Testbed),
+			Scheduler: entry.s,
+			Services:  services(),
+			SCPool: []*gsight.Workload{
+				cat["matmul"], cat["dd"], cat["video-processing"], cat["float-op"],
+			},
+			SCMeanIntervalS: 180,
+			DurationS:       4 * 3600,
+			StepS:           30,
+			Seed:            42,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n== %s ==\n", entry.name)
+		fmt.Printf("  density  mean %.3f inst/core (p90 %.3f)\n",
+			stats.Mean(st.Density), stats.Percentile(st.Density, 90))
+		fmt.Printf("  CPU util mean %.3f, memory util mean %.3f\n",
+			stats.Mean(st.CPUUtil), stats.Mean(st.MemUtil))
+		fmt.Printf("  SLA: social-network %.1f%%, e-commerce %.1f%%\n",
+			100*st.SLARatio("social-network"), 100*st.SLARatio("e-commerce"))
+		fmt.Printf("  cold starts %d, reactive migrations %d\n", st.ColdStarts, st.Migrations)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

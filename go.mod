@@ -1,0 +1,3 @@
+module gsight
+
+go 1.22

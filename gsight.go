@@ -1,0 +1,193 @@
+// Package gsight is a from-scratch Go reproduction of "Understanding,
+// Predicting and Scheduling Serverless Workloads under Partial
+// Interference" (Zhao et al., SC '21): the Gsight QoS predictor —
+// spatial-temporal interference coding over solo-run function profiles,
+// learned by an incremental random forest — together with the
+// binary-search scheduler built on it, the ESP/Pythia comparison
+// predictors, and a simulated 8-node serverless testbed (performance
+// model, OpenFaaS-style platform, Azure-like traces) that regenerates
+// every table and figure of the paper's evaluation.
+//
+// This root package re-exports the library's public surface; the
+// implementation lives under internal/ (see DESIGN.md for the module
+// map). A typical flow:
+//
+//	m := gsight.NewTestbedModel()                 // simulated cluster
+//	gen := gsight.NewGenerator(m, 42)             // profiling + scenarios
+//	pred := gsight.NewPredictor(gsight.PredictorConfig{Seed: 42})
+//	... train on labeled colocations, then:
+//	scheduler := gsight.NewScheduler(pred)        // §4's binary search
+//
+// See examples/ for runnable programs and cmd/gsight-experiments for
+// the paper-reproduction harness.
+package gsight
+
+import (
+	"gsight/internal/baselines"
+	"gsight/internal/core"
+	"gsight/internal/experiments"
+	"gsight/internal/perfmodel"
+	"gsight/internal/resources"
+	"gsight/internal/scenario"
+	"gsight/internal/sched"
+	"gsight/internal/workload"
+)
+
+// Core predictor types (§3).
+type (
+	// Predictor is the Gsight performance predictor.
+	Predictor = core.Predictor
+	// PredictorConfig parameterizes NewPredictor.
+	PredictorConfig = core.Config
+	// QoSPredictor is the interface Gsight shares with the baselines.
+	QoSPredictor = core.QoSPredictor
+	// QoSKind selects the predicted metric (IPC, tail latency, JCT).
+	QoSKind = core.QoSKind
+	// Observation is one labeled colocation.
+	Observation = core.Observation
+	// WorkloadInput is the predictor-visible description of a deployed
+	// workload.
+	WorkloadInput = core.WorkloadInput
+	// Coder is the paper's spatial-temporal interference code layout.
+	Coder = core.Coder
+	// ColocationKind classifies colocations (LS+LS, LS+SC/BG, ...).
+	ColocationKind = core.ColocationKind
+)
+
+// QoS kinds.
+const (
+	IPCQoS         = core.IPCQoS
+	TailLatencyQoS = core.TailLatencyQoS
+	JCTQoS         = core.JCTQoS
+)
+
+// Colocation kinds.
+const (
+	LSLS = core.LSLS
+	LSSC = core.LSSC
+	SCSC = core.SCSC
+	BGBG = core.BGBG
+)
+
+// NewPredictor returns an untrained Gsight predictor (IRFR by default).
+func NewPredictor(cfg PredictorConfig) *Predictor { return core.NewPredictor(cfg) }
+
+// DefaultCoder returns the paper's 8-server, 10-workload code layout.
+func DefaultCoder() Coder { return core.DefaultCoder() }
+
+// Baseline predictors (Table 2 comparisons).
+var (
+	// NewESP builds the ESP baseline (4 microarchitecture metrics).
+	NewESP = baselines.NewESP
+	// NewPythia builds the Pythia baseline (workload-level linear
+	// regression).
+	NewPythia = baselines.NewPythia
+)
+
+// Workload modeling.
+type (
+	// Workload is a call-path DAG of serverless functions.
+	Workload = workload.Workload
+	// Function is one serverless function archetype.
+	Function = workload.Function
+	// WorkloadClass is BG, SC or LS.
+	WorkloadClass = workload.Class
+)
+
+// Workload classes.
+const (
+	BG = workload.BG
+	SC = workload.SC
+	LS = workload.LS
+)
+
+// Catalog returns the benchmark catalog (social network, e-commerce,
+// FunctionBench micro set, SparkBench jobs, ...).
+func Catalog() map[string]*Workload { return workload.Catalog() }
+
+// Simulated testbed.
+type (
+	// Model is the ground-truth performance model of the cluster.
+	Model = perfmodel.Model
+	// Deployment places a workload's functions onto servers.
+	Deployment = perfmodel.Deployment
+	// Scenario is a set of colocated deployments.
+	Scenario = perfmodel.Scenario
+	// Testbed describes the cluster hardware.
+	Testbed = resources.Testbed
+)
+
+// NewTestbedModel returns the Table 4 cluster: 8 nodes of 40-core Xeon
+// E7-4820v4 class hardware.
+func NewTestbedModel() *Model {
+	return perfmodel.New(resources.DefaultTestbed())
+}
+
+// NewDeployment places every function of w on server 0 (maximal
+// overlap); SpreadDeployment spreads round-robin.
+func NewDeployment(w *Workload) *Deployment { return perfmodel.NewDeployment(w) }
+
+// SpreadDeployment places w's functions round-robin across the testbed.
+func SpreadDeployment(w *Workload, tb *Testbed) *Deployment {
+	return perfmodel.SpreadDeployment(w, tb)
+}
+
+// Scenario generation and labeling.
+type (
+	// Generator draws randomized labeled colocations.
+	Generator = scenario.Generator
+	// Sample is one labeled observation from a generator.
+	Sample = scenario.Sample
+)
+
+// NewGenerator builds a scenario generator over the benchmark catalog,
+// profiling every workload once (the solo-run phase).
+func NewGenerator(m *Model, seed uint64) *Generator { return scenario.NewGenerator(m, seed) }
+
+// Scheduling (§4).
+type (
+	// Scheduler decides placements.
+	Scheduler = sched.Scheduler
+	// SLA is a workload's admission contract.
+	SLA = sched.SLA
+	// SchedulerState is the scheduler's cluster view.
+	SchedulerState = sched.State
+	// PlacementRequest asks for a workload placement.
+	PlacementRequest = sched.Request
+	// Curve is a latency-IPC correlation curve (Figure 7).
+	Curve = sched.Curve
+)
+
+// NewScheduler returns the Gsight binary-search scheduler around a
+// trained predictor.
+func NewScheduler(p QoSPredictor) *sched.Gsight { return sched.NewGsight(p) }
+
+// NewBestFit returns Pythia's Best Fit policy.
+func NewBestFit(p QoSPredictor) *sched.BestFit { return sched.NewBestFit(p) }
+
+// NewWorstFit returns the spreading strawman.
+func NewWorstFit() *sched.WorstFit { return sched.NewWorstFit() }
+
+// BuildCurve calibrates a workload's latency-IPC curve on the model
+// testbed (the §6.3 SLA transformation source).
+var BuildCurve = sched.BuildCurve
+
+// Experiments: the paper-reproduction harness.
+type (
+	// ExperimentReport is one regenerated table or figure.
+	ExperimentReport = experiments.Report
+	// ExperimentOptions scales experiment effort.
+	ExperimentOptions = experiments.Options
+)
+
+// RunExperiment regenerates the table/figure with the given id
+// ("table1", "fig3a", ..., "fig14").
+func RunExperiment(id string, opt ExperimentOptions) (*ExperimentReport, error) {
+	return experiments.Run(id, opt)
+}
+
+// ExperimentIDs lists every reproducible table and figure.
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// DefaultExperimentOptions returns full-scale, seed-42 options.
+func DefaultExperimentOptions() ExperimentOptions { return experiments.DefaultOptions() }

@@ -1,0 +1,204 @@
+// Package baselines implements the state-of-the-art comparison
+// predictors of the paper's evaluation (§6.1, Table 2): ESP (Mishra et
+// al., ICAC'17) and Pythia (Xu et al., Middleware'18). Both are honest
+// reimplementations of the published designs' information diets —
+// workload-level features with no spatial or temporal overlap coding —
+// which is precisely why they trail Gsight on partial interference
+// (Figure 9): neither can tell where functions overlap nor when, nor
+// capture call-path propagation.
+package baselines
+
+import (
+	"fmt"
+
+	"gsight/internal/core"
+	"gsight/internal/metrics"
+	"gsight/internal/ml"
+	"gsight/internal/resources"
+	"gsight/internal/workload"
+)
+
+// featurePredictor is the shared skeleton: a feature extractor over the
+// workload set plus one incremental model per QoS kind.
+type featurePredictor struct {
+	name    string
+	encode  func(target int, ws []core.WorkloadInput) []float64
+	models  [3]ml.Incremental
+	pending [3]ml.Dataset
+	trained [3]bool
+	every   int
+}
+
+func (p *featurePredictor) Name() string { return p.name }
+
+func (p *featurePredictor) TrainObservations(kind core.QoSKind, obs []core.Observation) error {
+	var ds ml.Dataset
+	for _, o := range obs {
+		ds.Append(p.encode(o.Target, o.Inputs), o.Label)
+	}
+	if err := p.models[kind].Fit(ds.X, ds.Y); err != nil {
+		return err
+	}
+	p.trained[kind] = true
+	return nil
+}
+
+func (p *featurePredictor) Predict(kind core.QoSKind, target int, ws []core.WorkloadInput) (float64, error) {
+	if !p.trained[kind] {
+		return 0, fmt.Errorf("%s: %v model not trained", p.name, kind)
+	}
+	return p.models[kind].Predict(p.encode(target, ws)), nil
+}
+
+func (p *featurePredictor) Observe(kind core.QoSKind, target int, ws []core.WorkloadInput, actual float64) error {
+	p.pending[kind].Append(p.encode(target, ws), actual)
+	if p.pending[kind].Len() >= p.every {
+		return p.Flush(kind)
+	}
+	return nil
+}
+
+func (p *featurePredictor) Flush(kind core.QoSKind) error {
+	ds := &p.pending[kind]
+	if ds.Len() == 0 {
+		return nil
+	}
+	var err error
+	if !p.trained[kind] {
+		err = p.models[kind].Fit(ds.X, ds.Y)
+		p.trained[kind] = err == nil
+	} else {
+		err = p.models[kind].Update(ds.X, ds.Y)
+	}
+	if err != nil {
+		return err
+	}
+	*ds = ml.Dataset{}
+	return nil
+}
+
+// mergeWorkload flattens a workload's per-function profiles into one
+// CPU-demand-weighted metric vector — the workload-level view both
+// baselines operate on.
+func mergeWorkload(w core.WorkloadInput) metrics.Vector {
+	var vs []metrics.Vector
+	var weights []float64
+	for f, p := range w.Profiles {
+		m := p.Metrics
+		weight := p.Demand[resources.CPU]
+		if w.Replicas != nil {
+			weight *= float64(w.Replicas[f])
+		}
+		if weight <= 0 {
+			weight = 1e-6
+		}
+		vs = append(vs, m)
+		weights = append(weights, weight)
+	}
+	v := metrics.Mix(vs, weights)
+	if w.Class == workload.LS && w.QPSFrac > 0 {
+		// rate metrics follow the offered load, as in Gsight's coder
+		for _, id := range []metrics.ID{
+			metrics.CPUUtil, metrics.NetBW, metrics.RX, metrics.TX,
+			metrics.DiskIO, metrics.ContextSwitches, metrics.MemIO,
+		} {
+			v[id] *= w.QPSFrac
+		}
+	}
+	return v
+}
+
+// NewESP builds the ESP baseline: a machine-learning predictor that
+// only consumes four microarchitecture metrics per workload — IPC, L2
+// and L3 access behaviour, and memory bandwidth — as the paper notes
+// ("ESP only uses four microarchitecture metrics during model
+// training"). Placement and timing are invisible to it.
+func NewESP(seed uint64) core.QoSPredictor {
+	espMetrics := []metrics.ID{metrics.IPC, metrics.L2MPKI, metrics.L3MPKI, metrics.MemIO}
+	enc := func(target int, ws []core.WorkloadInput) []float64 {
+		x := make([]float64, 2*len(espMetrics))
+		for i, w := range ws {
+			m := mergeWorkload(w)
+			if i == target {
+				for j, id := range espMetrics {
+					x[j] = m[id]
+				}
+			} else {
+				for j, id := range espMetrics {
+					x[len(espMetrics)+j] += m[id]
+				}
+			}
+		}
+		return x
+	}
+	p := &featurePredictor{name: "ESP", encode: enc, every: 100}
+	for k := range p.models {
+		m := ml.Incremental(ml.NewForest(ml.ForestConfig{Trees: 40, Seed: seed + uint64(k)}))
+		if core.QoSKind(k) != core.IPCQoS {
+			m = ml.NewLogTarget(m)
+		}
+		p.models[k] = m
+	}
+	return p
+}
+
+// NewPythia builds the Pythia baseline: a lightweight linear regression
+// over workload-level contention features — the published design's
+// core. It cannot express the nonlinear, spatially-varied interference
+// surface, and in the scheduling case study it pairs with Best Fit.
+func NewPythia(seed uint64) core.QoSPredictor {
+	enc := func(target int, ws []core.WorkloadInput) []float64 {
+		x := make([]float64, 2*int(metrics.NumCandidates)+1)
+		for i, w := range ws {
+			m := mergeWorkload(w)
+			if i == target {
+				for j := 0; j < int(metrics.NumCandidates); j++ {
+					x[j] = m[j]
+				}
+				x[2*int(metrics.NumCandidates)] = w.QPSFrac
+			} else {
+				for j := 0; j < int(metrics.NumCandidates); j++ {
+					x[int(metrics.NumCandidates)+j] += m[j]
+				}
+			}
+		}
+		return x
+	}
+	p := &featurePredictor{name: "Pythia", encode: enc, every: 100}
+	for k := range p.models {
+		m := ml.Incremental(ml.NewLinear(seed + uint64(k)))
+		if core.QoSKind(k) != core.IPCQoS {
+			m = ml.NewLogTarget(m)
+		}
+		p.models[k] = m
+	}
+	return p
+}
+
+// NewGsightVariant wraps a Gsight predictor built on a non-default
+// learning model — the IKNN/ILR/ISVR/IMLP rows of Figures 5 and 9.
+func NewGsightVariant(name string, factory core.ModelFactory, seed uint64) core.QoSPredictor {
+	return &named{
+		QoSPredictor: core.NewPredictor(core.Config{Factory: factory, Seed: seed}),
+		name:         name,
+	}
+}
+
+type named struct {
+	core.QoSPredictor
+	name string
+}
+
+func (n *named) Name() string { return n.name }
+
+// Factories for the model-comparison variants.
+var (
+	// IKNNFactory is the incremental k-nearest-neighbours variant.
+	IKNNFactory core.ModelFactory = func(seed uint64) ml.Incremental { return ml.NewKNN(8) }
+	// ILRFactory is the incremental linear-regression variant.
+	ILRFactory core.ModelFactory = func(seed uint64) ml.Incremental { return ml.NewLinear(seed) }
+	// ISVRFactory is the incremental support-vector-regression variant.
+	ISVRFactory core.ModelFactory = func(seed uint64) ml.Incremental { return ml.NewSVR(seed) }
+	// IMLPFactory is the incremental multilayer-perceptron variant.
+	IMLPFactory core.ModelFactory = func(seed uint64) ml.Incremental { return ml.NewMLP(seed) }
+)

@@ -1,0 +1,130 @@
+package baselines
+
+import (
+	"testing"
+
+	"gsight/internal/core"
+	"gsight/internal/perfmodel"
+	"gsight/internal/resources"
+	"gsight/internal/scenario"
+)
+
+// buildObs generates a small labeled observation set shared by the tests.
+func buildObs(t *testing.T, kind core.QoSKind, n int) []core.Observation {
+	t.Helper()
+	m := perfmodel.New(resources.DefaultTestbed())
+	scenario.FastConfig(m)
+	g := scenario.NewGenerator(m, 7)
+	var obs []core.Observation
+	for len(obs) < n {
+		sc := g.Colocation(core.LSSC, 2)
+		samples, err := g.Label(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range samples {
+			if s.Kind == kind {
+				obs = append(obs, core.Observation{Target: s.Target, Inputs: s.Inputs, Label: s.Label})
+			}
+		}
+	}
+	return obs
+}
+
+func TestBaselineLifecycle(t *testing.T) {
+	obs := buildObs(t, core.IPCQoS, 80)
+	for _, p := range []core.QoSPredictor{NewESP(1), NewPythia(2)} {
+		if _, err := p.Predict(core.IPCQoS, 0, obs[0].Inputs); err == nil {
+			t.Fatalf("%s: untrained predict must error", p.Name())
+		}
+		if err := p.TrainObservations(core.IPCQoS, obs[:60]); err != nil {
+			t.Fatalf("%s: train: %v", p.Name(), err)
+		}
+		got, err := p.Predict(core.IPCQoS, obs[60].Target, obs[60].Inputs)
+		if err != nil {
+			t.Fatalf("%s: predict: %v", p.Name(), err)
+		}
+		if got <= 0 || got > 10 {
+			t.Fatalf("%s: implausible IPC prediction %v", p.Name(), got)
+		}
+		for i := 60; i < 70; i++ {
+			if err := p.Observe(core.IPCQoS, obs[i].Target, obs[i].Inputs, obs[i].Label); err != nil {
+				t.Fatalf("%s: observe: %v", p.Name(), err)
+			}
+		}
+		if err := p.Flush(core.IPCQoS); err != nil {
+			t.Fatalf("%s: flush: %v", p.Name(), err)
+		}
+	}
+}
+
+func TestBaselineNames(t *testing.T) {
+	if NewESP(1).Name() != "ESP" {
+		t.Fatal("ESP name")
+	}
+	if NewPythia(1).Name() != "Pythia" {
+		t.Fatal("Pythia name")
+	}
+	v := NewGsightVariant("Gsight-IKNN", IKNNFactory, 3)
+	if v.Name() != "Gsight-IKNN" {
+		t.Fatal("variant name")
+	}
+}
+
+func TestBaselinesAreWorseThanGsightOnPartialInterference(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains three predictors")
+	}
+	// The paper's central comparison: on spatially-varied partial
+	// interference, workload-level baselines cannot tell where the
+	// overlap happens, so their error exceeds Gsight's.
+	obsAll := buildObs(t, core.IPCQoS, 900)
+	train, test := obsAll[:800], obsAll[800:]
+
+	gs := core.NewPredictor(core.Config{Seed: 1})
+	esp := NewESP(2)
+	pythia := NewPythia(3)
+	mape := func(p core.QoSPredictor) float64 {
+		if err := p.TrainObservations(core.IPCQoS, train); err != nil {
+			t.Fatal(err)
+		}
+		sum, n := 0.0, 0
+		for _, o := range test {
+			if o.Label == 0 {
+				continue
+			}
+			got, err := p.Predict(core.IPCQoS, o.Target, o.Inputs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e := (got - o.Label) / o.Label
+			if e < 0 {
+				e = -e
+			}
+			sum += e
+			n++
+		}
+		return sum / float64(n)
+	}
+	eGsight := mape(gs)
+	eESP := mape(esp)
+	ePythia := mape(pythia)
+	t.Logf("IPC MAPE: Gsight=%.2f%% ESP=%.2f%% Pythia=%.2f%%", 100*eGsight, 100*eESP, 100*ePythia)
+	if eGsight >= eESP {
+		t.Errorf("Gsight (%.3f) should beat ESP (%.3f)", eGsight, eESP)
+	}
+	if eGsight >= ePythia {
+		t.Errorf("Gsight (%.3f) should beat Pythia (%.3f)", eGsight, ePythia)
+	}
+}
+
+func TestGsightVariantLifecycle(t *testing.T) {
+	obs := buildObs(t, core.IPCQoS, 60)
+	v := NewGsightVariant("Gsight-ILR", ILRFactory, 4)
+	if err := v.TrainObservations(core.IPCQoS, obs[:50]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Predict(core.IPCQoS, obs[50].Target, obs[50].Inputs); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,297 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation on the simulated testbed. Each experiment returns
+// a Report — the same rows/series the paper plots — plus notes that put
+// the measured values beside the paper's. cmd/gsight-experiments and
+// the repository-root benchmarks are thin wrappers over this package.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"gsight/internal/core"
+	"gsight/internal/perfmodel"
+	"gsight/internal/resources"
+	"gsight/internal/scenario"
+)
+
+// Options scales experiment effort. Scale 1.0 reproduces the paper-size
+// runs; smaller values shrink sample counts proportionally (tests and
+// benches use ~0.2).
+type Options struct {
+	Seed  uint64
+	Scale float64
+}
+
+// DefaultOptions returns full-scale, seed-42 options.
+func DefaultOptions() Options { return Options{Seed: 42, Scale: 1.0} }
+
+// n scales a full-size count, with a floor to keep experiments sound.
+func (o Options) n(full, floor int) int {
+	if o.Scale <= 0 {
+		o.Scale = 1
+	}
+	v := int(float64(full) * o.Scale)
+	if v < floor {
+		v = floor
+	}
+	return v
+}
+
+// Report is one regenerated table or figure.
+type Report struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	// Notes record paper-vs-measured comparisons and caveats.
+	Notes []string
+}
+
+// AddRow appends a formatted row.
+func (r *Report) AddRow(cells ...string) { r.Rows = append(r.Rows, cells) }
+
+// AddNote appends a formatted note.
+func (r *Report) AddNote(format string, args ...interface{}) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the report as aligned text.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range r.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[min(i, len(widths)-1)], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(r.Columns)
+	writeRow(separators(widths))
+	for _, row := range r.Rows {
+		writeRow(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Markdown renders the report as a GitHub-flavoured markdown section.
+func (r *Report) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", r.ID, r.Title)
+	b.WriteString("| " + strings.Join(r.Columns, " | ") + " |\n")
+	seps := make([]string, len(r.Columns))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	b.WriteString("| " + strings.Join(seps, " | ") + " |\n")
+	for _, row := range r.Rows {
+		cells := make([]string, len(row))
+		for i, c := range row {
+			cells[i] = strings.ReplaceAll(c, "|", "\\|")
+		}
+		b.WriteString("| " + strings.Join(cells, " | ") + " |\n")
+	}
+	if len(r.Notes) > 0 {
+		b.WriteByte('\n')
+		for _, n := range r.Notes {
+			fmt.Fprintf(&b, "> %s\n>\n", n)
+		}
+	}
+	return b.String()
+}
+
+func separators(widths []int) []string {
+	out := make([]string, len(widths))
+	for i, w := range widths {
+		out[i] = strings.Repeat("-", w)
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Runner is one experiment entry point.
+type Runner func(Options) (*Report, error)
+
+// Registry maps experiment ids (table1, fig3a, ...) to runners, in the
+// paper's order.
+func Registry() []struct {
+	ID  string
+	Run Runner
+} {
+	return []struct {
+		ID  string
+		Run Runner
+	}{
+		{"table1", Table1Survey},
+		{"table3", Table3Correlations},
+		{"table4", Table4Testbed},
+		{"fig3a", Fig3aVolatility},
+		{"fig3b", Fig3bTemporal},
+		{"fig4", Fig4Propagation},
+		{"fig5", Fig5ProfilingLevel},
+		{"fig7", Fig7Knee},
+		{"fig8", Fig8Importance},
+		{"fig9", Fig9PredictionError},
+		{"fig10a", Fig10aConvergence},
+		{"fig10b", Fig10bStability},
+		{"fig10c", Fig10cMultiWorkload},
+		{"fig11", Fig11Scheduling},
+		{"fig12", Fig12SLA},
+		{"fig13", Fig13Recovery},
+		{"fig14", Fig14Overhead},
+		// Extensions: the paper's §5.2 / §6.3 / §6.4 forward-looking
+		// material, implemented and measured.
+		{"ext-pca", ExtPCA},
+		{"ext-hierarchy", ExtHierarchy},
+		{"ext-coldstart", ExtColdStart},
+		{"ext-isolation", ExtIsolation},
+	}
+}
+
+// Run executes the experiment with the given id.
+func Run(id string, opt Options) (*Report, error) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e.Run(opt)
+		}
+	}
+	return nil, fmt.Errorf("experiments: unknown experiment %q", id)
+}
+
+// IDs lists the registered experiment ids.
+func IDs() []string {
+	var out []string
+	for _, e := range Registry() {
+		out = append(out, e.ID)
+	}
+	return out
+}
+
+// newLab builds the shared testbed model + scenario generator.
+func newLab(opt Options) (*perfmodel.Model, *scenario.Generator) {
+	m := perfmodel.New(resources.DefaultTestbed())
+	scenario.FastConfig(m)
+	g := scenario.NewGenerator(m, opt.Seed)
+	return m, g
+}
+
+// f2 formats a float with 2 decimals; f1/f0 likewise.
+func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func f1(v float64) string  { return fmt.Sprintf("%.1f", v) }
+func f0(v float64) string  { return fmt.Sprintf("%.0f", v) }
+func pct(v float64) string { return fmt.Sprintf("%.2f%%", 100*v) }
+
+// sortedKeys returns a map's keys in order.
+func sortedKeys(m map[string][]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// trainTest splits observations into train/test by holding out every
+// holdEvery-th item — deterministic and stratified over generation
+// order.
+func trainTest(obs []core.Observation, holdEvery int) (train, test []core.Observation) {
+	for i, o := range obs {
+		if (i+1)%holdEvery == 0 {
+			test = append(test, o)
+		} else {
+			train = append(train, o)
+		}
+	}
+	return train, test
+}
+
+// mapeOf evaluates a predictor's mean relative error on observations.
+func mapeOf(p core.QoSPredictor, kind core.QoSKind, obs []core.Observation) (float64, error) {
+	sum, n := 0.0, 0
+	for _, o := range obs {
+		if o.Label == 0 {
+			continue
+		}
+		got, err := p.Predict(kind, o.Target, o.Inputs)
+		if err != nil {
+			return 0, err
+		}
+		e := (got - o.Label) / o.Label
+		if e < 0 {
+			e = -e
+		}
+		sum += e
+		n++
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("experiments: no evaluable observations")
+	}
+	return sum / float64(n), nil
+}
+
+// errsOf returns per-sample relative errors.
+func errsOf(p core.QoSPredictor, kind core.QoSKind, obs []core.Observation) ([]float64, error) {
+	var out []float64
+	for _, o := range obs {
+		if o.Label == 0 {
+			continue
+		}
+		got, err := p.Predict(kind, o.Target, o.Inputs)
+		if err != nil {
+			return nil, err
+		}
+		e := (got - o.Label) / o.Label
+		if e < 0 {
+			e = -e
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// collectObs draws labeled observations of one QoS kind from randomized
+// colocations.
+func collectObs(g *scenario.Generator, colocation core.ColocationKind, kind core.QoSKind, scenarios, maxWorkloads int) ([]core.Observation, error) {
+	var obs []core.Observation
+	for i := 0; i < scenarios; i++ {
+		k := 2
+		if maxWorkloads > 2 {
+			k = 2 + g.Rand().Intn(maxWorkloads-1)
+		}
+		sc := g.Colocation(colocation, k)
+		samples, err := g.Label(sc)
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range samples {
+			if s.Kind == kind {
+				obs = append(obs, core.Observation{Target: s.Target, Inputs: s.Inputs, Label: s.Label})
+			}
+		}
+	}
+	return obs, nil
+}

@@ -1,0 +1,258 @@
+package ml
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"gsight/internal/rng"
+)
+
+// ForestConfig parameterizes random forest training.
+type ForestConfig struct {
+	Trees int // trees grown by Fit; <=0 means 40
+	Tree  TreeConfig
+	Seed  uint64
+	// Incremental behaviour (IRFR): Update grows UpdateTrees fresh
+	// trees on the recent window and retires the oldest so the forest
+	// never exceeds MaxTrees.
+	UpdateTrees int // <=0 means max(4, Trees/8)
+	MaxTrees    int // <=0 means 2*Trees
+	Window      int // samples kept for incremental training; <=0 means 12000
+}
+
+func (c ForestConfig) withDefaults() ForestConfig {
+	if c.Trees <= 0 {
+		c.Trees = 40
+	}
+	if c.UpdateTrees <= 0 {
+		c.UpdateTrees = c.Trees / 4
+		if c.UpdateTrees < 4 {
+			c.UpdateTrees = 4
+		}
+	}
+	if c.MaxTrees <= 0 {
+		// Fixed capacity: every update grows fresh trees and culls the
+		// worst-scoring ones, keeping the ensemble size constant.
+		c.MaxTrees = c.Trees
+	}
+	if c.Window <= 0 {
+		c.Window = 12000
+	}
+	return c
+}
+
+// Forest is a random-forest regressor: bootstrap-resampled CART trees
+// with per-split feature subsampling. It satisfies Incremental via
+// window-retraining of a rotating subset of trees — the IRFR model of
+// §3.4.
+type Forest struct {
+	cfg    ForestConfig
+	trees  []*Tree
+	rnd    *rng.Rand
+	buf    Dataset // retained window for incremental updates
+	dim    int
+	fitted bool
+}
+
+// NewForest returns an untrained forest.
+func NewForest(cfg ForestConfig) *Forest {
+	cfg = cfg.withDefaults()
+	return &Forest{cfg: cfg, rnd: rng.New(cfg.Seed ^ 0x5eed0f0e57)}
+}
+
+// Fit trains cfg.Trees trees on bootstrap resamples of (X, y).
+func (f *Forest) Fit(X [][]float64, y []float64) error {
+	if err := checkXY(X, y); err != nil {
+		return err
+	}
+	f.dim = len(X[0])
+	f.trees = f.trees[:0]
+	f.buf = Dataset{}
+	f.absorb(X, y)
+	trees, err := f.growTrees(f.cfg.Trees)
+	if err != nil {
+		return err
+	}
+	f.trees = append(f.trees, trees...)
+	f.fitted = true
+	return nil
+}
+
+// Update folds a new batch in: the window advances, UpdateTrees fresh
+// trees are grown on it, and the oldest trees are retired beyond
+// MaxTrees. The forest therefore tracks workload drift (Figure 13)
+// while past trees preserve stability (Figure 10(b)).
+func (f *Forest) Update(X [][]float64, y []float64) error {
+	if err := checkXY(X, y); err != nil {
+		return err
+	}
+	if !f.fitted {
+		return f.Fit(X, y)
+	}
+	if len(X[0]) != f.dim {
+		return ErrDimMismatch
+	}
+	f.absorb(X, y)
+	trees, err := f.growTrees(f.cfg.UpdateTrees)
+	if err != nil {
+		return err
+	}
+	f.trees = append(f.trees, trees...)
+	f.prune(X, y)
+	return nil
+}
+
+// prune keeps the forest at MaxTrees by discarding the trees that score
+// worst on the freshest batch. Under stationary workloads the scores
+// are statistically indistinguishable, so pruning is harmless; after a
+// concept shift (Figure 13) the stale-regime trees score terribly and
+// are culled within a few updates.
+func (f *Forest) prune(X [][]float64, y []float64) {
+	excess := len(f.trees) - f.cfg.MaxTrees
+	if excess <= 0 {
+		return
+	}
+	type scored struct {
+		t   *Tree
+		sse float64
+	}
+	ss := make([]scored, len(f.trees))
+	for i, t := range f.trees {
+		sse := 0.0
+		for j, x := range X {
+			d := t.Predict(x) - y[j]
+			sse += d * d
+		}
+		ss[i] = scored{t, sse}
+	}
+	// partial selection: repeatedly remove the worst
+	for n := 0; n < excess; n++ {
+		worst := 0
+		for i := 1; i < len(ss); i++ {
+			if ss[i].sse > ss[worst].sse {
+				worst = i
+			}
+		}
+		ss = append(ss[:worst], ss[worst+1:]...)
+	}
+	f.trees = f.trees[:0]
+	for _, s := range ss {
+		f.trees = append(f.trees, s.t)
+	}
+}
+
+func (f *Forest) absorb(X [][]float64, y []float64) {
+	for i := range y {
+		f.buf.Append(X[i], y[i])
+	}
+	if f.buf.Len() > f.cfg.Window {
+		tail := f.buf.Tail(f.cfg.Window)
+		f.buf = Dataset{
+			X: append([][]float64(nil), tail.X...),
+			Y: append([]float64(nil), tail.Y...),
+		}
+	}
+}
+
+// growTrees grows k trees, drawing each tree's bootstrap and split RNG
+// sequentially from the forest's stream (determinism) and then fitting
+// all trees concurrently across the available cores.
+func (f *Forest) growTrees(k int) ([]*Tree, error) {
+	n := f.buf.Len()
+	if n == 0 {
+		return nil, ErrNoData
+	}
+	type job struct {
+		bx  [][]float64
+		by  []float64
+		rnd *rng.Rand
+	}
+	jobs := make([]job, k)
+	for t := 0; t < k; t++ {
+		bx := make([][]float64, n)
+		by := make([]float64, n)
+		for i := 0; i < n; i++ {
+			// Recency-biased bootstrap: u^1.5 skews index draws
+			// toward the newest window entries, so fresh trees track
+			// drift.
+			u := f.rnd.Float64()
+			j := n - 1 - int(u*math.Sqrt(u)*float64(n))
+			if j < 0 {
+				j = 0
+			}
+			bx[i] = f.buf.X[j]
+			by[i] = f.buf.Y[j]
+		}
+		jobs[t] = job{bx, by, f.rnd.Split()}
+	}
+
+	trees := make([]*Tree, k)
+	errs := make([]error, k)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > k {
+		workers = k
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range next {
+				tree := NewTree(f.cfg.Tree)
+				errs[t] = tree.FitSeeded(jobs[t].bx, jobs[t].by, jobs[t].rnd)
+				trees[t] = tree
+			}
+		}()
+	}
+	for t := 0; t < k; t++ {
+		next <- t
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return trees, nil
+}
+
+// Predict averages the trees' estimates.
+func (f *Forest) Predict(x []float64) float64 {
+	if len(f.trees) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, t := range f.trees {
+		sum += t.Predict(x)
+	}
+	return sum / float64(len(f.trees))
+}
+
+// Importance returns the normalized impurity-based feature importances
+// (summing to 1 when any split occurred) — Figure 8's metric.
+func (f *Forest) Importance() []float64 {
+	out := make([]float64, f.dim)
+	for _, t := range f.trees {
+		for i, v := range t.Importance() {
+			out[i] += v
+		}
+	}
+	total := 0.0
+	for _, v := range out {
+		total += v
+	}
+	if total > 0 {
+		for i := range out {
+			out[i] /= total
+		}
+	}
+	return out
+}
+
+// NumTrees returns the current forest size.
+func (f *Forest) NumTrees() int { return len(f.trees) }
+
+var _ Incremental = (*Forest)(nil)

@@ -1,0 +1,88 @@
+package ml
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGBRTFitsNonlinear(t *testing.T) {
+	X, y := synth(2000, 6, 60, 0.2)
+	Xt, yt := synth(400, 6, 61, 0)
+	g := NewGBRT(1)
+	if err := g.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if e := rmse(g, Xt, yt); e > 0.8 {
+		t.Fatalf("GBRT RMSE = %v, want < 0.8", e)
+	}
+	if g.NumStages() != 150 {
+		t.Fatalf("stages = %d, want 150", g.NumStages())
+	}
+}
+
+func TestGBRTBeatsSingleTree(t *testing.T) {
+	X, y := synth(1500, 6, 62, 0.3)
+	Xt, yt := synth(300, 6, 63, 0)
+	tr := NewTree(TreeConfig{MaxDepth: 4})
+	if err := tr.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	g := NewGBRT(2)
+	if err := g.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if rmse(g, Xt, yt) >= rmse(tr, Xt, yt) {
+		t.Fatal("boosting should beat its weak learner")
+	}
+}
+
+func TestGBRTIncrementalUpdate(t *testing.T) {
+	X, y := synth(1200, 6, 64, 0.2)
+	g := NewGBRT(3)
+	if err := g.Fit(X[:600], y[:600]); err != nil {
+		t.Fatal(err)
+	}
+	before := g.NumStages()
+	Xt, yt := synth(300, 6, 65, 0)
+	errBefore := rmse(g, Xt, yt)
+	if err := g.Update(X[600:], y[600:]); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumStages() <= before {
+		t.Fatal("update should add stages")
+	}
+	errAfter := rmse(g, Xt, yt)
+	if errAfter > errBefore*1.2 {
+		t.Fatalf("update degraded the model: %v -> %v", errBefore, errAfter)
+	}
+	// Saturation: repeated updates never exceed MaxStages.
+	for i := 0; i < 60; i++ {
+		if err := g.Update(X[:100], y[:100]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if g.NumStages() > g.MaxStages {
+		t.Fatalf("stages %d exceed MaxStages %d", g.NumStages(), g.MaxStages)
+	}
+}
+
+func TestGBRTUpdateBeforeFit(t *testing.T) {
+	X, y := synth(300, 4, 66, 0)
+	g := NewGBRT(4)
+	if err := g.Update(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if v := g.Predict(X[0]); math.IsNaN(v) {
+		t.Fatal("NaN prediction")
+	}
+	if err := g.Update([][]float64{{1, 2}}, []float64{1}); err == nil {
+		t.Fatal("dim mismatch must error")
+	}
+}
+
+func TestGBRTErrors(t *testing.T) {
+	g := NewGBRT(5)
+	if err := g.Fit(nil, nil); err == nil {
+		t.Fatal("empty fit must error")
+	}
+}

@@ -1,0 +1,142 @@
+package ml
+
+import (
+	"container/heap"
+	"math"
+)
+
+// KNN is a k-nearest-neighbour regressor with inverse-distance
+// weighting. It is incremental by construction (IKNN): Update simply
+// extends the reference set, bounded by Window.
+type KNN struct {
+	K      int // neighbours; <=0 means 8
+	Window int // samples kept; <=0 means 20000
+	scaler *Scaler
+	data   Dataset
+	// cache holds the reference set standardized under the current
+	// scaler; it is rebuilt lazily after updates so queries cost one
+	// transform instead of n.
+	cache [][]float64
+	dirty bool
+}
+
+// NewKNN returns an empty KNN regressor.
+func NewKNN(k int) *KNN { return &KNN{K: k} }
+
+func (k *KNN) defaults() {
+	if k.K <= 0 {
+		k.K = 8
+	}
+	if k.Window <= 0 {
+		k.Window = 20000
+	}
+	if k.scaler == nil {
+		k.scaler = NewScaler()
+	}
+}
+
+// Fit replaces the reference set with (X, y).
+func (k *KNN) Fit(X [][]float64, y []float64) error {
+	if err := checkXY(X, y); err != nil {
+		return err
+	}
+	k.data = Dataset{}
+	k.scaler = nil
+	k.defaults()
+	return k.Update(X, y)
+}
+
+// Update appends samples to the reference set.
+func (k *KNN) Update(X [][]float64, y []float64) error {
+	if err := checkXY(X, y); err != nil {
+		return err
+	}
+	k.defaults()
+	if k.data.Len() > 0 && len(X[0]) != len(k.data.X[0]) {
+		return ErrDimMismatch
+	}
+	for i := range y {
+		k.scaler.Observe(X[i])
+		k.data.Append(X[i], y[i])
+	}
+	if k.data.Len() > k.Window {
+		tail := k.data.Tail(k.Window)
+		k.data = Dataset{
+			X: append([][]float64(nil), tail.X...),
+			Y: append([]float64(nil), tail.Y...),
+		}
+	}
+	k.dirty = true
+	return nil
+}
+
+func (k *KNN) refresh() {
+	if !k.dirty && len(k.cache) == k.data.Len() {
+		return
+	}
+	k.cache = make([][]float64, k.data.Len())
+	for i, xi := range k.data.X {
+		k.cache[i] = k.scaler.Transform(xi)
+	}
+	k.dirty = false
+}
+
+// neighbour heap: max-heap on distance so the worst of the current k
+// can be evicted in O(log k).
+type nbr struct {
+	dist float64
+	y    float64
+}
+type nbrHeap []nbr
+
+func (h nbrHeap) Len() int            { return len(h) }
+func (h nbrHeap) Less(i, j int) bool  { return h[i].dist > h[j].dist }
+func (h nbrHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nbrHeap) Push(x interface{}) { *h = append(*h, x.(nbr)) }
+func (h *nbrHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}
+
+// Predict returns the inverse-distance-weighted mean of the k nearest
+// stored samples (in standardized feature space).
+func (k *KNN) Predict(x []float64) float64 {
+	if k.data.Len() == 0 {
+		return 0
+	}
+	k.defaults()
+	k.refresh()
+	q := k.scaler.Transform(x)
+	h := make(nbrHeap, 0, k.K+1)
+	for i, ti := range k.cache {
+		d := 0.0
+		for j := range q {
+			diff := q[j] - ti[j]
+			d += diff * diff
+			if len(h) == k.K && d > h[0].dist {
+				break // early abandon: already worse than the kth
+			}
+		}
+		if len(h) < k.K {
+			heap.Push(&h, nbr{d, k.data.Y[i]})
+		} else if d < h[0].dist {
+			h[0] = nbr{d, k.data.Y[i]}
+			heap.Fix(&h, 0)
+		}
+	}
+	var wsum, ysum float64
+	for _, n := range h {
+		w := 1 / (math.Sqrt(n.dist) + 1e-9)
+		wsum += w
+		ysum += w * n.y
+	}
+	if wsum == 0 {
+		return 0
+	}
+	return ysum / wsum
+}
+
+var _ Incremental = (*KNN)(nil)

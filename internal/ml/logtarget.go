@@ -1,0 +1,51 @@
+package ml
+
+import "math"
+
+// LogTarget wraps an incremental regressor so that it learns log(y)
+// instead of y and exponentiates its predictions. Heavy-tailed QoS
+// targets — tail latency and JCT, which span orders of magnitude across
+// interference scenarios — become far better conditioned, and squared
+// loss in log space approximates relative error, the paper's metric.
+type LogTarget struct {
+	Inner Incremental
+}
+
+// NewLogTarget wraps inner.
+func NewLogTarget(inner Incremental) *LogTarget { return &LogTarget{Inner: inner} }
+
+const logFloor = 1e-9
+
+func logY(y []float64) []float64 {
+	out := make([]float64, len(y))
+	for i, v := range y {
+		if v < logFloor {
+			v = logFloor
+		}
+		out[i] = math.Log(v)
+	}
+	return out
+}
+
+// Fit trains on log targets.
+func (l *LogTarget) Fit(X [][]float64, y []float64) error {
+	if err := checkXY(X, y); err != nil {
+		return err
+	}
+	return l.Inner.Fit(X, logY(y))
+}
+
+// Update folds a batch in on log targets.
+func (l *LogTarget) Update(X [][]float64, y []float64) error {
+	if err := checkXY(X, y); err != nil {
+		return err
+	}
+	return l.Inner.Update(X, logY(y))
+}
+
+// Predict exponentiates the inner model's log-space estimate.
+func (l *LogTarget) Predict(x []float64) float64 {
+	return math.Exp(l.Inner.Predict(x))
+}
+
+var _ Incremental = (*LogTarget)(nil)

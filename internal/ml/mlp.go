@@ -1,0 +1,177 @@
+package ml
+
+import (
+	"math"
+
+	"gsight/internal/rng"
+)
+
+// MLP is a one-hidden-layer perceptron regressor (ReLU activations)
+// trained by SGD — the paper's IMLP comparison model. Deep models need
+// more samples than the incremental loop provides early on, which is
+// why the paper prefers IRFR (§3.4); the reproduction keeps the MLP
+// honest but small.
+type MLP struct {
+	Hidden int // hidden units; <=0 means 32
+	Epochs int
+	LR     float64
+	L2     float64
+
+	w1      [][]float64 // [hidden][in]
+	b1      []float64
+	w2      []float64 // [hidden]
+	b2      float64
+	xScaler *Scaler
+	yMean   float64
+	yM2     float64
+	yN      float64
+	rnd     *rng.Rand
+	dim     int
+}
+
+// NewMLP returns an untrained MLP.
+func NewMLP(seed uint64) *MLP {
+	return &MLP{
+		Hidden: 32,
+		Epochs: 16,
+		LR:     0.01,
+		L2:     1e-5,
+		rnd:    rng.New(seed ^ 0x1e0),
+	}
+}
+
+func (m *MLP) init(dim int) {
+	m.dim = dim
+	if m.Hidden <= 0 {
+		m.Hidden = 32
+	}
+	m.xScaler = NewScaler()
+	m.yMean, m.yM2, m.yN = 0, 0, 0
+	scale := math.Sqrt(2 / float64(dim))
+	m.w1 = make([][]float64, m.Hidden)
+	m.b1 = make([]float64, m.Hidden)
+	m.w2 = make([]float64, m.Hidden)
+	for h := range m.w1 {
+		m.w1[h] = make([]float64, dim)
+		for j := range m.w1[h] {
+			m.w1[h][j] = m.rnd.Norm(0, scale)
+		}
+		m.w2[h] = m.rnd.Norm(0, math.Sqrt(2/float64(m.Hidden)))
+	}
+	m.b2 = 0
+}
+
+func (m *MLP) observeY(y float64) {
+	m.yN++
+	d := y - m.yMean
+	m.yMean += d / m.yN
+	m.yM2 += d * (y - m.yMean)
+}
+
+func (m *MLP) yStd() float64 {
+	if m.yN < 2 {
+		return 1
+	}
+	v := m.yM2 / m.yN
+	if v < 1e-12 {
+		return 1
+	}
+	return math.Sqrt(v)
+}
+
+// Fit trains the network from scratch.
+func (m *MLP) Fit(X [][]float64, y []float64) error {
+	if err := checkXY(X, y); err != nil {
+		return err
+	}
+	m.init(len(X[0]))
+	return m.Update(X, y)
+}
+
+// Update folds a batch in with a few SGD epochs.
+func (m *MLP) Update(X [][]float64, y []float64) error {
+	if err := checkXY(X, y); err != nil {
+		return err
+	}
+	if m.w1 == nil {
+		m.init(len(X[0]))
+	}
+	if len(X[0]) != m.dim {
+		return ErrDimMismatch
+	}
+	for i := range y {
+		m.xScaler.Observe(X[i])
+		m.observeY(y[i])
+	}
+	std := m.yStd()
+	hid := make([]float64, m.Hidden)
+	act := make([]float64, m.Hidden)
+	for e := 0; e < m.Epochs; e++ {
+		lr := m.LR / (1 + 0.1*float64(e))
+		perm := m.rnd.Perm(len(y))
+		for _, i := range perm {
+			xs := m.xScaler.Transform(X[i])
+			ys := (y[i] - m.yMean) / std
+			// forward
+			out := m.b2
+			for h := 0; h < m.Hidden; h++ {
+				z := m.b1[h]
+				wh := m.w1[h]
+				for j, xj := range xs {
+					z += wh[j] * xj
+				}
+				hid[h] = z
+				if z > 0 {
+					act[h] = z
+				} else {
+					act[h] = 0
+				}
+				out += m.w2[h] * act[h]
+			}
+			// backward (squared loss, clipped against divergence)
+			g := out - ys
+			if g > 3 {
+				g = 3
+			} else if g < -3 {
+				g = -3
+			}
+			m.b2 -= lr * g
+			for h := 0; h < m.Hidden; h++ {
+				gw2 := g * act[h]
+				gh := g * m.w2[h]
+				m.w2[h] -= lr * (gw2 + m.L2*m.w2[h])
+				if hid[h] <= 0 {
+					continue
+				}
+				wh := m.w1[h]
+				for j, xj := range xs {
+					wh[j] -= lr * (gh*xj + m.L2*wh[j])
+				}
+				m.b1[h] -= lr * gh
+			}
+		}
+	}
+	return nil
+}
+
+// Predict returns the network's estimate.
+func (m *MLP) Predict(x []float64) float64 {
+	if m.w1 == nil {
+		return 0
+	}
+	xs := m.xScaler.Transform(x)
+	out := m.b2
+	for h := 0; h < m.Hidden; h++ {
+		z := m.b1[h]
+		wh := m.w1[h]
+		for j, xj := range xs {
+			z += wh[j] * xj
+		}
+		if z > 0 {
+			out += m.w2[h] * z
+		}
+	}
+	return out*m.yStd() + m.yMean
+}
+
+var _ Incremental = (*MLP)(nil)

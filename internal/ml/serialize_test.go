@@ -1,0 +1,100 @@
+package ml
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTreeExportRoundTrip(t *testing.T) {
+	X, y := synth(500, 6, 40, 0)
+	tr := NewTree(TreeConfig{})
+	if err := tr.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ImportTree(tr.Export())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if got, want := back.Predict(X[i]), tr.Predict(X[i]); got != want {
+			t.Fatalf("prediction changed after round trip: %v vs %v", got, want)
+		}
+	}
+}
+
+func TestImportTreeValidates(t *testing.T) {
+	bad := TreeExport{Dim: 2, Nodes: []TreeNodeExport{{Feature: 5}}}
+	if _, err := ImportTree(bad); err == nil {
+		t.Fatal("feature beyond dim must error")
+	}
+	bad = TreeExport{Dim: 2, Nodes: []TreeNodeExport{{Feature: 0, Left: 9, Right: 0}}}
+	if _, err := ImportTree(bad); err == nil {
+		t.Fatal("child out of range must error")
+	}
+}
+
+func TestForestRoundTrip(t *testing.T) {
+	X, y := synth(600, 6, 41, 0.2)
+	f := NewForest(ForestConfig{Trees: 12, Seed: 3})
+	if err := f.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteForest(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadForest(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumTrees() != f.NumTrees() {
+		t.Fatalf("tree count changed: %d vs %d", back.NumTrees(), f.NumTrees())
+	}
+	for i := 0; i < 100; i++ {
+		if got, want := back.Predict(X[i]), f.Predict(X[i]); got != want {
+			t.Fatalf("prediction changed after round trip at %d: %v vs %v", i, got, want)
+		}
+	}
+	// Importances survive too.
+	a, b := f.Importance(), back.Importance()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("importances changed after round trip")
+		}
+	}
+}
+
+func TestImportedForestKeepsLearning(t *testing.T) {
+	X, y := synth(500, 6, 42, 0.2)
+	f := NewForest(ForestConfig{Trees: 8, Seed: 4})
+	if err := f.Fit(X[:300], y[:300]); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteForest(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadForest(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The reloaded forest must accept incremental updates (rebuilding
+	// its window from the new batch).
+	if err := back.Update(X[300:], y[300:]); err != nil {
+		t.Fatal(err)
+	}
+	Xt, yt := synth(200, 6, 43, 0)
+	if e := rmse(back, Xt, yt); e > 2.0 {
+		t.Fatalf("reloaded+updated forest RMSE = %v", e)
+	}
+}
+
+func TestReadForestRejectsJunk(t *testing.T) {
+	if _, err := ReadForest(strings.NewReader("junk")); err == nil {
+		t.Fatal("junk must error")
+	}
+	if _, err := ReadForest(strings.NewReader(`{"version":7}`)); err == nil {
+		t.Fatal("bad version must error")
+	}
+}

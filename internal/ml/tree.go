@@ -1,0 +1,243 @@
+package ml
+
+import (
+	"sort"
+
+	"gsight/internal/rng"
+)
+
+// TreeConfig parameterizes CART regression tree growth.
+type TreeConfig struct {
+	MaxDepth    int // maximum depth (root = 0); <=0 means 24
+	MinLeaf     int // minimum samples per leaf; <=0 means 2
+	MTry        int // features tried per split; <=0 means sqrt(d)
+	MaxSplitVal int // cap on candidate thresholds per feature; <=0 means 32
+}
+
+func (c TreeConfig) withDefaults(d int) TreeConfig {
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 24
+	}
+	if c.MinLeaf <= 0 {
+		c.MinLeaf = 2
+	}
+	if c.MTry <= 0 {
+		// Regression forests favour large feature subsamples
+		// (scikit-learn defaults to all features); a third keeps
+		// decorrelation while finding signal reliably.
+		c.MTry = d / 3
+		if c.MTry < 8 {
+			c.MTry = 8
+		}
+	}
+	if c.MaxSplitVal <= 0 {
+		c.MaxSplitVal = 32
+	}
+	return c
+}
+
+// treeNode is one node of a CART regression tree, stored in a flat
+// slice for cache-friendly prediction.
+type treeNode struct {
+	feature int     // split feature; -1 for leaves
+	thresh  float64 // go left if x[feature] <= thresh
+	left    int32   // child indices
+	right   int32
+	value   float64 // leaf prediction
+}
+
+// Tree is a CART regression tree.
+type Tree struct {
+	nodes      []treeNode
+	cfg        TreeConfig
+	dim        int
+	active     []int     // features with any variance in the training set
+	importance []float64 // accumulated impurity decrease per feature
+}
+
+// NewTree returns an untrained tree with the given configuration.
+func NewTree(cfg TreeConfig) *Tree { return &Tree{cfg: cfg} }
+
+// Fit grows the tree on (X, y). A nil rnd makes feature subsampling
+// deterministic (all features considered).
+func (t *Tree) Fit(X [][]float64, y []float64) error { return t.FitSeeded(X, y, nil) }
+
+// FitSeeded grows the tree using rnd for feature subsampling.
+func (t *Tree) FitSeeded(X [][]float64, y []float64, rnd *rng.Rand) error {
+	if err := checkXY(X, y); err != nil {
+		return err
+	}
+	t.dim = len(X[0])
+	// Sparse colocation codes zero-pad unused workload slots and
+	// servers; restricting split search to features that actually vary
+	// makes the per-split feature subsample land on signal.
+	t.active = t.active[:0]
+	for j := 0; j < t.dim; j++ {
+		v0 := X[0][j]
+		for _, x := range X[1:] {
+			if x[j] != v0 {
+				t.active = append(t.active, j)
+				break
+			}
+		}
+	}
+	t.cfg = t.cfg.withDefaults(len(t.active))
+	t.nodes = t.nodes[:0]
+	t.importance = make([]float64, t.dim)
+	idx := make([]int, len(y))
+	for i := range idx {
+		idx[i] = i
+	}
+	t.grow(X, y, idx, 0, rnd)
+	return nil
+}
+
+// grow builds the subtree over idx and returns its node index.
+func (t *Tree) grow(X [][]float64, y []float64, idx []int, depth int, rnd *rng.Rand) int32 {
+	node := int32(len(t.nodes))
+	t.nodes = append(t.nodes, treeNode{feature: -1})
+
+	sum := 0.0
+	for _, i := range idx {
+		sum += y[i]
+	}
+	m := sum / float64(len(idx))
+	t.nodes[node].value = m
+
+	if depth >= t.cfg.MaxDepth || len(idx) < 2*t.cfg.MinLeaf {
+		return node
+	}
+	imp := impurity(y, idx, m)
+	if imp <= 1e-12 {
+		return node
+	}
+
+	bestFeat, bestThresh, bestGain := -1, 0.0, 0.0
+	features := t.sampleFeatures(rnd)
+	// scratch: (value, target) pairs sorted per feature
+	type vt struct{ v, t float64 }
+	pairs := make([]vt, 0, len(idx))
+	for _, f := range features {
+		pairs = pairs[:0]
+		for _, i := range idx {
+			pairs = append(pairs, vt{X[i][f], y[i]})
+		}
+		sort.Slice(pairs, func(a, b int) bool { return pairs[a].v < pairs[b].v })
+		if pairs[0].v == pairs[len(pairs)-1].v {
+			continue
+		}
+		// Prefix scan: total variance reduction for each cut point.
+		var lSum, lSq float64
+		var rSum, rSq float64
+		for _, p := range pairs {
+			rSum += p.t
+			rSq += p.t * p.t
+		}
+		n := float64(len(pairs))
+		total := rSq - rSum*rSum/n
+		step := 1
+		if t.cfg.MaxSplitVal > 0 && len(pairs) > t.cfg.MaxSplitVal {
+			step = len(pairs) / t.cfg.MaxSplitVal
+		}
+		for i := 0; i < len(pairs)-1; i++ {
+			lSum += pairs[i].t
+			lSq += pairs[i].t * pairs[i].t
+			rSum -= pairs[i].t
+			rSq -= pairs[i].t * pairs[i].t
+			if pairs[i].v == pairs[i+1].v {
+				continue
+			}
+			if step > 1 && i%step != 0 {
+				continue
+			}
+			nl, nr := float64(i+1), n-float64(i+1)
+			if int(nl) < t.cfg.MinLeaf || int(nr) < t.cfg.MinLeaf {
+				continue
+			}
+			sse := (lSq - lSum*lSum/nl) + (rSq - rSum*rSum/nr)
+			gain := total - sse
+			if gain > bestGain {
+				bestGain = gain
+				bestFeat = f
+				bestThresh = (pairs[i].v + pairs[i+1].v) / 2
+			}
+		}
+	}
+	if bestFeat < 0 {
+		return node
+	}
+
+	var leftIdx, rightIdx []int
+	for _, i := range idx {
+		if X[i][bestFeat] <= bestThresh {
+			leftIdx = append(leftIdx, i)
+		} else {
+			rightIdx = append(rightIdx, i)
+		}
+	}
+	if len(leftIdx) == 0 || len(rightIdx) == 0 {
+		return node
+	}
+	t.importance[bestFeat] += bestGain
+	t.nodes[node].feature = bestFeat
+	t.nodes[node].thresh = bestThresh
+	t.nodes[node].left = t.grow(X, y, leftIdx, depth+1, rnd)
+	t.nodes[node].right = t.grow(X, y, rightIdx, depth+1, rnd)
+	return node
+}
+
+func (t *Tree) sampleFeatures(rnd *rng.Rand) []int {
+	n := len(t.active)
+	if n == 0 {
+		return nil
+	}
+	if rnd == nil || t.cfg.MTry >= n {
+		return t.active
+	}
+	// partial Fisher-Yates over a copy of the active set
+	all := append([]int(nil), t.active...)
+	for i := 0; i < t.cfg.MTry; i++ {
+		j := i + rnd.Intn(n-i)
+		all[i], all[j] = all[j], all[i]
+	}
+	return all[:t.cfg.MTry]
+}
+
+func impurity(y []float64, idx []int, mean float64) float64 {
+	s := 0.0
+	for _, i := range idx {
+		d := y[i] - mean
+		s += d * d
+	}
+	return s
+}
+
+// Predict returns the tree's estimate for x.
+func (t *Tree) Predict(x []float64) float64 {
+	if len(t.nodes) == 0 {
+		return 0
+	}
+	n := int32(0)
+	for {
+		node := &t.nodes[n]
+		if node.feature < 0 {
+			return node.value
+		}
+		if x[node.feature] <= node.thresh {
+			n = node.left
+		} else {
+			n = node.right
+		}
+	}
+}
+
+// Importance returns the tree's accumulated impurity decrease per
+// feature (unnormalized).
+func (t *Tree) Importance() []float64 {
+	out := make([]float64, len(t.importance))
+	copy(out, t.importance)
+	return out
+}
+
+// NumNodes returns the size of the grown tree.
+func (t *Tree) NumNodes() int { return len(t.nodes) }

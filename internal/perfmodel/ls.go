@@ -1,0 +1,401 @@
+package perfmodel
+
+import (
+	"math"
+
+	"gsight/internal/resources"
+	"gsight/internal/workload"
+)
+
+// FuncPerf is the modelled steady-state behaviour of one function of an
+// LS workload.
+type FuncPerf struct {
+	Name        string
+	IPC         float64 // instructions per cycle under the colocation
+	Slowdown    float64 // service-time stretch from interference
+	LocalMeanMs float64 // per-invocation latency incl. gateway + queueing
+	LocalP99Ms  float64
+	ArrivalQPS  float64 // effective invocation rate after throttling
+	Rho         float64 // per-instance utilization
+}
+
+// lsState is the mutable fixed-point state of one LS deployment.
+type lsState struct {
+	dep     *Deployment
+	effQPS  float64 // closed-loop damped offered load
+	refE2E  float64 // ideal (no-interference) end-to-end mean, for damping
+	arrival []float64
+	rho     []float64
+	sigma   []float64 // total service-time stretch
+	sigmaC  []float64 // compute component (drives IPC)
+	svcMs   []float64
+	exerted []resources.Vector // per-function total exerted demand
+}
+
+// lsSolveResult carries the per-deployment outputs of one LS solve plus
+// the demand the LS functions exert (needed by the SC co-execution).
+type lsSolveResult struct {
+	results []LSResult
+	demand  demandMap
+}
+
+// LSResult is the modelled QoS of one LS deployment.
+type LSResult struct {
+	EffQPS        float64
+	IPC           float64
+	E2EMeanMs     float64
+	E2EP99Ms      float64
+	GatewayMeanMs float64
+	PerFunc       []FuncPerf
+}
+
+// idealRefs returns each deployment's no-interference end-to-end mean,
+// the reference for closed-loop damping. Callers that solve repeatedly
+// (the SC co-execution) compute these once and pass them to solveLS.
+func (m *Model) idealRefs(deps []*Deployment) []float64 {
+	refs := make([]float64, len(deps))
+	for i, d := range deps {
+		sol := m.solveLSWithRefs([]*Deployment{d}, nil, 0, true, nil)
+		refs[i] = sol.results[0].E2EMeanMs
+	}
+	return refs
+}
+
+// solveLS runs the coupled fixed point for all LS deployments against a
+// background demand map (from SC/BG jobs). When ideal is true the solve
+// models each deployment alone on an empty cluster with interference
+// disabled — the reference used by the closed-loop damping and by SLA
+// definitions (§6.3).
+func (m *Model) solveLS(deps []*Deployment, bg demandMap, extraInstances int, ideal bool) lsSolveResult {
+	var refs []float64
+	if !ideal {
+		refs = m.idealRefs(deps)
+	}
+	return m.solveLSWithRefs(deps, bg, extraInstances, ideal, refs)
+}
+
+// solveLSWithRefs is solveLS with precomputed ideal references.
+func (m *Model) solveLSWithRefs(deps []*Deployment, bg demandMap, extraInstances int, ideal bool, refs []float64) lsSolveResult {
+	states := make([]*lsState, len(deps))
+	for i, d := range deps {
+		n := len(d.W.Functions)
+		st := &lsState{
+			dep:     d,
+			effQPS:  d.QPS,
+			arrival: make([]float64, n),
+			rho:     make([]float64, n),
+			sigma:   make([]float64, n),
+			sigmaC:  make([]float64, n),
+			svcMs:   make([]float64, n),
+			exerted: make([]resources.Vector, n),
+		}
+		for f := range st.rho {
+			st.rho[f] = 0.5
+			st.sigma[f] = 1
+			st.sigmaC[f] = 1
+			st.svcMs[f] = d.W.Functions[f].BaseServiceMs
+		}
+		states[i] = st
+	}
+	if refs != nil {
+		for i := range states {
+			states[i].refE2E = refs[i]
+		}
+	}
+
+	totalInstances := extraInstances
+	for _, d := range deps {
+		for _, r := range d.Replicas {
+			totalInstances += r
+		}
+	}
+
+	var gwMean, gwP99 float64
+	demand := demandMap{}
+	for iter := 0; iter < m.Cfg.FixedPointIters; iter++ {
+		// 1. Exerted demand per function, scaled by utilization.
+		demand = demandMap{}
+		for k, v := range bg {
+			demand[k] = v
+		}
+		for _, st := range states {
+			d := st.dep
+			for f := range d.W.Functions {
+				fn := &d.W.Functions[f]
+				level := m.Cfg.IdleDemandFloor + (1-m.Cfg.IdleDemandFloor)*clamp01(st.rho[f])
+				ex := fn.Demand.Scale(level * float64(d.Replicas[f]))
+				st.exerted[f] = ex
+				demand.add(d.Placement[f], m.resolveSocket(d, f), d.Protected, ex)
+			}
+		}
+
+		// 2. Interference slowdowns and service times.
+		for _, st := range states {
+			d := st.dep
+			for f := range d.W.Functions {
+				fn := &d.W.Functions[f]
+				sc, sio := 1.0, 1.0
+				if !ideal {
+					sc, sio = m.slowdown(d.Placement[f], m.resolveSocket(d, f),
+						d.Protected, demand, st.exerted[f], fn.Sensitivity, 1)
+				}
+				st.sigmaC[f] = sc
+				st.sigma[f] = totalSlowdown(sc, sio)
+				st.svcMs[f] = fn.BaseServiceMs * st.sigma[f]
+				if d.ColdStartFrac > 0 {
+					// Cold invocations pay the startup latency (§5.2).
+					st.svcMs[f] += fn.ColdStartMs * d.ColdStartFrac
+				}
+			}
+		}
+
+		// 3. Arrival propagation with saturation throttling.
+		for _, st := range states {
+			m.propagateArrivals(st)
+		}
+
+		// 4. Gateway load.
+		gwMean, gwP99 = m.gateway(states, totalInstances, ideal)
+
+		// 5. Utilizations and closed-loop damping. Both are relaxed
+		// toward their new values so the fixed point converges
+		// instead of oscillating between high- and low-pressure
+		// states.
+		const relax = 0.5
+		for _, st := range states {
+			d := st.dep
+			for f := range d.W.Functions {
+				if st.svcMs[f] <= 0 {
+					st.rho[f] = 0
+					continue
+				}
+				cap := float64(d.Replicas[f]) * 1000 / st.svcMs[f]
+				st.rho[f] += relax * (st.arrival[f]/cap - st.rho[f])
+			}
+			if !ideal && st.refE2E > 0 {
+				e2e, _ := m.composeE2E(st, gwMean, gwP99)
+				excess := e2e/st.refE2E - 1
+				if excess < 0 {
+					excess = 0
+				}
+				target := st.dep.QPS / (1 + m.Cfg.ClosedLoopGamma*excess)
+				st.effQPS += relax * (target - st.effQPS)
+			}
+		}
+	}
+
+	out := lsSolveResult{demand: demand}
+	for _, st := range states {
+		out.results = append(out.results, m.finishLS(st, gwMean, gwP99))
+	}
+	return out
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// propagateArrivals walks the call DAG from the entry, throttling each
+// callee's arrival rate by its caller's effective throughput — the
+// mechanism of the paper's hotspot propagation (Observation 4): a
+// saturated function starves its downstream functions, whose local
+// latency therefore *drops*.
+func (m *Model) propagateArrivals(st *lsState) {
+	d := st.dep
+	n := len(d.W.Functions)
+	for f := 0; f < n; f++ {
+		st.arrival[f] = 0
+	}
+	order := topoOrder(d.W)
+	st.arrival[d.W.Entry] = st.effQPS
+	for _, f := range order {
+		lambda := st.arrival[f]
+		cap := float64(d.Replicas[f]) * 1000 / st.svcMs[f]
+		through := lambda
+		if limit := 0.99 * cap; through > limit {
+			through = limit
+		}
+		for _, c := range d.W.Functions[f].Calls {
+			st.arrival[c.Callee] += through
+		}
+	}
+}
+
+// topoOrder returns the functions reachable from the entry in
+// topological order (callers before callees).
+func topoOrder(w *workload.Workload) []int {
+	visited := make([]bool, len(w.Functions))
+	var order []int
+	var visit func(i int)
+	visit = func(i int) {
+		if visited[i] {
+			return
+		}
+		visited[i] = true
+		for _, c := range w.Functions[i].Calls {
+			visit(c.Callee)
+		}
+		order = append(order, i)
+	}
+	visit(w.Entry)
+	// reverse post-order = topological order
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	return order
+}
+
+// gateway models the shared OpenFaaS-style frontend: every invocation
+// passes through it; its service time degrades past ~110 instances
+// (Figure 14) and when it must manage the waiting queues of saturated
+// functions (§2.1, the second propagation mechanism).
+func (m *Model) gateway(states []*lsState, totalInstances int, ideal bool) (meanMs, p99Ms float64) {
+	c := &m.Cfg
+	var totalArrival, satLoad float64
+	for _, st := range states {
+		for f := range st.arrival {
+			totalArrival += st.arrival[f]
+			over := (st.rho[f] - 0.9) / 0.1
+			satLoad += st.arrival[f] * clamp01(over)
+		}
+	}
+	if totalArrival <= 0 {
+		return c.GatewayBaseMs, c.GatewayBaseMs
+	}
+	svc := c.GatewayBaseMs
+	if !ideal {
+		if ex := (float64(totalInstances) - c.GatewayKneeInst) / c.GatewayInstSlope; ex > 0 {
+			svc *= 1 + ex*ex
+		}
+		svc *= 1 + c.GatewaySatFactor*(satLoad/totalArrival)
+	}
+	rho := totalArrival * svc / 1000 / c.GatewayWorkers
+	if rho > c.MaxRho {
+		rho = c.MaxRho
+	}
+	meanMs = svc / (1 - rho)
+	p99Ms = svc * (1 + c.QueueFactor*rho/(1-rho))
+	return meanMs, p99Ms
+}
+
+// localMean returns function f's local mean latency: gateway wait plus
+// M/M/1-style sojourn with an overload penalty.
+func (m *Model) localMean(st *lsState, f int, gwMean float64) float64 {
+	c := &m.Cfg
+	rho := st.rho[f]
+	rhat := rho
+	if rhat > c.MaxRho {
+		rhat = c.MaxRho
+	}
+	lat := st.svcMs[f] / (1 - rhat)
+	if over := rho - 1; over > 0 {
+		lat *= 1 + c.OverloadPenalty*over
+	}
+	return gwMean + lat
+}
+
+// localP99 returns function f's local 99th-percentile latency.
+func (m *Model) localP99(st *lsState, f int, gwP99 float64) float64 {
+	c := &m.Cfg
+	rho := st.rho[f]
+	rhat := rho
+	if rhat > c.MaxRho {
+		rhat = c.MaxRho
+	}
+	lat := st.svcMs[f] * (1 + c.QueueFactor*rhat/(1-rhat))
+	if over := rho - 1; over > 0 {
+		lat *= 1 + c.OverloadPenalty*over
+	}
+	return gwP99 + lat
+}
+
+// pathStats carries the mean latency and squared tail excess
+// accumulated along a call path.
+type pathStats struct {
+	mean float64
+	te2  float64 // sum of squared (p99 - mean) tail excesses
+}
+
+// composeE2E folds local latencies over the DAG: nested and sequence
+// subtrees both extend the caller's end-to-end latency; async calls do
+// not (they are the paper's non-critical path). Means add along the
+// path; tail excesses compose in quadrature (independent stage tails),
+// so the end-to-end p99 is mean + sqrt(sum of squared excesses).
+func (m *Model) composeE2E(st *lsState, gwMean, gwP99 float64) (meanMs, p99Ms float64) {
+	w := st.dep.W
+	memo := make(map[int]pathStats)
+	var e2e func(f int) pathStats
+	e2e = func(f int) pathStats {
+		if v, ok := memo[f]; ok {
+			return v
+		}
+		var maxNested, maxSeq pathStats
+		for _, c := range w.Functions[f].Calls {
+			switch c.Mode {
+			case workload.Nested:
+				if v := e2e(c.Callee); v.mean > maxNested.mean {
+					maxNested = v
+				}
+			case workload.Sequence:
+				if v := e2e(c.Callee); v.mean > maxSeq.mean {
+					maxSeq = v
+				}
+			}
+		}
+		mean := m.localMean(st, f, gwMean)
+		te := m.localP99(st, f, gwP99) - mean
+		v := pathStats{
+			mean: mean + maxNested.mean + maxSeq.mean,
+			te2:  te*te + maxNested.te2 + maxSeq.te2,
+		}
+		memo[f] = v
+		return v
+	}
+	s := e2e(w.Entry)
+	te := 0.0
+	if s.te2 > 0 {
+		te = math.Sqrt(s.te2)
+	}
+	return s.mean, s.mean + te
+}
+
+// finishLS assembles the LSResult from a converged state.
+func (m *Model) finishLS(st *lsState, gwMean, gwP99 float64) LSResult {
+	d := st.dep
+	res := LSResult{
+		EffQPS:        st.effQPS,
+		GatewayMeanMs: gwMean,
+		PerFunc:       make([]FuncPerf, len(d.W.Functions)),
+	}
+	var ipcSum, wSum float64
+	// Cold-start executions run with cold caches: the startup phase
+	// retires instructions inefficiently, dragging the observed IPC.
+	coldPenalty := 1 + 0.5*d.ColdStartFrac
+	for f := range d.W.Functions {
+		fn := &d.W.Functions[f]
+		ipc := fn.SoloIPC / (st.sigmaC[f] * coldPenalty)
+		res.PerFunc[f] = FuncPerf{
+			Name:        fn.Name,
+			IPC:         ipc,
+			Slowdown:    st.sigma[f],
+			LocalMeanMs: m.localMean(st, f, gwMean),
+			LocalP99Ms:  m.localP99(st, f, gwP99),
+			ArrivalQPS:  st.arrival[f],
+			Rho:         st.rho[f],
+		}
+		w := fn.Demand[resources.CPU]
+		ipcSum += ipc * w
+		wSum += w
+	}
+	if wSum > 0 {
+		res.IPC = ipcSum / wSum
+	}
+	res.E2EMeanMs, res.E2EP99Ms = m.composeE2E(st, gwMean, gwP99)
+	return res
+}

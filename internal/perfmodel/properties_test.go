@@ -1,0 +1,239 @@
+package perfmodel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gsight/internal/resources"
+	"gsight/internal/rng"
+	"gsight/internal/workload"
+)
+
+// Property-based checks of the ground-truth model's structural
+// invariants: the learned predictor can only be as sane as the world
+// it observes.
+
+// TestMoreLoadNeverLowersLatency: solo LS latency is monotone
+// non-decreasing in QPS.
+func TestMoreLoadNeverLowersLatency(t *testing.T) {
+	m := newModel()
+	sn := workload.SocialNetwork()
+	prevP99 := 0.0
+	for _, frac := range []float64{0.2, 0.35, 0.5, 0.65, 0.8, 0.95} {
+		d := SpreadDeployment(sn, m.Testbed)
+		d.QPS = sn.MaxQPS * frac
+		res := evalOne(t, m, d)
+		p99 := res.Deployments[0].E2EP99Ms
+		if p99 < prevP99*0.999 {
+			t.Fatalf("p99 dropped with load: %v at %.0f%%, was %v", p99, frac*100, prevP99)
+		}
+		prevP99 = p99
+	}
+}
+
+// TestCorunnerNeverHelpsJCT: adding a colocated corunner cannot speed
+// an SC job up.
+func TestCorunnerNeverHelpsJCT(t *testing.T) {
+	m := newModel()
+	r := rng.New(77)
+	pool := []*workload.Workload{
+		workload.MatMul(), workload.DD(), workload.Iperf(), workload.VideoProcessing(),
+	}
+	if err := quick.Check(func(ai, bi uint8, delayRaw uint16) bool {
+		a := pool[int(ai)%len(pool)].Clone()
+		b := pool[int(bi)%len(pool)].Clone()
+		da := NewDeployment(a)
+		solo, err := m.Evaluate(&Scenario{Deployments: []*Deployment{da}}, nil)
+		if err != nil {
+			return false
+		}
+		da2 := NewDeployment(a.Clone())
+		db := NewDeployment(b)
+		db.StartDelayS = float64(delayRaw % 200)
+		co, err := m.Evaluate(&Scenario{Deployments: []*Deployment{da2, db}}, nil)
+		if err != nil {
+			return false
+		}
+		// one step of slack for time discretization
+		return co.Deployments[0].JCTS >= solo.Deployments[0].JCTS-m.Cfg.StepS-1e-9
+	}, &quick.Config{MaxCount: 25, Rand: nil}); err != nil {
+		t.Fatal(err)
+	}
+	_ = r
+}
+
+// TestSeparateServersMeanNoComputeInterference: workloads on different
+// servers cannot slow each other's IPC (network/disk are server-wide,
+// so only compute resources are asserted).
+func TestSeparateServersMeanNoComputeInterference(t *testing.T) {
+	m := newModel()
+	a := NewDeployment(workload.MatMul())
+	a.Placement[0] = 0
+	b := NewDeployment(workload.VideoProcessing())
+	b.Placement[0] = 5
+	res := evalOne(t, m, a, b)
+	soloA := evalOne(t, m, NewDeployment(workload.MatMul()))
+	if res.Deployments[0].IPC < soloA.Deployments[0].IPC*0.999 {
+		t.Fatalf("cross-server IPC interference: %v vs solo %v",
+			res.Deployments[0].IPC, soloA.Deployments[0].IPC)
+	}
+}
+
+// TestProtectedPartitionMonotone: growing the protected fraction never
+// hurts the protected workload while the aggressor stays fixed.
+func TestProtectedPartitionMonotone(t *testing.T) {
+	sn := workload.SocialNetwork()
+	prev := 1e18
+	for _, frac := range []float64{0.4, 0.55, 0.7, 0.85} {
+		m := newModel()
+		for s := 0; s < m.Testbed.NumServers(); s++ {
+			m.SetPartition(s, Partition{CPUFrac: frac, LLCFrac: frac, MemBWFrac: frac})
+		}
+		d := SpreadDeployment(sn, m.Testbed)
+		d.QPS = sn.MaxQPS * 0.5
+		d.Protected = true
+		c := NewDeployment(workload.MatMul())
+		c.Placement[0] = d.Placement[8]
+		c.Socket[0] = d.Socket[8]
+		res := evalOne(t, m, d, c)
+		p99 := res.Deployments[0].E2EP99Ms
+		if p99 > prev*1.02 {
+			t.Fatalf("larger protected fraction %.2f raised p99: %v > %v", frac, p99, prev)
+		}
+		prev = p99
+	}
+}
+
+// TestColdStartFracMonotone: a higher cold-start rate never improves
+// latency or IPC.
+func TestColdStartFracMonotone(t *testing.T) {
+	m := newModel()
+	sn := workload.SocialNetwork()
+	var prevP99, prevIPC float64
+	prevIPC = 1e18
+	for _, frac := range []float64{0, 0.1, 0.25, 0.5} {
+		d := SpreadDeployment(sn, m.Testbed)
+		d.QPS = sn.MaxQPS * 0.4
+		d.ColdStartFrac = frac
+		res := evalOne(t, m, d)
+		if res.Deployments[0].E2EP99Ms < prevP99*0.999 {
+			t.Fatalf("cold starts lowered p99 at frac %v", frac)
+		}
+		if res.Deployments[0].IPC > prevIPC*1.001 {
+			t.Fatalf("cold starts raised IPC at frac %v", frac)
+		}
+		prevP99, prevIPC = res.Deployments[0].E2EP99Ms, res.Deployments[0].IPC
+	}
+}
+
+// TestLoadFactorProperties pins the train/serve load normalization.
+func TestLoadFactorProperties(t *testing.T) {
+	sn := workload.SocialNetwork()
+	// Autoscaled replicas: factor ~1 regardless of QPS.
+	for _, frac := range []float64{0.3, 0.6, 0.9} {
+		d := NewDeployment(sn)
+		d.QPS = sn.MaxQPS * frac
+		for f := range d.Replicas {
+			d.Replicas[f] = LSReplicasFor(sn, f, d.QPS)
+		}
+		lf := LoadFactor(d)
+		if lf < 0.6 || lf > 1.5 {
+			t.Fatalf("autoscaled load factor = %v at %.0f%%, want ~1", lf, frac*100)
+		}
+	}
+	// Max-sized replicas: factor equals the QPS fraction.
+	d := NewDeployment(sn) // replicas sized for MaxQPS
+	d.QPS = sn.MaxQPS * 0.5
+	if lf := LoadFactor(d); lf < 0.45 || lf > 0.55 {
+		t.Fatalf("pinned-replica load factor = %v, want ~0.5", lf)
+	}
+	// Non-LS: always 1.
+	if lf := LoadFactor(NewDeployment(workload.MatMul())); lf != 1 {
+		t.Fatalf("SC load factor = %v", lf)
+	}
+}
+
+// TestStepperMatchesEvaluateForSoloSC: the dynamic stepper and the
+// batch evaluator must agree on a solo job's completion time.
+func TestStepperMatchesEvaluateForSoloSC(t *testing.T) {
+	m := newModel()
+	batch := evalOne(t, m, NewDeployment(workload.MatMul()))
+
+	st := m.NewStepper()
+	if _, err := st.AddSC(NewDeployment(workload.MatMul())); err != nil {
+		t.Fatal(err)
+	}
+	var jct float64
+	for i := 0; i < 1000 && jct == 0; i++ {
+		rep := st.Step(m.Cfg.StepS, nil)
+		for _, c := range rep.Completed {
+			jct = c.JCTS
+		}
+	}
+	if jct == 0 {
+		t.Fatal("stepper never completed the job")
+	}
+	diff := jct - batch.Deployments[0].JCTS
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 2*m.Cfg.StepS {
+		t.Fatalf("stepper JCT %v vs evaluate %v", jct, batch.Deployments[0].JCTS)
+	}
+}
+
+// TestPartitionConservation: with both classes present, a partition
+// cannot make BOTH classes faster than the shared baseline (resources
+// are conserved).
+func TestPartitionConservation(t *testing.T) {
+	sn := workload.SocialNetwork()
+	mk := func(part bool) (*Model, *Scenario) {
+		m := newModel()
+		if part {
+			for s := 0; s < m.Testbed.NumServers(); s++ {
+				m.SetPartition(s, Partition{CPUFrac: 0.7, LLCFrac: 0.7, MemBWFrac: 0.7})
+			}
+		}
+		d := SpreadDeployment(sn, m.Testbed)
+		d.QPS = sn.MaxQPS * 0.5
+		d.Protected = true
+		c := NewDeployment(workload.MatMul())
+		c.Placement[0] = d.Placement[8]
+		c.Socket[0] = d.Socket[8]
+		return m, &Scenario{Deployments: []*Deployment{d, c}}
+	}
+	mShared, scShared := mk(false)
+	shared, err := mShared.Evaluate(scShared, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mPart, scPart := mk(true)
+	part, err := mPart.Evaluate(scPart, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsBetter := part.Deployments[0].E2EP99Ms < shared.Deployments[0].E2EP99Ms
+	scBetter := part.Deployments[1].JCTS < shared.Deployments[1].JCTS-mPart.Cfg.StepS
+	if lsBetter && scBetter {
+		t.Fatal("partitioning made both classes faster — resources are not conserved")
+	}
+}
+
+// TestVectorScaleInvariance: scaling all demands and capacities by the
+// same factor leaves utilizations (and thus pressures) unchanged.
+func TestVectorScaleInvariance(t *testing.T) {
+	if err := quick.Check(func(seedRaw uint16) bool {
+		c := DefaultConfig()
+		u := float64(seedRaw%300) / 100 // 0..3
+		for k := 0; k < int(resources.NumKinds); k++ {
+			a := c.pressure(resources.Kind(k), u)
+			b := c.pressure(resources.Kind(k), u) // same u, determinism
+			if a != b {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

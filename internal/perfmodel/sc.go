@@ -1,0 +1,210 @@
+package perfmodel
+
+import (
+	"gsight/internal/resources"
+	"gsight/internal/workload"
+)
+
+// scState tracks one SC/BG job through the time-stepped co-execution.
+type scState struct {
+	dep      *Deployment
+	progress float64 // [0, 1]
+	started  bool
+	done     bool
+	jct      float64 // completion - start (seconds)
+	// accumulators for the reported slowdown/IPC
+	ipcSum  float64
+	ipcTime float64
+}
+
+// stageOf maps overall job progress to the active function (SC
+// pipelines execute their functions as sequential stages of equal
+// share) and the progress within that stage.
+func stageOf(w *workload.Workload, p float64) (fn int, local float64) {
+	n := len(w.Functions)
+	if n == 1 {
+		return 0, p
+	}
+	scaled := p * float64(n)
+	fn = int(scaled)
+	if fn >= n {
+		fn = n - 1
+	}
+	return fn, scaled - float64(fn)
+}
+
+// scDemand returns the demand job st exerts at its current progress,
+// along with the active function index and phase.
+func scDemand(st *scState) (fn int, ph workload.Phase, demand resources.Vector) {
+	w := st.dep.W
+	fn, local := stageOf(w, st.progress)
+	f := &w.Functions[fn]
+	ph, _ = f.PhaseAt(local)
+	demand = f.Demand.Mul(ph.DemandScale).Scale(float64(st.dep.Replicas[fn]))
+	return fn, ph, demand
+}
+
+// coExecute advances all SC/BG jobs (and samples the LS deployments)
+// through time until every job completes or the horizon expires.
+// It returns the SC states and the time-averaged LS results.
+func (m *Model) coExecute(scDeps, lsDeps []*Deployment) ([]*scState, []LSResult) {
+	states := make([]*scState, len(scDeps))
+	horizon := m.Cfg.StepS
+	for i, d := range scDeps {
+		states[i] = &scState{dep: d}
+		end := d.StartDelayS + d.W.SoloDurationS*6
+		if end > horizon {
+			horizon = end
+		}
+	}
+	if horizon > m.Cfg.MaxHorizonS {
+		horizon = m.Cfg.MaxHorizonS
+	}
+
+	extraInstances := 0
+	for _, d := range scDeps {
+		for _, r := range d.Replicas {
+			extraInstances += r
+		}
+	}
+	var lsRefs []float64
+	if len(lsDeps) > 0 {
+		lsRefs = m.idealRefs(lsDeps)
+	}
+
+	// LS accumulators (time averages over the co-execution window).
+	type lsAcc struct {
+		steps   float64
+		effQPS  float64
+		ipc     float64
+		e2eMean float64
+		e2eP99  float64
+		gwMean  float64
+		perFunc []FuncPerf
+	}
+	accs := make([]lsAcc, len(lsDeps))
+	for i, d := range lsDeps {
+		accs[i].perFunc = make([]FuncPerf, len(d.W.Functions))
+	}
+
+	dt := m.Cfg.StepS
+	for t := 0.0; t < horizon; t += dt {
+		// 1. Demand exerted by active SC jobs.
+		bg := demandMap{}
+		type active struct {
+			st *scState
+			fn int
+			ph workload.Phase
+			ex resources.Vector
+		}
+		var actives []active
+		allDone := true
+		for _, st := range states {
+			if st.done {
+				continue
+			}
+			allDone = false
+			if t+1e-9 < st.dep.StartDelayS {
+				continue
+			}
+			st.started = true
+			fn, ph, ex := scDemand(st)
+			bg.add(st.dep.Placement[fn], m.resolveSocket(st.dep, fn), st.dep.Protected, ex)
+			actives = append(actives, active{st, fn, ph, ex})
+		}
+		if allDone {
+			break
+		}
+
+		// 2. Solve the LS fixed point against this background; its
+		// demand map feeds back into the SC slowdowns.
+		var demand demandMap
+		if len(lsDeps) > 0 {
+			sol := m.solveLSWithRefs(lsDeps, bg, extraInstances, false, lsRefs)
+			demand = sol.demand
+			for i := range lsDeps {
+				a := &accs[i]
+				r := sol.results[i]
+				a.steps++
+				a.effQPS += r.EffQPS
+				a.ipc += r.IPC
+				a.e2eMean += r.E2EMeanMs
+				a.e2eP99 += r.E2EP99Ms
+				a.gwMean += r.GatewayMeanMs
+				for f := range r.PerFunc {
+					p := &a.perFunc[f]
+					q := r.PerFunc[f]
+					p.Name = q.Name
+					p.IPC += q.IPC
+					p.Slowdown += q.Slowdown
+					p.LocalMeanMs += q.LocalMeanMs
+					p.LocalP99Ms += q.LocalP99Ms
+					p.ArrivalQPS += q.ArrivalQPS
+					p.Rho += q.Rho
+				}
+			}
+		} else {
+			demand = bg
+		}
+
+		// 3. Advance each active SC job at 1/(D*sigma).
+		for _, a := range actives {
+			d := a.st.dep
+			fn := &d.W.Functions[a.fn]
+			sc, sio := m.slowdown(d.Placement[a.fn], m.resolveSocket(d, a.fn),
+				d.Protected, demand, a.ex, fn.Sensitivity, a.ph.SensScale)
+			sigma := totalSlowdown(sc, sio)
+			a.st.ipcSum += fn.SoloIPC / sc * dt
+			a.st.ipcTime += dt
+			a.st.progress += dt / (d.W.SoloDurationS * sigma)
+			if a.st.progress >= 1 {
+				a.st.progress = 1
+				a.st.done = true
+				a.st.jct = t + dt - d.StartDelayS
+			}
+		}
+	}
+	// Jobs that never finished within the horizon report the horizon.
+	for _, st := range states {
+		if !st.done {
+			st.jct = horizon - st.dep.StartDelayS
+			if st.jct < 0 {
+				st.jct = 0
+			}
+		}
+	}
+
+	results := make([]LSResult, len(lsDeps))
+	for i := range lsDeps {
+		a := &accs[i]
+		if a.steps == 0 {
+			// No SC step overlapped: fall back to a standalone solve.
+			sol := m.solveLS(lsDeps, nil, 0, false)
+			results[i] = sol.results[i]
+			continue
+		}
+		n := a.steps
+		r := LSResult{
+			EffQPS:        a.effQPS / n,
+			IPC:           a.ipc / n,
+			E2EMeanMs:     a.e2eMean / n,
+			E2EP99Ms:      a.e2eP99 / n,
+			GatewayMeanMs: a.gwMean / n,
+			PerFunc:       make([]FuncPerf, len(a.perFunc)),
+		}
+		for f := range a.perFunc {
+			p := a.perFunc[f]
+			r.PerFunc[f] = FuncPerf{
+				Name:        p.Name,
+				IPC:         p.IPC / n,
+				Slowdown:    p.Slowdown / n,
+				LocalMeanMs: p.LocalMeanMs / n,
+				LocalP99Ms:  p.LocalP99Ms / n,
+				ArrivalQPS:  p.ArrivalQPS / n,
+				Rho:         p.Rho / n,
+			}
+		}
+		results[i] = r
+	}
+	return states, results
+}

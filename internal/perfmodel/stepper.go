@@ -1,0 +1,216 @@
+package perfmodel
+
+import (
+	"fmt"
+
+	"gsight/internal/resources"
+	"gsight/internal/rng"
+	"gsight/internal/workload"
+)
+
+// Stepper advances a mutable scenario through time: LS deployments can
+// be added, resized and re-placed while SC/BG jobs arrive and complete.
+// It is the ground-truth engine under the platform simulation (§6.3's
+// trace-driven scheduling study), reusing the same contention model as
+// Evaluate.
+type Stepper struct {
+	m      *Model
+	now    float64
+	ls     []*Deployment
+	lsRefs []float64
+	dirty  bool
+	sc     []*scRun
+	nextID int
+}
+
+// scRun tracks one running SC/BG job.
+type scRun struct {
+	id       int
+	dep      *Deployment
+	started  float64
+	progress float64
+	done     bool
+}
+
+// CompletedJob reports a finished SC/BG job.
+type CompletedJob struct {
+	ID   int
+	Name string
+	JCTS float64
+}
+
+// StepReport is the outcome of one Step.
+type StepReport struct {
+	Now       float64
+	LS        []LSResult // aligned with LSDeployments()
+	Completed []CompletedJob
+	ActiveSC  int
+	// ServerDemand[s] is the total resource demand exerted on server s
+	// during the step (socket domains folded in) — the utilization
+	// ground truth behind Figure 11(b).
+	ServerDemand []resources.Vector
+}
+
+// NewStepper returns an empty stepper over the model's testbed.
+func (m *Model) NewStepper() *Stepper {
+	return &Stepper{m: m, dirty: true}
+}
+
+// Now returns the current simulation time in seconds.
+func (st *Stepper) Now() float64 { return st.now }
+
+// AddLS registers a latency-sensitive deployment.
+func (st *Stepper) AddLS(d *Deployment) error {
+	if d.W.Class != workload.LS {
+		return fmt.Errorf("perfmodel: AddLS on %v workload", d.W.Class)
+	}
+	if err := d.Validate(st.m.Testbed.NumServers()); err != nil {
+		return err
+	}
+	st.ls = append(st.ls, d)
+	st.dirty = true
+	return nil
+}
+
+// RemoveLS removes the named LS deployment.
+func (st *Stepper) RemoveLS(name string) bool {
+	for i, d := range st.ls {
+		if d.W.Name == name {
+			st.ls = append(st.ls[:i], st.ls[i+1:]...)
+			st.dirty = true
+			return true
+		}
+	}
+	return false
+}
+
+// LSDeployments exposes the registered LS deployments; callers may
+// mutate QPS, Replicas and Placement but must call MarkDirty afterwards
+// when placement or replica counts change.
+func (st *Stepper) LSDeployments() []*Deployment { return st.ls }
+
+// MarkDirty forces recomputation of the no-interference references
+// (needed after placement or replica changes).
+func (st *Stepper) MarkDirty() { st.dirty = true }
+
+// AddSC starts an SC/BG job now and returns its id.
+func (st *Stepper) AddSC(d *Deployment) (int, error) {
+	if d.W.Class == workload.LS {
+		return 0, fmt.Errorf("perfmodel: AddSC on LS workload")
+	}
+	if err := d.Validate(st.m.Testbed.NumServers()); err != nil {
+		return 0, err
+	}
+	st.nextID++
+	st.sc = append(st.sc, &scRun{id: st.nextID, dep: d, started: st.now})
+	return st.nextID, nil
+}
+
+// ActiveSC returns the number of running SC/BG jobs.
+func (st *Stepper) ActiveSC() int {
+	n := 0
+	for _, r := range st.sc {
+		if !r.done {
+			n++
+		}
+	}
+	return n
+}
+
+// Step advances the scenario by dt seconds and reports the LS QoS over
+// the step plus any jobs that completed. A non-nil rnd adds measurement
+// noise to the reported (not internal) values.
+func (st *Stepper) Step(dt float64, rnd *rng.Rand) *StepReport {
+	if st.dirty {
+		st.lsRefs = st.m.idealRefs(st.ls)
+		st.dirty = false
+	}
+	rep := &StepReport{Now: st.now + dt}
+
+	// Demand from active SC jobs.
+	bg := demandMap{}
+	type active struct {
+		run *scRun
+		fn  int
+		ph  workload.Phase
+		ex  resources.Vector
+	}
+	var actives []active
+	extraInstances := 0
+	for _, run := range st.sc {
+		if run.done {
+			continue
+		}
+		rep.ActiveSC++
+		fn, ph, ex := scDemand(&scState{dep: run.dep, progress: run.progress})
+		bg.add(run.dep.Placement[fn], st.m.resolveSocket(run.dep, fn), run.dep.Protected, ex)
+		actives = append(actives, active{run, fn, ph, ex})
+		for _, r := range run.dep.Replicas {
+			extraInstances += r
+		}
+	}
+
+	// LS solve against that background.
+	var demand demandMap
+	if len(st.ls) > 0 {
+		sol := st.m.solveLSWithRefs(st.ls, bg, extraInstances, false, st.lsRefs)
+		demand = sol.demand
+		rep.LS = sol.results
+		if rnd != nil {
+			for i := range rep.LS {
+				r := &rep.LS[i]
+				r.IPC = rnd.Jitter(r.IPC, st.m.Cfg.NoiseIPC)
+				r.E2EMeanMs = rnd.Jitter(r.E2EMeanMs, st.m.Cfg.NoiseMean)
+				r.E2EP99Ms = rnd.Jitter(r.E2EP99Ms, st.m.Cfg.NoiseP99)
+			}
+		}
+	} else {
+		demand = bg
+	}
+
+	// Aggregate per-server demand for utilization reporting.
+	rep.ServerDemand = make([]resources.Vector, st.m.Testbed.NumServers())
+	for key, v := range demand {
+		if key.server < 0 || key.server >= len(rep.ServerDemand) {
+			continue
+		}
+		cur := rep.ServerDemand[key.server]
+		for k := 0; k < int(resources.NumKinds); k++ {
+			if socketScoped(resources.Kind(k)) == (key.socket >= 0) {
+				cur[k] += v[k]
+			}
+		}
+		rep.ServerDemand[key.server] = cur
+	}
+
+	// Advance SC jobs.
+	for _, a := range actives {
+		d := a.run.dep
+		fn := &d.W.Functions[a.fn]
+		sc, sio := st.m.slowdown(d.Placement[a.fn], st.m.resolveSocket(d, a.fn),
+			d.Protected, demand, a.ex, fn.Sensitivity, a.ph.SensScale)
+		sigma := totalSlowdown(sc, sio)
+		a.run.progress += dt / (d.W.SoloDurationS * sigma)
+		if a.run.progress >= 1 {
+			a.run.done = true
+			jct := st.now + dt - a.run.started
+			if rnd != nil {
+				jct = rnd.Jitter(jct, st.m.Cfg.NoiseJCT)
+			}
+			rep.Completed = append(rep.Completed, CompletedJob{
+				ID: a.run.id, Name: d.W.Name, JCTS: jct,
+			})
+		}
+	}
+	// Garbage-collect completed runs.
+	alive := st.sc[:0]
+	for _, run := range st.sc {
+		if !run.done {
+			alive = append(alive, run)
+		}
+	}
+	st.sc = alive
+
+	st.now += dt
+	return rep
+}

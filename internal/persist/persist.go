@@ -1,0 +1,176 @@
+// Package persist serializes the artifacts a production deployment of
+// Gsight keeps across restarts: solo-run profile stores (profiling is
+// a one-time cost the paper amortizes, §6.4), calibrated latency-IPC
+// curves, labeled datasets, and trained random-forest models. Formats
+// are plain JSON — inspectable, diffable, stdlib-only.
+package persist
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"gsight/internal/metrics"
+	"gsight/internal/ml"
+	"gsight/internal/profile"
+	"gsight/internal/resources"
+	"gsight/internal/sched"
+)
+
+// profileJSON is the stable on-disk form of a profile.
+type profileJSON struct {
+	Workload string    `json:"workload"`
+	Function string    `json:"function"`
+	Metrics  []float64 `json:"metrics"`
+	Demand   []float64 `json:"demand"`
+	Alloc    []float64 `json:"alloc"`
+}
+
+func toProfileJSON(p profile.Profile) profileJSON {
+	return profileJSON{
+		Workload: p.Workload,
+		Function: p.Function,
+		Metrics:  p.Metrics[:],
+		Demand:   p.Demand[:],
+		Alloc:    p.Alloc[:],
+	}
+}
+
+func fromProfileJSON(j profileJSON) (profile.Profile, error) {
+	var p profile.Profile
+	if len(j.Metrics) != int(metrics.NumCandidates) {
+		return p, fmt.Errorf("persist: profile %s/%s has %d metrics, want %d",
+			j.Workload, j.Function, len(j.Metrics), metrics.NumCandidates)
+	}
+	if len(j.Demand) != int(resources.NumKinds) || len(j.Alloc) != int(resources.NumKinds) {
+		return p, fmt.Errorf("persist: profile %s/%s has malformed resource vectors", j.Workload, j.Function)
+	}
+	p.Workload = j.Workload
+	p.Function = j.Function
+	copy(p.Metrics[:], j.Metrics)
+	copy(p.Demand[:], j.Demand)
+	copy(p.Alloc[:], j.Alloc)
+	return p, nil
+}
+
+// storeJSON is the on-disk profile store.
+type storeJSON struct {
+	Version   int                      `json:"version"`
+	Workloads map[string][]profileJSON `json:"workloads"`
+}
+
+// SaveStore writes a profile store as JSON.
+func SaveStore(w io.Writer, s *profile.Store, workloads []string) error {
+	out := storeJSON{Version: 1, Workloads: map[string][]profileJSON{}}
+	for _, name := range workloads {
+		ps, ok := s.Get(name)
+		if !ok {
+			return fmt.Errorf("persist: workload %q not in store", name)
+		}
+		js := make([]profileJSON, len(ps))
+		for i, p := range ps {
+			js[i] = toProfileJSON(p)
+		}
+		out.Workloads[name] = js
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// LoadStore reads a profile store from JSON.
+func LoadStore(r io.Reader) (*profile.Store, error) {
+	var in storeJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("persist: decode store: %w", err)
+	}
+	if in.Version != 1 {
+		return nil, fmt.Errorf("persist: unsupported store version %d", in.Version)
+	}
+	s := profile.NewStore()
+	for name, js := range in.Workloads {
+		ps := make([]profile.Profile, len(js))
+		for i, j := range js {
+			p, err := fromProfileJSON(j)
+			if err != nil {
+				return nil, err
+			}
+			ps[i] = p
+		}
+		s.Put(name, ps)
+	}
+	return s, nil
+}
+
+// SaveStoreFile and LoadStoreFile are file-path conveniences.
+func SaveStoreFile(path string, s *profile.Store, workloads []string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return SaveStore(f, s, workloads)
+}
+
+// LoadStoreFile reads a profile store from a file.
+func LoadStoreFile(path string) (*profile.Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadStore(f)
+}
+
+// curveJSON is the on-disk latency-IPC curve.
+type curveJSON struct {
+	Version int                `json:"version"`
+	Points  []sched.CurvePoint `json:"points"`
+}
+
+// SaveCurve writes a calibrated curve as JSON.
+func SaveCurve(w io.Writer, c *sched.Curve) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(curveJSON{Version: 1, Points: c.Points()})
+}
+
+// LoadCurve reads a curve from JSON.
+func LoadCurve(r io.Reader) (*sched.Curve, error) {
+	var in curveJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("persist: decode curve: %w", err)
+	}
+	if in.Version != 1 {
+		return nil, fmt.Errorf("persist: unsupported curve version %d", in.Version)
+	}
+	return sched.NewCurve(in.Points), nil
+}
+
+// datasetJSON is the on-disk labeled dataset.
+type datasetJSON struct {
+	Version int         `json:"version"`
+	X       [][]float64 `json:"x"`
+	Y       []float64   `json:"y"`
+}
+
+// SaveDataset writes a labeled dataset as JSON.
+func SaveDataset(w io.Writer, ds *ml.Dataset) error {
+	return json.NewEncoder(w).Encode(datasetJSON{Version: 1, X: ds.X, Y: ds.Y})
+}
+
+// LoadDataset reads a labeled dataset from JSON.
+func LoadDataset(r io.Reader) (*ml.Dataset, error) {
+	var in datasetJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("persist: decode dataset: %w", err)
+	}
+	if in.Version != 1 {
+		return nil, fmt.Errorf("persist: unsupported dataset version %d", in.Version)
+	}
+	if len(in.X) != len(in.Y) {
+		return nil, fmt.Errorf("persist: dataset X/Y length mismatch (%d vs %d)", len(in.X), len(in.Y))
+	}
+	return &ml.Dataset{X: in.X, Y: in.Y}, nil
+}

@@ -1,0 +1,136 @@
+package persist
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gsight/internal/ml"
+	"gsight/internal/profile"
+	"gsight/internal/resources"
+	"gsight/internal/rng"
+	"gsight/internal/sched"
+	"gsight/internal/workload"
+)
+
+func TestStoreRoundTrip(t *testing.T) {
+	spec := resources.DefaultServerSpec("t")
+	s := profile.NewStore()
+	s.ProfileWorkload(workload.SocialNetwork(), spec, nil)
+	s.ProfileWorkload(workload.MatMul(), spec, nil)
+
+	var buf bytes.Buffer
+	if err := SaveStore(&buf, s, []string{"social-network", "matmul"}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadStore(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, _ := s.Get("social-network")
+	loaded, ok := got.Get("social-network")
+	if !ok || len(loaded) != len(orig) {
+		t.Fatalf("round trip lost profiles: %d vs %d", len(loaded), len(orig))
+	}
+	for i := range orig {
+		if orig[i].Metrics != loaded[i].Metrics {
+			t.Fatalf("profile %d metrics differ after round trip", i)
+		}
+		if orig[i].Alloc != loaded[i].Alloc || orig[i].Demand != loaded[i].Demand {
+			t.Fatalf("profile %d resources differ after round trip", i)
+		}
+	}
+}
+
+func TestSaveStoreMissingWorkload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SaveStore(&buf, profile.NewStore(), []string{"ghost"}); err == nil {
+		t.Fatal("missing workload must error")
+	}
+}
+
+func TestLoadStoreRejectsMalformed(t *testing.T) {
+	cases := []string{
+		`not json`,
+		`{"version": 2, "workloads": {}}`,
+		`{"version": 1, "workloads": {"x": [{"workload":"x","function":"f","metrics":[1,2],"demand":[],"alloc":[]}]}}`,
+	}
+	for _, c := range cases {
+		if _, err := LoadStore(strings.NewReader(c)); err == nil {
+			t.Fatalf("malformed store %q accepted", c[:20])
+		}
+	}
+}
+
+func TestStoreFileHelpers(t *testing.T) {
+	spec := resources.DefaultServerSpec("t")
+	s := profile.NewStore()
+	s.ProfileWorkload(workload.DD(), spec, nil)
+	path := filepath.Join(t.TempDir(), "store.json")
+	if err := SaveStoreFile(path, s, []string{"dd"}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadStoreFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := got.Get("dd"); !ok {
+		t.Fatal("file round trip lost workload")
+	}
+	if _, err := LoadStoreFile(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Fatal("missing file must error")
+	}
+}
+
+func TestCurveRoundTrip(t *testing.T) {
+	c := sched.NewCurve([]sched.CurvePoint{
+		{IPC: 1.0, P99Ms: 300}, {IPC: 1.1, P99Ms: 150}, {IPC: 1.2, P99Ms: 100},
+	})
+	var buf bytes.Buffer
+	if err := SaveCurve(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCurve(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Points()) != 3 {
+		t.Fatalf("points = %d", len(got.Points()))
+	}
+	a, okA := c.MinIPCFor(200)
+	b, okB := got.MinIPCFor(200)
+	if okA != okB || a != b {
+		t.Fatalf("curve behaviour changed after round trip: %v/%v vs %v/%v", a, okA, b, okB)
+	}
+	if _, err := LoadCurve(strings.NewReader(`{"version":9}`)); err == nil {
+		t.Fatal("bad version must error")
+	}
+}
+
+func TestDatasetRoundTrip(t *testing.T) {
+	ds := &ml.Dataset{}
+	r := rng.New(1)
+	for i := 0; i < 50; i++ {
+		ds.Append([]float64{r.Float64(), r.Float64()}, r.Float64())
+	}
+	var buf bytes.Buffer
+	if err := SaveDataset(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadDataset(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 50 {
+		t.Fatalf("dataset length = %d", got.Len())
+	}
+	for i := range ds.Y {
+		if ds.Y[i] != got.Y[i] || ds.X[i][0] != got.X[i][0] {
+			t.Fatal("dataset contents changed")
+		}
+	}
+	if _, err := LoadDataset(strings.NewReader(`{"version":1,"x":[[1]],"y":[]}`)); err == nil {
+		t.Fatal("mismatched X/Y must error")
+	}
+}

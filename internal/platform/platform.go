@@ -1,0 +1,564 @@
+// Package platform simulates an OpenFaaS-style serverless platform over
+// the model testbed for the paper's scheduling case study (§6.3):
+// trace-driven latency-sensitive services with autoscaling, arriving
+// SC/BG jobs, a pluggable scheduler, ground-truth QoS from the
+// performance model, and SLA monitoring with reactive spreading on
+// persistent violations. It produces the density/utilization series of
+// Figure 11, the SLA guarantee ratios of Figure 12 and the operational
+// counters behind Figure 14.
+package platform
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"gsight/internal/core"
+	"gsight/internal/perfmodel"
+	"gsight/internal/profile"
+	"gsight/internal/resources"
+	"gsight/internal/rng"
+	"gsight/internal/sched"
+	"gsight/internal/sim"
+	"gsight/internal/trace"
+	"gsight/internal/workload"
+)
+
+// LSService describes one long-running latency-sensitive service.
+type LSService struct {
+	W       *workload.Workload
+	Pattern trace.Pattern
+	// SLA is the admission contract (IPC floor from the Figure 7
+	// transform); the runtime check still uses the raw p99 target.
+	SLA sched.SLA
+}
+
+// Config parameterizes a platform run.
+type Config struct {
+	Model     *perfmodel.Model
+	Scheduler sched.Scheduler
+	// Services are the resident LS workloads.
+	Services []LSService
+	// SCPool are the batch jobs submitted over time.
+	SCPool []*workload.Workload
+	// SCMeanIntervalS is the mean seconds between job submissions.
+	SCMeanIntervalS float64
+	// DurationS and StepS control the simulated horizon.
+	DurationS float64
+	StepS     float64
+	// ViolationPatience is how many consecutive SLA-violating steps
+	// trigger a reactive spread of the worst function.
+	ViolationPatience int
+	Seed              uint64
+	// Predictor, when set, receives online observations (incremental
+	// learning during operation).
+	Predictor core.QoSPredictor
+	// ObserveEvery throttles online observations (steps).
+	ObserveEvery int
+}
+
+// Stats aggregates a run's outcomes.
+type Stats struct {
+	SchedulerName string
+	// Per-step series (Figure 11 CDFs are built from these).
+	Density []float64 // function instances per active core
+	CPUUtil []float64 // demand / capacity over active servers
+	MemUtil []float64 // allocated memory / capacity over active servers
+	// GoodDensity discounts each step's density by the fraction of LS
+	// services inside their SLA — density is only worth what it does
+	// not cost in QoS ("improve function density while guaranteeing
+	// the QoS", the paper's abstract).
+	GoodDensity []float64
+	// ActiveServers is the per-step count of servers with any load.
+	ActiveServers []float64
+	// SLAOK[name] marks the steps whose measured p99 honoured the SLA
+	// (Figure 12).
+	SLAOK map[string][]bool
+	// JCTs of completed batch jobs by workload name.
+	JCTs map[string][]float64
+	// Operational counters (Figure 14 inputs).
+	ColdStarts     int
+	Migrations     int // reactive moves after persistent SLA violations
+	Reschedules    int // placement changes during scale-out
+	Placements     int
+	RejectedJobs   int
+	SchedulingTime time.Duration // wall-clock spent in Place()
+	Steps          int
+}
+
+// SLARatio returns the fraction of steps within SLA for a service.
+func (s *Stats) SLARatio(name string) float64 {
+	oks := s.SLAOK[name]
+	if len(oks) == 0 {
+		return 0
+	}
+	n := 0
+	for _, ok := range oks {
+		if ok {
+			n++
+		}
+	}
+	return float64(n) / float64(len(oks))
+}
+
+// serviceState is the platform's runtime record of one LS service.
+type serviceState struct {
+	svc        LSService
+	dep        *perfmodel.Deployment
+	profiles   []profile.Profile
+	violations int
+	// cooldown pins the placement for a while after a reactive
+	// spread, so a scheduler whose predictions caused the violation
+	// cannot immediately re-pack into the same hotspot. Accurate
+	// predictors rarely violate and therefore keep their packing
+	// freedom — the mechanism that turns prediction quality into
+	// density (Figure 11).
+	cooldown int
+}
+
+// Run executes the simulation and returns its stats.
+func Run(cfg Config) (*Stats, error) {
+	if cfg.StepS <= 0 {
+		cfg.StepS = 30
+	}
+	if cfg.DurationS <= 0 {
+		cfg.DurationS = 86400
+	}
+	if cfg.ViolationPatience <= 0 {
+		cfg.ViolationPatience = 3
+	}
+	if cfg.ObserveEvery <= 0 {
+		cfg.ObserveEvery = 10
+	}
+	m := cfg.Model
+	stepper := m.NewStepper()
+	noise := rng.Stream(cfg.Seed, "platform-noise")
+	rnd := rng.Stream(cfg.Seed, "platform")
+	spec := m.Testbed.Servers[0]
+
+	stats := &Stats{
+		SchedulerName: cfg.Scheduler.Name(),
+		SLAOK:         make(map[string][]bool),
+		JCTs:          make(map[string][]float64),
+	}
+
+	state := sched.StateFromProfiles(spec, m.Testbed.NumServers())
+
+	// Deploy the resident services through the scheduler.
+	services := make([]*serviceState, 0, len(cfg.Services))
+	for _, svc := range cfg.Services {
+		ps := profile.WorkloadProfiles(svc.W, spec, rnd.Split())
+		dep := perfmodel.NewDeployment(svc.W)
+		for f := range dep.Socket {
+			dep.Socket[f] = -1
+		}
+		dep.QPS = svc.Pattern.RateAt(0)
+		for f := range dep.Replicas {
+			dep.Replicas[f] = perfmodel.LSReplicasFor(svc.W, f, dep.QPS*1.1)
+		}
+		in := inputFor(svc.W, dep, ps)
+		req := &sched.Request{Input: in, SLA: svc.SLA}
+		t0 := time.Now()
+		placement, err := cfg.Scheduler.Place(state, req)
+		stats.SchedulingTime += time.Since(t0)
+		stats.Placements++
+		if err != nil {
+			return nil, fmt.Errorf("platform: deploying %s: %w", svc.W.Name, err)
+		}
+		copy(dep.Placement, placement)
+		in.Placement = placement
+		state.Commit(in, svc.SLA)
+		if err := stepper.AddLS(dep); err != nil {
+			return nil, err
+		}
+		for _, r := range dep.Replicas {
+			stats.ColdStarts += r
+		}
+		services = append(services, &serviceState{svc: svc, dep: dep, profiles: ps})
+	}
+
+	// Batch job arrival schedule on the event engine.
+	var engine sim.Engine
+	activeSC := map[int]*scActive{}
+	scProfiles := map[string][]profile.Profile{}
+	submitJob := func() {
+		w := cfg.SCPool[rnd.Intn(len(cfg.SCPool))].Clone()
+		ps, ok := scProfiles[w.Name]
+		if !ok {
+			ps = profile.WorkloadProfiles(w, spec, rnd.Split())
+			scProfiles[w.Name] = ps
+		}
+		dep := perfmodel.NewDeployment(w)
+		for f := range dep.Socket {
+			dep.Socket[f] = -1
+		}
+		in := inputFor(w, dep, ps)
+		sla := sched.SLA{}
+		if w.Class == workload.SC {
+			sla.MaxJCTFactor = 2.0
+		}
+		req := &sched.Request{Input: in, SLA: sla, SoloDurationS: w.SoloDurationS}
+		t0 := time.Now()
+		placement, err := cfg.Scheduler.Place(state, req)
+		stats.SchedulingTime += time.Since(t0)
+		stats.Placements++
+		if err != nil {
+			stats.RejectedJobs++
+			return
+		}
+		copy(dep.Placement, placement)
+		in.Placement = placement
+		// unique run name for release bookkeeping
+		in.Name = fmt.Sprintf("%s#%d", w.Name, stats.Placements)
+		state.Commit(in, sla)
+		id, err := stepper.AddSC(dep)
+		if err != nil {
+			state.Release(in.Name)
+			stats.RejectedJobs++
+			return
+		}
+		for _, r := range dep.Replicas {
+			stats.ColdStarts += r
+		}
+		activeSC[id] = &scActive{id: id, input: in, sla: sla, dep: dep}
+	}
+	if len(cfg.SCPool) > 0 && cfg.SCMeanIntervalS > 0 {
+		for _, t := range trace.JobArrivals(cfg.SCMeanIntervalS, 0, cfg.DurationS, rnd.Split()) {
+			engine.At(t, submitJob)
+		}
+	}
+
+	coresPerServer := spec.Capacity[resources.CPU]
+	step := 0
+	for now := 0.0; now < cfg.DurationS; now += cfg.StepS {
+		engine.RunUntil(now) // fire job submissions due by now
+		step++
+
+		// Autoscaling: track the trace. Scale-out re-places the
+		// workload through the scheduler — the paper's trigger
+		// ("whenever ... a previously submitted workload scales
+		// beyond the current function instances").
+		for _, ss := range services {
+			qps := ss.svc.Pattern.Sample(now, rnd)
+			if qps > ss.svc.W.MaxQPS {
+				qps = ss.svc.W.MaxQPS
+			}
+			ss.dep.QPS = qps
+			changed := false
+			for f := range ss.dep.Replicas {
+				want := perfmodel.LSReplicasFor(ss.svc.W, f, qps*1.1)
+				if want != ss.dep.Replicas[f] {
+					if want > ss.dep.Replicas[f] {
+						stats.ColdStarts += want - ss.dep.Replicas[f]
+					}
+					ss.dep.Replicas[f] = want
+					changed = true
+				}
+			}
+			if ss.cooldown > 0 {
+				ss.cooldown--
+			}
+			// Any replica change triggers a re-placement pass (the
+			// paper reschedules on scale-out, and notes load drops
+			// "can further optimize resource efficiency by
+			// rescheduling the existing instances") unless the
+			// service is pinned after a reactive spread.
+			if changed && ss.cooldown == 0 {
+				// Release our own allocation before asking for a
+				// placement so the scheduler sees the true headroom.
+				state.Release(ss.svc.W.Name)
+				in := inputFor(ss.svc.W, ss.dep, ss.profiles)
+				req := &sched.Request{Input: in, SLA: ss.svc.SLA}
+				t0 := time.Now()
+				placement, err := cfg.Scheduler.Place(state, req)
+				stats.SchedulingTime += time.Since(t0)
+				stats.Placements++
+				if err == nil {
+					for f := range placement {
+						if placement[f] != ss.dep.Placement[f] {
+							stats.Reschedules++
+							stats.ColdStarts += ss.dep.Replicas[f]
+						}
+					}
+					copy(ss.dep.Placement, placement)
+				}
+			}
+			if changed {
+				stepper.MarkDirty()
+				refreshState(state, services, activeSC)
+			}
+		}
+
+		rep := stepper.Step(cfg.StepS, noise.Split())
+
+		// SLA monitoring + reactive spreading.
+		for i, ss := range services {
+			r := rep.LS[i]
+			ok := ss.svc.W.SLAp99Ms <= 0 || r.E2EP99Ms <= ss.svc.W.SLAp99Ms
+			stats.SLAOK[ss.svc.W.Name] = append(stats.SLAOK[ss.svc.W.Name], ok)
+			// The reactive controller tolerates a 5% band over the SLA
+			// so measurement noise cannot trigger spreads by itself.
+			controlOK := ss.svc.W.SLAp99Ms <= 0 || r.E2EP99Ms <= ss.svc.W.SLAp99Ms*1.05
+			if controlOK {
+				ss.violations = 0
+			} else {
+				ss.violations++
+				if ss.violations >= cfg.ViolationPatience {
+					// Reactive control, in the paper's Observation 5
+					// shape: first move the corunner — evict a batch
+					// job sharing the hottest function's server —
+					// and only spread the service itself when no
+					// corunner is to blame. Either way the move is
+					// the density price of crossing the SLA, paid
+					// most often by inaccurate predictors.
+					hot := ss.dep.Placement[worstFuncs(r, 1)[0]]
+					if evictSC(state, activeSC, hot) {
+						stats.Migrations++
+						if n := migrateWorst(m, state, ss, r, 1); n > 0 {
+							stats.Migrations += n
+							stats.ColdStarts += n
+						}
+						ss.cooldown = 20
+						stepper.MarkDirty()
+						refreshState(state, services, activeSC)
+					} else if n := migrateWorst(m, state, ss, r, 3); n > 0 {
+						stats.Migrations += n
+						stats.ColdStarts += n
+						ss.cooldown = 40
+						stepper.MarkDirty()
+						refreshState(state, services, activeSC)
+					}
+					ss.violations = 0
+				}
+			}
+			// Online learning feedback.
+			if cfg.Predictor != nil && step%cfg.ObserveEvery == 0 {
+				inputs := snapshotInputs(services, activeSC)
+				_ = cfg.Predictor.Observe(core.IPCQoS, i, inputs, r.IPC)
+			}
+		}
+
+		// Completed jobs leave the cluster.
+		for _, done := range rep.Completed {
+			if a, ok := activeSC[done.ID]; ok {
+				state.Release(a.input.Name)
+				delete(activeSC, done.ID)
+			}
+			stats.JCTs[done.Name] = append(stats.JCTs[done.Name], done.JCTS)
+		}
+
+		// Metrics.
+		instances := 0
+		for _, ss := range services {
+			for _, r := range ss.dep.Replicas {
+				instances += r
+			}
+		}
+		instances += countSCInstances(activeSC)
+		activeServers, cpuDem, memAlloc := 0, 0.0, 0.0
+		for s, d := range rep.ServerDemand {
+			if d.IsZero() && state.Used[s].IsZero() {
+				continue
+			}
+			activeServers++
+			cpuDem += d[resources.CPU]
+			memAlloc += state.Used[s][resources.Memory]
+		}
+		if activeServers > 0 {
+			activeCores := float64(activeServers) * coresPerServer
+			density := float64(instances) / activeCores
+			stats.Density = append(stats.Density, density)
+			stats.CPUUtil = append(stats.CPUUtil, cpuDem/activeCores)
+			stats.MemUtil = append(stats.MemUtil,
+				memAlloc/(float64(activeServers)*spec.Capacity[resources.Memory]))
+			okFrac, nSLA := 0.0, 0
+			for i, ss := range services {
+				if ss.svc.W.SLAp99Ms <= 0 {
+					continue
+				}
+				nSLA++
+				if rep.LS[i].E2EP99Ms <= ss.svc.W.SLAp99Ms {
+					okFrac++
+				}
+			}
+			if nSLA > 0 {
+				okFrac /= float64(nSLA)
+			} else {
+				okFrac = 1
+			}
+			stats.GoodDensity = append(stats.GoodDensity, density*okFrac)
+			stats.ActiveServers = append(stats.ActiveServers, float64(activeServers))
+		}
+	}
+	stats.Steps = step
+	return stats, nil
+}
+
+// inputFor builds the scheduler-visible input of a deployment.
+func inputFor(w *workload.Workload, dep *perfmodel.Deployment, ps []profile.Profile) core.WorkloadInput {
+	in := core.WorkloadInput{
+		Name:      w.Name,
+		Class:     w.Class,
+		Profiles:  ps,
+		Placement: append([]int(nil), dep.Placement...),
+		Replicas:  append([]int(nil), dep.Replicas...),
+	}
+	if w.Class == workload.LS {
+		in.QPSFrac = perfmodel.LoadFactor(dep)
+	} else {
+		in.LifetimeS = w.SoloDurationS
+	}
+	return in
+}
+
+// refreshState rebuilds the scheduler state's bookkeeping after replica
+// or placement changes.
+func refreshState(state *sched.State, services []*serviceState, activeSC map[int]*scActive) {
+	for s := range state.Used {
+		state.Used[s] = resources.Vector{}
+	}
+	state.Running = state.Running[:0]
+	for _, ss := range services {
+		in := inputFor(ss.svc.W, ss.dep, ss.profiles)
+		state.Commit(in, ss.svc.SLA)
+	}
+	for _, a := range activeSC {
+		state.Commit(a.input, a.sla)
+	}
+}
+
+type scActive struct {
+	id    int
+	input core.WorkloadInput
+	sla   sched.SLA
+	dep   *perfmodel.Deployment
+}
+
+func countSCInstances(activeSC map[int]*scActive) int {
+	n := 0
+	for _, a := range activeSC {
+		if a.input.Replicas == nil {
+			n += len(a.input.Profiles)
+			continue
+		}
+		for _, r := range a.input.Replicas {
+			n += r
+		}
+	}
+	return n
+}
+
+func snapshotInputs(services []*serviceState, activeSC map[int]*scActive) []core.WorkloadInput {
+	inputs := make([]core.WorkloadInput, 0, len(services)+len(activeSC))
+	for _, ss := range services {
+		inputs = append(inputs, inputFor(ss.svc.W, ss.dep, ss.profiles))
+	}
+	for _, a := range activeSC {
+		inputs = append(inputs, a.input)
+	}
+	return inputs
+}
+
+// worstFuncs returns up to n function indices ordered by local p99,
+// worst first — the migration candidates.
+func worstFuncs(r perfmodel.LSResult, n int) []int {
+	idx := make([]int, len(r.PerFunc))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return r.PerFunc[idx[a]].LocalP99Ms > r.PerFunc[idx[b]].LocalP99Ms
+	})
+	if n > len(idx) {
+		n = len(idx)
+	}
+	return idx[:n]
+}
+
+// migrateWorst spreads the n worst functions of a violating service to
+// the emptiest servers — the platform's reactive control. It returns
+// how many functions moved.
+func migrateWorst(m *perfmodel.Model, state *sched.State, ss *serviceState, r perfmodel.LSResult, n int) int {
+	moved := 0
+	taken := map[int]bool{}
+	// Prefer relieving pressure within the already-active fleet: waking
+	// a dormant server is the last resort, so reactive control does not
+	// silently destroy consolidation.
+	pick := func(activeOnly bool) int {
+		best, bestFree := -1, -1.0
+		for s := range state.Caps {
+			if taken[s] {
+				continue
+			}
+			if activeOnly && state.Used[s].IsZero() {
+				continue
+			}
+			free := state.Free(s)[resources.CPU]
+			if free > bestFree {
+				best, bestFree = s, free
+			}
+		}
+		return best
+	}
+	for _, f := range worstFuncs(r, n) {
+		best := pick(true)
+		if best == -1 || best == ss.dep.Placement[f] {
+			if alt := pick(false); alt != -1 && alt != ss.dep.Placement[f] {
+				best = alt
+			}
+		}
+		if best == -1 {
+			continue
+		}
+		taken[best] = true
+		if best == ss.dep.Placement[f] {
+			continue
+		}
+		ss.dep.Placement[f] = best
+		moved++
+	}
+	return moved
+}
+
+// evictSC moves one batch job off the hot server onto the emptiest
+// other server — the paper's "move the corunner to another socket"
+// control at cluster granularity. It reports whether a job moved.
+func evictSC(state *sched.State, activeSC map[int]*scActive, hot int) bool {
+	// Pick the largest co-located batch job (by CPU allocation).
+	var victim *scActive
+	victimCPU := 0.0
+	for _, a := range activeSC {
+		onHot := false
+		cpu := 0.0
+		for f := range a.input.Profiles {
+			if a.dep.Placement[f] == hot {
+				onHot = true
+			}
+			cpu += sched.AllocOf(&a.input, f)[resources.CPU]
+		}
+		if onHot && cpu > victimCPU {
+			victim, victimCPU = a, cpu
+		}
+	}
+	if victim == nil {
+		return false
+	}
+	best, bestFree := -1, -1.0
+	for s := range state.Caps {
+		if s == hot {
+			continue
+		}
+		free := state.Free(s)[resources.CPU]
+		if free > bestFree {
+			best, bestFree = s, free
+		}
+	}
+	if best == -1 {
+		return false
+	}
+	for f := range victim.dep.Placement {
+		victim.dep.Placement[f] = best
+		victim.input.Placement[f] = best
+	}
+	return true
+}

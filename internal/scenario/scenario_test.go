@@ -1,0 +1,196 @@
+package scenario
+
+import (
+	"testing"
+
+	"gsight/internal/core"
+	"gsight/internal/perfmodel"
+	"gsight/internal/profile"
+	"gsight/internal/resources"
+	"gsight/internal/workload"
+)
+
+func newGen(seed uint64) *Generator {
+	m := perfmodel.New(resources.DefaultTestbed())
+	FastConfig(m)
+	return NewGenerator(m, seed)
+}
+
+func TestGeneratorProfilesPools(t *testing.T) {
+	g := newGen(1)
+	if g.Store.Len() != len(g.LSPool)+len(g.SCPool) {
+		t.Fatalf("profiled %d workloads, want %d", g.Store.Len(), len(g.LSPool)+len(g.SCPool))
+	}
+	for _, w := range g.PoolWorkloads() {
+		ps, ok := g.Store.Get(w.Name)
+		if !ok || len(ps) != len(w.Functions) {
+			t.Fatalf("workload %q not fully profiled", w.Name)
+		}
+	}
+}
+
+func TestColocationKinds(t *testing.T) {
+	g := newGen(2)
+	for _, kind := range []core.ColocationKind{core.LSLS, core.LSSC, core.SCSC} {
+		sc := g.Colocation(kind, 3)
+		if len(sc.Deployments) != 3 {
+			t.Fatalf("%v: deployments = %d", kind, len(sc.Deployments))
+		}
+		hasLS, hasSC := false, false
+		for _, d := range sc.Deployments {
+			if d.W.Class == workload.LS {
+				hasLS = true
+			} else {
+				hasSC = true
+			}
+			if err := d.Validate(8); err != nil {
+				t.Fatalf("%v: invalid deployment: %v", kind, err)
+			}
+		}
+		switch kind {
+		case core.LSLS:
+			if hasSC {
+				t.Fatal("LSLS scenario contains SC")
+			}
+		case core.SCSC:
+			if hasLS {
+				t.Fatal("SCSC scenario contains LS")
+			}
+		case core.LSSC:
+			if !hasLS || !hasSC {
+				t.Fatal("LSSC scenario missing a class")
+			}
+		}
+	}
+}
+
+func TestColocationClampsK(t *testing.T) {
+	g := newGen(3)
+	if got := len(g.Colocation(core.LSLS, 1).Deployments); got != 2 {
+		t.Fatalf("k<2 should clamp to 2, got %d", got)
+	}
+	if got := len(g.Colocation(core.LSLS, 99).Deployments); got != g.MaxColocated {
+		t.Fatalf("k>max should clamp to %d, got %d", g.MaxColocated, got)
+	}
+}
+
+func TestLabelEmitsSamples(t *testing.T) {
+	g := newGen(4)
+	sc := g.Colocation(core.LSSC, 2)
+	samples, err := g.Label(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) == 0 {
+		t.Fatal("no samples")
+	}
+	for _, s := range samples {
+		if s.Label <= 0 {
+			t.Fatalf("non-positive label %v for %v", s.Label, s.Kind)
+		}
+		if s.Target < 0 || s.Target >= len(s.Inputs) {
+			t.Fatal("target out of range")
+		}
+		if s.Inputs[s.Target].Class == workload.BG {
+			t.Fatal("BG workloads must not be predicted (the paper skips them)")
+		}
+	}
+}
+
+func TestDatasetEncodesAllKinds(t *testing.T) {
+	g := newGen(5)
+	coder := core.DefaultCoder()
+	ds, err := g.Dataset(coder, core.LSSC, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds[core.IPCQoS].Len() == 0 {
+		t.Fatal("no IPC samples")
+	}
+	for kind, d := range ds {
+		for i, x := range d.X {
+			if len(x) != coder.Dim() {
+				t.Fatalf("%v sample %d has dim %d", kind, i, len(x))
+			}
+		}
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	a := newGen(7)
+	b := newGen(7)
+	sa := a.Colocation(core.LSSC, 3)
+	sb := b.Colocation(core.LSSC, 3)
+	if len(sa.Deployments) != len(sb.Deployments) {
+		t.Fatal("scenario sizes differ")
+	}
+	for i := range sa.Deployments {
+		da, db := sa.Deployments[i], sb.Deployments[i]
+		if da.W.Name != db.W.Name || da.QPS != db.QPS || da.StartDelayS != db.StartDelayS {
+			t.Fatalf("deployment %d differs: %s/%s", i, da.W.Name, db.W.Name)
+		}
+	}
+	la, err := a.Label(sa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, err := b.Label(sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range la {
+		if la[i].Label != lb[i].Label {
+			t.Fatalf("labels differ at %d: %v vs %v", i, la[i].Label, lb[i].Label)
+		}
+	}
+}
+
+func TestInputFrom(t *testing.T) {
+	g := newGen(8)
+	sn := workload.SocialNetwork()
+	d := perfmodel.SpreadDeployment(sn, g.Model.Testbed)
+	d.QPS = 300
+	ps, _ := g.Store.Get(sn.Name)
+	in := InputFrom(d, ps)
+	if in.Name != "social-network" || in.Class != workload.LS {
+		t.Fatal("identity wrong")
+	}
+	if in.QPSFrac != 0.5 {
+		t.Fatalf("QPSFrac = %v, want 0.5", in.QPSFrac)
+	}
+	if in.LifetimeS != 0 {
+		t.Fatal("LS lifetime must be 0")
+	}
+	// Mutating the input must not touch the deployment.
+	in.Placement[0] = 7
+	if d.Placement[0] == 7 {
+		t.Fatal("InputFrom aliases placement")
+	}
+
+	mm := perfmodel.NewDeployment(workload.MatMul())
+	mm.StartDelayS = 30
+	mps, _ := g.Store.Get("matmul")
+	min := InputFrom(mm, mps)
+	if min.LifetimeS != 180 || min.StartDelayS != 30 {
+		t.Fatalf("SC temporal fields wrong: %v %v", min.LifetimeS, min.StartDelayS)
+	}
+}
+
+func TestInputWorkloadLevel(t *testing.T) {
+	g := newGen(9)
+	sn := workload.SocialNetwork()
+	d := perfmodel.SpreadDeployment(sn, g.Model.Testbed)
+	d.QPS = 300
+	ps, _ := g.Store.Get(sn.Name)
+	merged := profileMerged(ps)
+	in := InputWorkloadLevel(d, merged)
+	if len(in.Profiles) != 1 || len(in.Placement) != 1 {
+		t.Fatal("workload-level input must be monolithic")
+	}
+	if in.Placement[0] != d.Placement[sn.Entry] {
+		t.Fatal("monolith must sit at the entry's server")
+	}
+}
+
+// profileMerged avoids importing profile under a clashing name.
+func profileMerged(ps []profile.Profile) profile.Profile { return profile.Merged(ps) }

@@ -1,0 +1,143 @@
+// Package sched implements the scheduling case study of §4: a
+// density-maximizing, SLA-guarding scheduler that searches placements
+// with Gsight's predictor (binary-search spatial overlap), plus the
+// Best Fit policy Pythia pairs with and the Worst Fit strawman.
+package sched
+
+import (
+	"sort"
+
+	"gsight/internal/perfmodel"
+	"gsight/internal/rng"
+	"gsight/internal/workload"
+)
+
+// CurvePoint is one (IPC, p99) observation of an LS workload.
+type CurvePoint struct {
+	IPC   float64
+	P99Ms float64
+}
+
+// Curve is the latency-IPC correlation of one LS workload (Figure 7).
+// Above the knee, tail latency correlates strongly (and monotonically
+// decreasing) with IPC; the scheduler uses the inverse mapping to turn
+// a p99 SLA into an IPC floor (§6.3).
+type Curve struct {
+	points []CurvePoint // sorted by IPC ascending
+}
+
+// NewCurve builds a curve from raw observations.
+func NewCurve(pts []CurvePoint) *Curve {
+	sorted := append([]CurvePoint(nil), pts...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a].IPC < sorted[b].IPC })
+	return &Curve{points: sorted}
+}
+
+// MinIPCFor returns the lowest IPC at which the SLA remains attainable
+// — the SLA transformation of §6.3 ("transforming the tail latency in
+// SLA into IPC according to their correlation curve; using the average
+// if there are multiple IPCs"). The curve mixes operating loads, so
+// the floor uses the lower quartile of each IPC window: an IPC is
+// admissible while typical operating points at that IPC still honour
+// the SLA. The boolean is false when even the best observed IPC
+// violates it.
+func (c *Curve) MinIPCFor(slaMs float64) (float64, bool) {
+	if len(c.points) == 0 {
+		return 0, false
+	}
+	const window = 9
+	ok := false
+	minIPC := 0.0
+	buf := make([]float64, 0, window)
+	for i := len(c.points) - 1; i >= 0; i-- {
+		lo := i - window/2
+		hi := i + window/2
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= len(c.points) {
+			hi = len(c.points) - 1
+		}
+		buf = buf[:0]
+		for j := lo; j <= hi; j++ {
+			buf = append(buf, c.points[j].P99Ms)
+		}
+		sort.Float64s(buf)
+		q25 := buf[len(buf)/4]
+		if q25 <= slaMs {
+			ok = true
+			minIPC = c.points[i].IPC
+		} else if ok {
+			break
+		}
+	}
+	return minIPC, ok
+}
+
+// P99At estimates the expected p99 at the given IPC by nearest-point
+// window averaging.
+func (c *Curve) P99At(ipc float64) float64 {
+	if len(c.points) == 0 {
+		return 0
+	}
+	i := sort.Search(len(c.points), func(j int) bool { return c.points[j].IPC >= ipc })
+	lo := i - 2
+	hi := i + 2
+	if lo < 0 {
+		lo = 0
+	}
+	if hi >= len(c.points) {
+		hi = len(c.points) - 1
+	}
+	sum, n := 0.0, 0
+	for j := lo; j <= hi; j++ {
+		sum += c.points[j].P99Ms
+		n++
+	}
+	return sum / float64(n)
+}
+
+// Points returns the curve's observations (for plotting Figure 7).
+func (c *Curve) Points() []CurvePoint {
+	return append([]CurvePoint(nil), c.points...)
+}
+
+// BuildCurve calibrates a workload's latency-IPC curve offline by
+// sweeping the request load and synthetic corunner pressure on the
+// model testbed — the reproduction's analogue of the paper's 30-minute
+// per-workload calibration run.
+func BuildCurve(m *perfmodel.Model, w *workload.Workload, samples int, seed uint64) *Curve {
+	rnd := rng.Stream(seed, "curve-"+w.Name)
+	noise := rng.Stream(seed, "curve-noise-"+w.Name)
+	corunners := []*workload.Workload{
+		workload.MatMul(), workload.VideoProcessing(), workload.DD(), workload.Iperf(),
+	}
+	var pts []CurvePoint
+	for i := 0; i < samples; i++ {
+		d := perfmodel.SpreadDeployment(w, m.Testbed)
+		// Sweep the operating-load band, not the saturation edge: the
+		// paper defines the SLA at a fixed reference load, so the
+		// latency-IPC relation must isolate interference, not load.
+		d.QPS = w.MaxQPS * rnd.Range(0.35, 0.75)
+		deps := []*perfmodel.Deployment{d}
+		// Sometimes add pressure beside a random function to reach
+		// the low-IPC regime left of the knee.
+		n := rnd.Intn(4)
+		for j := 0; j < n; j++ {
+			c := perfmodel.NewDeployment(corunners[rnd.Intn(len(corunners))].Clone())
+			target := rnd.Intn(len(w.Functions))
+			for f := range c.Placement {
+				c.Placement[f] = d.Placement[target]
+				c.Socket[f] = d.Socket[target]
+			}
+			deps = append(deps, c)
+		}
+		res, err := m.Evaluate(&perfmodel.Scenario{Deployments: deps}, noise.Split())
+		if err != nil {
+			continue
+		}
+		r := res.Deployments[0]
+		pts = append(pts, CurvePoint{IPC: r.IPC, P99Ms: r.E2EP99Ms})
+	}
+	return NewCurve(pts)
+}

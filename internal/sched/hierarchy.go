@@ -1,0 +1,145 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"gsight/internal/resources"
+)
+
+// Hierarchical wraps a scheduler behind a two-level zone hierarchy —
+// the paper's §6.4 future-work answer to large clusters ("policies
+// like ... hierarchy scheduling can be explored"): first pick the zone
+// by aggregate headroom and activity, then run the inner scheduler
+// against that zone's servers only. Placement work (and, for Gsight,
+// the prediction search space S in O(MP log S)) shrinks from the
+// cluster size to the zone size.
+type Hierarchical struct {
+	Inner Scheduler
+	// ZoneSize is the number of servers per zone; <=0 means 8.
+	ZoneSize int
+}
+
+// NewHierarchical wraps inner with zone-level pre-selection.
+func NewHierarchical(inner Scheduler, zoneSize int) *Hierarchical {
+	if zoneSize <= 0 {
+		zoneSize = 8
+	}
+	return &Hierarchical{Inner: inner, ZoneSize: zoneSize}
+}
+
+// Name implements Scheduler.
+func (h *Hierarchical) Name() string {
+	return fmt.Sprintf("Hierarchical(%s)", h.Inner.Name())
+}
+
+// Place implements Scheduler: it scores zones (active first, then most
+// allocated CPU — the densest zone that can still hold the request),
+// projects the state onto the chosen zone, delegates to the inner
+// scheduler, and maps the placement back to global server indices. If
+// the best zone cannot host the request the next zone is tried.
+func (h *Hierarchical) Place(st *State, req *Request) ([]int, error) {
+	s := st.NumServers()
+	if s == 0 {
+		return nil, fmt.Errorf("sched: empty cluster")
+	}
+	nz := (s + h.ZoneSize - 1) / h.ZoneSize
+	type zone struct {
+		id      int
+		servers []int
+		active  bool
+		usedCPU float64
+		freeCPU float64
+	}
+	zones := make([]zone, 0, nz)
+	for z := 0; z < nz; z++ {
+		lo := z * h.ZoneSize
+		hi := lo + h.ZoneSize
+		if hi > s {
+			hi = s
+		}
+		zn := zone{id: z}
+		for srv := lo; srv < hi; srv++ {
+			zn.servers = append(zn.servers, srv)
+			if !st.Used[srv].IsZero() {
+				zn.active = true
+			}
+			zn.usedCPU += st.Used[srv][resources.CPU]
+			zn.freeCPU += st.Free(srv)[resources.CPU]
+		}
+		zones = append(zones, zn)
+	}
+	// Need: the request's total CPU allocation must plausibly fit.
+	needCPU := 0.0
+	for f := range req.Input.Profiles {
+		needCPU += AllocOf(&req.Input, f)[resources.CPU]
+	}
+	sort.SliceStable(zones, func(a, b int) bool {
+		if zones[a].active != zones[b].active {
+			return zones[a].active // densify active zones first
+		}
+		return zones[a].usedCPU > zones[b].usedCPU
+	})
+	var lastErr error
+	for _, zn := range zones {
+		if zn.freeCPU < needCPU*0.5 {
+			// even generous oversubscription cannot host it here
+			continue
+		}
+		placement, err := h.placeInZone(st, req, zn.servers)
+		if err == nil {
+			return placement, nil
+		}
+		lastErr = err
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("sched: no zone can host the request")
+	}
+	return nil, lastErr
+}
+
+// placeInZone projects the state onto the zone, delegates, and maps the
+// result back.
+func (h *Hierarchical) placeInZone(st *State, req *Request, servers []int) ([]int, error) {
+	sub := &State{
+		Caps: make([]resources.Vector, len(servers)),
+		Used: make([]resources.Vector, len(servers)),
+	}
+	toLocal := make(map[int]int, len(servers))
+	for i, srv := range servers {
+		sub.Caps[i] = st.Caps[srv]
+		sub.Used[i] = st.Used[srv]
+		toLocal[srv] = i
+	}
+	// Project the running workloads whose functions live in this zone:
+	// the inner scheduler's SLA checks must still see them.
+	for _, d := range st.Running {
+		inZone := true
+		for _, srv := range d.Input.Placement {
+			if _, ok := toLocal[srv]; !ok {
+				inZone = false
+				break
+			}
+		}
+		if !inZone {
+			continue
+		}
+		in := d.Input
+		in.Placement = make([]int, len(d.Input.Placement))
+		for f, srv := range d.Input.Placement {
+			in.Placement[f] = toLocal[srv]
+		}
+		sub.Running = append(sub.Running, Deployed{Input: in, SLA: d.SLA})
+	}
+	placement, err := h.Inner.Place(sub, req)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, len(placement))
+	for f, local := range placement {
+		out[f] = servers[local]
+	}
+	return out, nil
+}
+
+var _ Scheduler = (*Hierarchical)(nil)

@@ -1,0 +1,92 @@
+package sched
+
+import (
+	"testing"
+
+	"gsight/internal/workload"
+)
+
+func TestHierarchicalPlacesInOneZone(t *testing.T) {
+	st := StateFromProfiles(spec, 32)
+	// Activate a server in zone 2 (servers 16..23) so zone scoring has
+	// a dense zone to prefer.
+	seed := inputFor(workload.MatMul(), 0)
+	seed.Placement = []int{17}
+	st.Commit(seed, SLA{})
+
+	h := NewHierarchical(NewGsight(&stubPredictor{ipc: 99}), 8)
+	req := &Request{Input: inputFor(workload.ECommerce(), 0.4), SLA: SLA{MinIPC: 1}}
+	placement, err := h.Place(st, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zone := placement[0] / 8
+	for f, s := range placement {
+		if s/8 != zone {
+			t.Fatalf("function %d left zone %d: placement %v", f, zone, placement)
+		}
+	}
+	if zone != 2 {
+		t.Fatalf("expected the active zone 2, got zone %d", zone)
+	}
+}
+
+func TestHierarchicalFallsToNextZone(t *testing.T) {
+	// Tiny zone capacity: the preferred zone cannot host the request,
+	// the wrapper must try another.
+	smallSpec := spec
+	st := StateFromProfiles(smallSpec, 16)
+	// Fill zone 0 servers' memory completely.
+	for s := 0; s < 8; s++ {
+		in := inputFor(workload.MatMul(), 0)
+		in.Name = "filler"
+		in.Placement = []int{s}
+		// inflate the memory allocation to fill the server
+		in.Profiles[0].Alloc[1] = smallSpec.Capacity[1]
+		st.Commit(in, SLA{})
+	}
+	h := NewHierarchical(NewWorstFit(), 8)
+	req := &Request{Input: inputFor(workload.DD(), 0)}
+	placement, err := h.Place(st, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if placement[0] < 8 {
+		t.Fatalf("placed into the full zone: %v", placement)
+	}
+}
+
+func TestHierarchicalName(t *testing.T) {
+	h := NewHierarchical(NewWorstFit(), 4)
+	if h.Name() != "Hierarchical(WorstFit)" {
+		t.Fatalf("name = %q", h.Name())
+	}
+}
+
+func TestHierarchicalEmptyCluster(t *testing.T) {
+	h := NewHierarchical(NewWorstFit(), 8)
+	if _, err := h.Place(&State{}, &Request{Input: inputFor(workload.DD(), 0)}); err == nil {
+		t.Fatal("empty cluster must error")
+	}
+}
+
+func TestHierarchicalProjectsRunningWorkloads(t *testing.T) {
+	// A running workload inside the chosen zone must be visible to the
+	// inner scheduler's SLA checks (via sub-state Running).
+	st := StateFromProfiles(spec, 16)
+	running := inputFor(workload.SocialNetwork(), 0.5)
+	for f := range running.Placement {
+		running.Placement[f] = 8 + f%8 // zone 1
+	}
+	st.Commit(running, SLA{MinIPC: 1})
+
+	p := &targetAware{}
+	h := NewHierarchical(NewGsight(p), 8)
+	req := &Request{Input: inputFor(workload.MatMul(), 0), SLA: SLA{}}
+	if _, err := h.Place(st, req); err != nil {
+		t.Fatal(err)
+	}
+	if !p.sawRunningCheck {
+		t.Fatal("running workload not projected into the zone sub-state")
+	}
+}

@@ -1,0 +1,459 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"gsight/internal/core"
+	"gsight/internal/resources"
+	"gsight/internal/workload"
+)
+
+// SLA is a workload's quality-of-service contract for admission. The
+// scheduler checks IPC floors (transformed from latency targets via the
+// Figure 7 curve, §6.3) because the IPC model predicts more accurately
+// than the tail-latency model.
+type SLA struct {
+	// MinIPC is the IPC floor; 0 means no requirement (BG jobs).
+	MinIPC float64
+	// MaxJCTFactor bounds an SC job's predicted JCT relative to its
+	// solo duration; 0 means no requirement.
+	MaxJCTFactor float64
+}
+
+// Request asks for a placement of a workload's functions.
+type Request struct {
+	// Input describes the workload (profiles, class, load); its
+	// Placement field is ignored and replaced by the scheduler.
+	Input core.WorkloadInput
+	SLA   SLA
+	// SoloDurationS supports the JCT SLA check for SC jobs.
+	SoloDurationS float64
+}
+
+// Deployed is a running workload the scheduler must not regress.
+type Deployed struct {
+	Input core.WorkloadInput
+	SLA   SLA
+}
+
+// State is the scheduler's view of the cluster.
+type State struct {
+	// Caps[s] is server s's capacity.
+	Caps []resources.Vector
+	// Used[s] is server s's currently allocated resources.
+	Used []resources.Vector
+	// Running workloads with their placements and SLAs.
+	Running []Deployed
+}
+
+// NumServers returns the cluster size.
+func (st *State) NumServers() int { return len(st.Caps) }
+
+// Free returns server s's unallocated resources.
+func (st *State) Free(s int) resources.Vector {
+	return st.Caps[s].Sub(st.Used[s]).Clamped()
+}
+
+// AllocOf returns the total allocation a workload input requires per
+// placed function (alloc x replicas).
+func AllocOf(in *core.WorkloadInput, f int) resources.Vector {
+	r := 1.0
+	if in.Replicas != nil {
+		r = float64(in.Replicas[f])
+	}
+	return in.Profiles[f].Alloc.Scale(r)
+}
+
+// Commit applies a placement to the state's bookkeeping.
+func (st *State) Commit(in core.WorkloadInput, sla SLA) {
+	for f := range in.Profiles {
+		st.Used[in.Placement[f]] = st.Used[in.Placement[f]].Add(AllocOf(&in, f))
+	}
+	st.Running = append(st.Running, Deployed{Input: in, SLA: sla})
+}
+
+// Release removes the named workload from the state.
+func (st *State) Release(name string) bool {
+	for i, d := range st.Running {
+		if d.Input.Name == name {
+			for f := range d.Input.Profiles {
+				st.Used[d.Input.Placement[f]] = st.Used[d.Input.Placement[f]].Sub(AllocOf(&d.Input, f)).Clamped()
+			}
+			st.Running = append(st.Running[:i], st.Running[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// ActiveServers counts servers with any allocation — the denominator of
+// the paper's density objective ("minimum number of active servers").
+func (st *State) ActiveServers() int {
+	n := 0
+	for s := range st.Used {
+		if !st.Used[s].IsZero() {
+			n++
+		}
+	}
+	return n
+}
+
+// Scheduler decides placements.
+type Scheduler interface {
+	Name() string
+	// Place returns a server index per function of req's workload.
+	Place(st *State, req *Request) ([]int, error)
+}
+
+// memFits checks the incompressible resource: memory must fit; CPU may
+// oversubscribe (interference absorbs it) up to the given factor.
+func fits(st *State, s int, add resources.Vector, cpuOversub float64) bool {
+	used := st.Used[s].Add(add)
+	if used[resources.Memory] > st.Caps[s][resources.Memory] {
+		return false
+	}
+	if used[resources.CPU] > st.Caps[s][resources.CPU]*cpuOversub {
+		return false
+	}
+	return true
+}
+
+// ---- Gsight binary-search scheduler (§4) ----
+
+// Gsight schedules with the predictor: it tries the densest placement
+// (full overlap on the fewest active servers) and binary-searches the
+// spatial overlap — doubling the spread whenever the predicted QoS of
+// the new workload or any running workload violates its SLA. Per
+// overlap level it evaluates exactly one candidate (max-demand function
+// onto max-headroom server), giving the paper's O(MP log S) complexity.
+type Gsight struct {
+	Predictor core.QoSPredictor
+	// CPUOversub bounds how far CPU allocation may exceed capacity.
+	CPUOversub float64
+}
+
+// NewGsight returns the predictor-guided scheduler. Its accurate
+// interference predictions let it oversubscribe CPU well past nominal
+// requests — the headroom request-based packers cannot safely use.
+func NewGsight(p core.QoSPredictor) *Gsight {
+	return &Gsight{Predictor: p, CPUOversub: 2.0}
+}
+
+// Name implements Scheduler.
+func (g *Gsight) Name() string { return "Gsight" }
+
+// Place implements Scheduler.
+func (g *Gsight) Place(st *State, req *Request) ([]int, error) {
+	s := st.NumServers()
+	if s == 0 {
+		return nil, fmt.Errorf("sched: empty cluster")
+	}
+	// Candidate server order: busiest (least free CPU) first but only
+	// servers that can hold at least the smallest function — packing
+	// onto already-active servers minimizes active-server count.
+	order := make([]int, s)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ua, ub := st.Used[order[a]], st.Used[order[b]]
+		activeA, activeB := !ua.IsZero(), !ub.IsZero()
+		if activeA != activeB {
+			return activeA // active servers first
+		}
+		return st.Free(order[a])[resources.CPU] < st.Free(order[b])[resources.CPU]
+	})
+
+	var lastErr error
+	for k := 1; ; k *= 2 {
+		if k > s {
+			k = s
+		}
+		placement, err := g.candidate(st, req, order[:k])
+		if err == nil {
+			ok, err := g.satisfies(st, req, placement)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				return placement, nil
+			}
+			lastErr = fmt.Errorf("sched: SLA violated at spread %d", k)
+		} else {
+			lastErr = err
+		}
+		if k == s {
+			break
+		}
+	}
+	// Full spread as last resort: one more candidate over all servers.
+	placement, err := g.candidate(st, req, order)
+	if err != nil {
+		return nil, fmt.Errorf("sched: no feasible placement: %w", lastErr)
+	}
+	return placement, nil
+}
+
+// candidate builds one placement over the given servers: functions in
+// descending allocation order onto the candidate server with the most
+// remaining headroom.
+func (g *Gsight) candidate(st *State, req *Request, servers []int) ([]int, error) {
+	in := &req.Input
+	n := len(in.Profiles)
+	placement := make([]int, n)
+	free := make(map[int]resources.Vector, len(servers))
+	for _, s := range servers {
+		free[s] = st.Free(s)
+	}
+	fnOrder := make([]int, n)
+	for i := range fnOrder {
+		fnOrder[i] = i
+	}
+	sort.SliceStable(fnOrder, func(a, b int) bool {
+		return AllocOf(in, fnOrder[a])[resources.CPU] > AllocOf(in, fnOrder[b])[resources.CPU]
+	})
+	for _, f := range fnOrder {
+		alloc := AllocOf(in, f)
+		best, bestFree := -1, -1.0
+		for _, s := range servers {
+			fr := free[s]
+			tryUsed := st.Caps[s].Sub(fr).Add(alloc)
+			if tryUsed[resources.Memory] > st.Caps[s][resources.Memory] {
+				continue
+			}
+			if tryUsed[resources.CPU] > st.Caps[s][resources.CPU]*g.CPUOversub {
+				continue
+			}
+			if fr[resources.CPU] > bestFree {
+				best, bestFree = s, fr[resources.CPU]
+			}
+		}
+		if best == -1 {
+			return nil, fmt.Errorf("sched: function %d does not fit on %d servers", f, len(servers))
+		}
+		placement[f] = best
+		free[best] = free[best].Sub(alloc).Clamped()
+	}
+	return placement, nil
+}
+
+// satisfies predicts the QoS of the new workload and of every running
+// workload under the candidate placement and checks all SLAs.
+func (g *Gsight) satisfies(st *State, req *Request, placement []int) (bool, error) {
+	cand := req.Input
+	cand.Placement = placement
+	candServers := map[int]bool{}
+	for _, s := range placement {
+		candServers[s] = true
+	}
+	inputs := make([]core.WorkloadInput, 0, len(st.Running)+1)
+	slas := make([]SLA, 0, len(st.Running)+1)
+	durations := make([]float64, 0, len(st.Running)+1)
+	inputs = append(inputs, cand)
+	slas = append(slas, req.SLA)
+	durations = append(durations, req.SoloDurationS)
+	// Interference is local: only running workloads that share a server
+	// with the candidate can be affected by (or affect) it. Filtering
+	// keeps the colocation code small on large clusters.
+	for _, d := range st.Running {
+		overlaps := false
+		for _, s := range d.Input.Placement {
+			if candServers[s] {
+				overlaps = true
+				break
+			}
+		}
+		if !overlaps {
+			continue
+		}
+		inputs = append(inputs, d.Input)
+		slas = append(slas, d.SLA)
+		durations = append(durations, d.Input.LifetimeS)
+	}
+	for i := range inputs {
+		ok, err := g.checkOne(i, inputs, slas[i], durations[i])
+		if errors.Is(err, core.ErrTooManyServers) {
+			// Beyond the code's spatial rows the predictor cannot see
+			// the whole colocation (§6.4's scaling limit); fall back
+			// to capacity-based acceptance for this candidate.
+			return true, nil
+		}
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+func (g *Gsight) checkOne(target int, inputs []core.WorkloadInput, sla SLA, soloDur float64) (bool, error) {
+	if sla.MinIPC > 0 {
+		ipc, err := g.Predictor.Predict(core.IPCQoS, target, inputs)
+		if err != nil {
+			return false, err
+		}
+		if ipc < sla.MinIPC {
+			return false, nil
+		}
+	}
+	if sla.MaxJCTFactor > 0 && soloDur > 0 && inputs[target].Class != workload.LS {
+		jct, err := g.Predictor.Predict(core.JCTQoS, target, inputs)
+		if err != nil {
+			return false, err
+		}
+		if jct > soloDur*sla.MaxJCTFactor {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// ---- Best Fit (Pythia's policy) ----
+
+// BestFit places each function on the feasible server with the least
+// headroom ("smallest amount of headroom", §6.1), optionally checking
+// an SLA with its predictor first.
+type BestFit struct {
+	Predictor  core.QoSPredictor // may be nil: pure bin-packing
+	CPUOversub float64
+}
+
+// NewBestFit returns Pythia's placement policy around a predictor:
+// Kubernetes-style request-based packing (no CPU oversubscription) —
+// without trustworthy interference predictions, exceeding requests is
+// unsafe.
+func NewBestFit(p core.QoSPredictor) *BestFit {
+	return &BestFit{Predictor: p, CPUOversub: 1.0}
+}
+
+// Name implements Scheduler.
+func (b *BestFit) Name() string { return "BestFit" }
+
+// Place implements Scheduler.
+func (b *BestFit) Place(st *State, req *Request) ([]int, error) {
+	in := &req.Input
+	n := len(in.Profiles)
+	placement := make([]int, n)
+	free := make([]resources.Vector, st.NumServers())
+	for s := range free {
+		free[s] = st.Free(s)
+	}
+	for f := 0; f < n; f++ {
+		alloc := AllocOf(in, f)
+		best, bestFree := -1, math.MaxFloat64
+		for s := range free {
+			used := st.Caps[s].Sub(free[s]).Add(alloc)
+			if used[resources.Memory] > st.Caps[s][resources.Memory] {
+				continue
+			}
+			if used[resources.CPU] > st.Caps[s][resources.CPU]*b.CPUOversub {
+				continue
+			}
+			if free[s][resources.CPU] < bestFree {
+				best, bestFree = s, free[s][resources.CPU]
+			}
+		}
+		if best == -1 {
+			return nil, fmt.Errorf("sched: best fit found no server for function %d", f)
+		}
+		placement[f] = best
+		free[best] = free[best].Sub(alloc).Clamped()
+	}
+	if b.Predictor != nil && req.SLA.MinIPC > 0 {
+		cand := req.Input
+		cand.Placement = placement
+		inputs := []core.WorkloadInput{cand}
+		for _, d := range st.Running {
+			inputs = append(inputs, d.Input)
+		}
+		ipc, err := b.Predictor.Predict(core.IPCQoS, 0, inputs)
+		if err == nil && ipc < req.SLA.MinIPC {
+			// Pythia's reaction: spread to the emptiest servers.
+			wf := &WorstFit{CPUOversub: b.CPUOversub}
+			return wf.Place(st, req)
+		}
+	}
+	return placement, nil
+}
+
+// ---- Worst Fit (the paper's strawman) ----
+
+// WorstFit always schedules the function with the maximum resource
+// requirement to the server with the maximum available resources.
+type WorstFit struct {
+	CPUOversub float64
+}
+
+// NewWorstFit returns the spreading strawman (request-based capacity).
+func NewWorstFit() *WorstFit { return &WorstFit{CPUOversub: 1.0} }
+
+// Name implements Scheduler.
+func (w *WorstFit) Name() string { return "WorstFit" }
+
+// Place implements Scheduler.
+func (w *WorstFit) Place(st *State, req *Request) ([]int, error) {
+	in := &req.Input
+	n := len(in.Profiles)
+	placement := make([]int, n)
+	free := make([]resources.Vector, st.NumServers())
+	for s := range free {
+		free[s] = st.Free(s)
+	}
+	fnOrder := make([]int, n)
+	for i := range fnOrder {
+		fnOrder[i] = i
+	}
+	sort.SliceStable(fnOrder, func(a, b int) bool {
+		return AllocOf(in, fnOrder[a])[resources.CPU] > AllocOf(in, fnOrder[b])[resources.CPU]
+	})
+	oversub := w.CPUOversub
+	if oversub == 0 {
+		oversub = 1.5
+	}
+	for _, f := range fnOrder {
+		alloc := AllocOf(in, f)
+		best, bestFree := -1, -1.0
+		for s := range free {
+			used := st.Caps[s].Sub(free[s]).Add(alloc)
+			if used[resources.Memory] > st.Caps[s][resources.Memory] {
+				continue
+			}
+			if used[resources.CPU] > st.Caps[s][resources.CPU]*oversub {
+				continue
+			}
+			if free[s][resources.CPU] > bestFree {
+				best, bestFree = s, free[s][resources.CPU]
+			}
+		}
+		if best == -1 {
+			return nil, fmt.Errorf("sched: worst fit found no server for function %d", f)
+		}
+		placement[f] = best
+		free[best] = free[best].Sub(alloc).Clamped()
+	}
+	return placement, nil
+}
+
+// NewState builds a State over n default servers.
+func NewState(caps []resources.Vector) *State {
+	st := &State{
+		Caps: append([]resources.Vector(nil), caps...),
+		Used: make([]resources.Vector, len(caps)),
+	}
+	return st
+}
+
+// StateFromProfiles is a convenience: capacity vectors from a profile
+// spec repeated n times.
+func StateFromProfiles(spec resources.ServerSpec, n int) *State {
+	caps := make([]resources.Vector, n)
+	for i := range caps {
+		caps[i] = spec.Capacity
+	}
+	return NewState(caps)
+}

@@ -1,0 +1,94 @@
+// Package sim is a minimal discrete-event simulation engine: a clock
+// and a time-ordered event queue with deterministic tie-breaking. The
+// platform simulation uses it to drive trace arrivals, autoscaler
+// ticks and migration cooldowns on one timeline.
+package sim
+
+import "container/heap"
+
+// Event is a scheduled callback.
+type event struct {
+	time float64
+	seq  uint64
+	fn   func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq // FIFO among simultaneous events
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}
+
+// Engine is the simulation core. The zero value is ready to use.
+type Engine struct {
+	now    float64
+	seq    uint64
+	events eventHeap
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() float64 { return e.now }
+
+// At schedules fn at absolute time t; times in the past run at the
+// current time (immediately on the next step).
+func (e *Engine) At(t float64, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, &event{time: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn d seconds from now.
+func (e *Engine) After(d float64, fn func()) { e.At(e.now+d, fn) }
+
+// Every schedules fn every interval seconds, starting at now+interval,
+// until fn returns false.
+func (e *Engine) Every(interval float64, fn func() bool) {
+	var tick func()
+	tick = func() {
+		if fn() {
+			e.After(interval, tick)
+		}
+	}
+	e.After(interval, tick)
+}
+
+// Step executes the next event; it reports false when the queue is
+// empty.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(*event)
+	e.now = ev.time
+	ev.fn()
+	return true
+}
+
+// RunUntil executes events until the clock would pass t; the clock
+// finishes at exactly t.
+func (e *Engine) RunUntil(t float64) {
+	for len(e.events) > 0 && e.events[0].time <= t {
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.events) }

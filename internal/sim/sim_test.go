@@ -1,0 +1,98 @@
+package sim
+
+import "testing"
+
+func TestEventOrdering(t *testing.T) {
+	var e Engine
+	var got []int
+	e.At(3, func() { got = append(got, 3) })
+	e.At(1, func() { got = append(got, 1) })
+	e.At(2, func() { got = append(got, 2) })
+	e.RunUntil(10)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("order = %v", got)
+	}
+	if e.Now() != 10 {
+		t.Fatalf("clock = %v, want 10", e.Now())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	var e Engine
+	var got []int
+	for i := 0; i < 5; i++ {
+		i := i
+		e.At(1, func() { got = append(got, i) })
+	}
+	e.RunUntil(2)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("FIFO violated: %v", got)
+		}
+	}
+}
+
+func TestAfterAndNestedScheduling(t *testing.T) {
+	var e Engine
+	fired := 0
+	e.After(1, func() {
+		fired++
+		e.After(1, func() { fired++ })
+	})
+	e.RunUntil(3)
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2", fired)
+	}
+}
+
+func TestPastEventsRunNow(t *testing.T) {
+	var e Engine
+	e.At(5, func() {})
+	e.RunUntil(5)
+	ran := false
+	e.At(1, func() { ran = true }) // in the past
+	e.RunUntil(6)
+	if !ran {
+		t.Fatal("past-scheduled event never ran")
+	}
+}
+
+func TestEvery(t *testing.T) {
+	var e Engine
+	count := 0
+	e.Every(2, func() bool {
+		count++
+		return count < 4
+	})
+	e.RunUntil(100)
+	if count != 4 {
+		t.Fatalf("Every fired %d times, want 4", count)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("pending = %d after Every stopped", e.Pending())
+	}
+}
+
+func TestRunUntilStopsAtBoundary(t *testing.T) {
+	var e Engine
+	ran := false
+	e.At(5, func() { ran = true })
+	e.RunUntil(4)
+	if ran {
+		t.Fatal("event beyond boundary executed")
+	}
+	if e.Now() != 4 {
+		t.Fatalf("clock = %v", e.Now())
+	}
+	e.RunUntil(5)
+	if !ran {
+		t.Fatal("boundary event skipped")
+	}
+}
+
+func TestStepEmpty(t *testing.T) {
+	var e Engine
+	if e.Step() {
+		t.Fatal("Step on empty queue should report false")
+	}
+}

@@ -1,0 +1,121 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// CSV interop: arrival series export for external analysis and import
+// of production traces (e.g., a pre-processed Azure Functions dataset)
+// so the platform can replay real invocation patterns instead of the
+// synthetic generator.
+
+// WriteArrivalsCSV writes one arrival timestamp (seconds) per row under
+// a "t_seconds" header.
+func WriteArrivalsCSV(w io.Writer, arrivals []float64) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"t_seconds"}); err != nil {
+		return err
+	}
+	for _, t := range arrivals {
+		if err := cw.Write([]string{strconv.FormatFloat(t, 'f', -1, 64)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadArrivalsCSV reads a one-column arrival CSV (header optional) and
+// returns the timestamps sorted ascending. Negative timestamps are
+// rejected.
+func ReadArrivalsCSV(r io.Reader) ([]float64, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 1
+	var out []float64
+	first := true
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: csv: %w", err)
+		}
+		v, perr := strconv.ParseFloat(rec[0], 64)
+		if perr != nil {
+			if first {
+				first = false
+				continue // header row
+			}
+			return nil, fmt.Errorf("trace: csv row %q: %w", rec[0], perr)
+		}
+		first = false
+		if v < 0 {
+			return nil, fmt.Errorf("trace: negative timestamp %v", v)
+		}
+		out = append(out, v)
+	}
+	sort.Float64s(out)
+	return out, nil
+}
+
+// EmpiricalPattern bins an arrival series into fixed windows and plays
+// the measured per-window rate back through the Pattern interface shape
+// (RateAt/Sample) — replaying a production trace where the synthetic
+// diurnal generator would otherwise be used.
+type EmpiricalPattern struct {
+	binS  float64
+	rates []float64
+}
+
+// NewEmpiricalPattern bins arrivals over [0, horizon) into windows of
+// binS seconds. It returns an error for empty input or non-positive
+// parameters.
+func NewEmpiricalPattern(arrivals []float64, horizonS, binS float64) (*EmpiricalPattern, error) {
+	if len(arrivals) == 0 {
+		return nil, fmt.Errorf("trace: empty arrival series")
+	}
+	if horizonS <= 0 || binS <= 0 {
+		return nil, fmt.Errorf("trace: non-positive horizon/bin")
+	}
+	n := int(math.Ceil(horizonS / binS))
+	if n < 1 {
+		n = 1
+	}
+	rates := make([]float64, n)
+	for _, t := range arrivals {
+		b := int(t / binS)
+		if b < 0 || b >= n {
+			continue
+		}
+		rates[b]++
+	}
+	for i := range rates {
+		rates[i] /= binS
+	}
+	return &EmpiricalPattern{binS: binS, rates: rates}, nil
+}
+
+// RateAt returns the measured rate of the window containing t; times
+// past the horizon wrap around (the trace repeats).
+func (p *EmpiricalPattern) RateAt(t float64) float64 {
+	if t < 0 {
+		t = 0
+	}
+	b := int(t/p.binS) % len(p.rates)
+	return p.rates[b]
+}
+
+// MeanRate returns the average rate over the whole trace.
+func (p *EmpiricalPattern) MeanRate() float64 {
+	sum := 0.0
+	for _, r := range p.rates {
+		sum += r
+	}
+	return sum / float64(len(p.rates))
+}

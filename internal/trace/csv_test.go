@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"gsight/internal/rng"
+)
+
+func TestArrivalsCSVRoundTrip(t *testing.T) {
+	r := rng.New(1)
+	arr := Arrivals(DefaultPattern(3), 0, 3600, r)
+	var buf bytes.Buffer
+	if err := WriteArrivalsCSV(&buf, arr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadArrivalsCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(arr) {
+		t.Fatalf("round trip lost arrivals: %d vs %d", len(got), len(arr))
+	}
+	for i := range arr {
+		if math.Abs(got[i]-arr[i]) > 1e-9 {
+			t.Fatalf("arrival %d changed: %v vs %v", i, got[i], arr[i])
+		}
+	}
+}
+
+func TestReadArrivalsCSVValidation(t *testing.T) {
+	if _, err := ReadArrivalsCSV(strings.NewReader("t_seconds\n1.5\n-2\n")); err == nil {
+		t.Fatal("negative timestamp must error")
+	}
+	if _, err := ReadArrivalsCSV(strings.NewReader("t_seconds\n1.5\nzzz\n")); err == nil {
+		t.Fatal("non-numeric body row must error")
+	}
+	got, err := ReadArrivalsCSV(strings.NewReader("3\n1\n2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("headerless read sorted wrong: %v", got)
+	}
+}
+
+func TestEmpiricalPatternReplaysRates(t *testing.T) {
+	// Arrivals concentrated in the second hour.
+	var arr []float64
+	for i := 0; i < 100; i++ {
+		arr = append(arr, 3600+float64(i)*36)
+	}
+	p, err := NewEmpiricalPattern(arr, 7200, 3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.RateAt(1800); got != 0 {
+		t.Fatalf("first-hour rate = %v, want 0", got)
+	}
+	want := 100.0 / 3600
+	if got := p.RateAt(5400); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("second-hour rate = %v, want %v", got, want)
+	}
+	// Wrap-around replay.
+	if got := p.RateAt(5400 + 7200 + 3600); math.Abs(got-p.RateAt(5400+3600)) > 1e-9 {
+		t.Fatal("replay does not wrap consistently")
+	}
+	if p.MeanRate() <= 0 {
+		t.Fatal("mean rate must be positive")
+	}
+}
+
+func TestEmpiricalPatternValidation(t *testing.T) {
+	if _, err := NewEmpiricalPattern(nil, 100, 10); err == nil {
+		t.Fatal("empty series must error")
+	}
+	if _, err := NewEmpiricalPattern([]float64{1}, 0, 10); err == nil {
+		t.Fatal("zero horizon must error")
+	}
+}
+
+func FuzzReadArrivalsCSV(f *testing.F) {
+	f.Add("t_seconds\n1\n2\n3\n")
+	f.Add("")
+	f.Add("1.5,")
+	f.Add("a\nb\nc")
+	f.Fuzz(func(t *testing.T, s string) {
+		// Must never panic; errors are fine.
+		arr, err := ReadArrivalsCSV(strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		for i := 1; i < len(arr); i++ {
+			if arr[i] < arr[i-1] {
+				t.Fatal("successful read must be sorted")
+			}
+		}
+	})
+}

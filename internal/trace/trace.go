@@ -1,0 +1,161 @@
+// Package trace synthesizes production-like invocation traces in the
+// image of the Azure Functions characterization (Shahrad et al., ATC'20)
+// that the paper drives its evaluation with (§6.1): invocation rates
+// with diurnal and weekly patterns, execution durations where 50% of
+// invocations run under 1 s and 96% of functions average under 60 s,
+// and memory allocations where 90% of functions stay at or below
+// 400 MB.
+package trace
+
+import (
+	"math"
+
+	"gsight/internal/rng"
+)
+
+// Pattern modulates a base request rate over time.
+type Pattern struct {
+	// BaseQPS is the mean request rate.
+	BaseQPS float64
+	// DiurnalAmp in [0,1) scales the day/night swing.
+	DiurnalAmp float64
+	// WeeklyAmp in [0,1) damps weekends.
+	WeeklyAmp float64
+	// PeakHour is the local hour of the diurnal maximum.
+	PeakHour float64
+	// NoiseRel adds lognormal rate noise per query.
+	NoiseRel float64
+	// PhaseShift offsets the pattern (seconds), decorrelating
+	// workloads.
+	PhaseShift float64
+}
+
+// DefaultPattern returns a diurnal+weekly pattern around baseQPS,
+// shaped like the Azure invocations-per-hour series.
+func DefaultPattern(baseQPS float64) Pattern {
+	return Pattern{
+		BaseQPS:    baseQPS,
+		DiurnalAmp: 0.55,
+		WeeklyAmp:  0.25,
+		PeakHour:   14,
+		NoiseRel:   0.05,
+	}
+}
+
+const (
+	daySeconds  = 86400.0
+	weekSeconds = 7 * daySeconds
+)
+
+// RateAt returns the expected request rate at time t (seconds since the
+// trace epoch, a Monday midnight). It is deterministic; use Sample for
+// the noisy instantaneous rate.
+func (p Pattern) RateAt(t float64) float64 {
+	t += p.PhaseShift
+	hour := math.Mod(t, daySeconds) / 3600
+	diurnal := 1 + p.DiurnalAmp*math.Cos((hour-p.PeakHour)/24*2*math.Pi)
+	dow := int(math.Mod(t, weekSeconds) / daySeconds)
+	weekly := 1.0
+	if dow >= 5 { // weekend
+		weekly = 1 - p.WeeklyAmp
+	}
+	r := p.BaseQPS * diurnal * weekly
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// Sample returns the instantaneous rate with multiplicative noise.
+func (p Pattern) Sample(t float64, rnd *rng.Rand) float64 {
+	r := p.RateAt(t)
+	if rnd != nil && p.NoiseRel > 0 {
+		r = rnd.Jitter(r, p.NoiseRel)
+	}
+	return r
+}
+
+// DurationSampler draws function execution durations matching the Azure
+// distribution shape: lognormal with a median near 0.6 s, yielding
+// roughly half of invocations under 1 s and ~96% under 60 s.
+type DurationSampler struct {
+	Mu    float64 // log-mean
+	Sigma float64 // log-std
+	MaxS  float64 // provider cap (AWS Lambda: 900 s)
+}
+
+// DefaultDurations returns the Azure-calibrated sampler.
+func DefaultDurations() DurationSampler {
+	return DurationSampler{Mu: math.Log(0.6), Sigma: 1.9, MaxS: 900}
+}
+
+// Sample draws one duration in seconds.
+func (d DurationSampler) Sample(rnd *rng.Rand) float64 {
+	v := rnd.LogNormal(d.Mu, d.Sigma)
+	if d.MaxS > 0 && v > d.MaxS {
+		v = d.MaxS
+	}
+	return v
+}
+
+// MemorySampler draws per-function memory allocations matching the
+// Azure shape: 50% of runtimes at or below ~170 MB and 90% never above
+// 400 MB, with a tail to the provider cap.
+type MemorySampler struct {
+	MedianMB float64
+	Sigma    float64
+	CapMB    float64
+}
+
+// DefaultMemory returns the Azure-calibrated sampler.
+func DefaultMemory() MemorySampler {
+	// lognormal: median 170 MB, sigma chosen so P90 ~= 400 MB
+	// (400/170 = e^{1.2816*sigma} -> sigma ~= 0.667)
+	return MemorySampler{MedianMB: 170, Sigma: 0.667, CapMB: 3072}
+}
+
+// Sample draws one allocation in MB.
+func (m MemorySampler) Sample(rnd *rng.Rand) float64 {
+	v := m.MedianMB * rnd.LogNormal(0, m.Sigma)
+	if m.CapMB > 0 && v > m.CapMB {
+		v = m.CapMB
+	}
+	return v
+}
+
+// Arrivals generates Poisson arrival times over [start, end) for a
+// time-varying rate by thinning against the pattern's maximum rate.
+func Arrivals(p Pattern, start, end float64, rnd *rng.Rand) []float64 {
+	maxRate := p.BaseQPS * (1 + p.DiurnalAmp) * 1.2
+	if maxRate <= 0 {
+		return nil
+	}
+	var out []float64
+	t := start
+	for {
+		t += rnd.Exp(maxRate)
+		if t >= end {
+			return out
+		}
+		if rnd.Float64() < p.RateAt(t)/maxRate {
+			out = append(out, t)
+		}
+	}
+}
+
+// JobArrivals generates Poisson arrival times of batch (SC/BG) job
+// submissions at a constant mean interval.
+func JobArrivals(meanIntervalS, start, end float64, rnd *rng.Rand) []float64 {
+	if meanIntervalS <= 0 {
+		return nil
+	}
+	var out []float64
+	t := start
+	for {
+		t += rnd.Exp(1 / meanIntervalS)
+		if t >= end {
+			return out
+		}
+		out = append(out, t)
+	}
+}

@@ -1,0 +1,222 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"gsight/internal/resources"
+)
+
+// JSON workload definitions let downstream users describe their own
+// applications without touching Go code: the same information the
+// catalog encodes — class, call-path DAG, per-function demands and
+// sensitivities, phases — in a declarative file.
+
+// jsonWorkload is the on-disk schema.
+type jsonWorkload struct {
+	Name          string         `json:"name"`
+	Class         string         `json:"class"` // "BG" | "SC" | "LS"
+	Entry         string         `json:"entry,omitempty"`
+	SLAp99Ms      float64        `json:"sla_p99_ms,omitempty"`
+	MaxQPS        float64        `json:"max_qps,omitempty"`
+	SoloDurationS float64        `json:"solo_duration_s,omitempty"`
+	Instances     int            `json:"instances,omitempty"`
+	Functions     []jsonFunction `json:"functions"`
+}
+
+type jsonFunction struct {
+	Name          string      `json:"name"`
+	Demand        jsonVector  `json:"demand"`
+	Sensitivity   jsonVector  `json:"sensitivity"`
+	SoloIPC       float64     `json:"solo_ipc"`
+	BaseServiceMs float64     `json:"base_service_ms,omitempty"`
+	ColdStartMs   float64     `json:"cold_start_ms,omitempty"`
+	Calls         []jsonCall  `json:"calls,omitempty"`
+	Phases        []jsonPhase `json:"phases,omitempty"`
+}
+
+type jsonCall struct {
+	Callee string `json:"callee"`
+	Mode   string `json:"mode,omitempty"` // "nested" (default) | "sequence" | "async"
+}
+
+type jsonPhase struct {
+	Frac        float64    `json:"frac"`
+	DemandScale jsonVector `json:"demand_scale"`
+	SensScale   float64    `json:"sens_scale"`
+}
+
+// jsonVector names the six resource dimensions explicitly.
+type jsonVector struct {
+	CPU     float64 `json:"cpu"`
+	Memory  float64 `json:"memory_gb"`
+	LLC     float64 `json:"llc_mb"`
+	MemBW   float64 `json:"membw_gbps"`
+	Network float64 `json:"network_gbps"`
+	Disk    float64 `json:"disk_mbps"`
+}
+
+func (v jsonVector) vector() resources.Vector {
+	return resources.Vector{
+		resources.CPU:     v.CPU,
+		resources.Memory:  v.Memory,
+		resources.LLC:     v.LLC,
+		resources.MemBW:   v.MemBW,
+		resources.Network: v.Network,
+		resources.Disk:    v.Disk,
+	}
+}
+
+func toJSONVector(v resources.Vector) jsonVector {
+	return jsonVector{
+		CPU:     v[resources.CPU],
+		Memory:  v[resources.Memory],
+		LLC:     v[resources.LLC],
+		MemBW:   v[resources.MemBW],
+		Network: v[resources.Network],
+		Disk:    v[resources.Disk],
+	}
+}
+
+// ParseJSON decodes and validates one workload definition.
+func ParseJSON(r io.Reader) (*Workload, error) {
+	var in jsonWorkload
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("workload: decode: %w", err)
+	}
+	w := &Workload{
+		Name:          in.Name,
+		SLAp99Ms:      in.SLAp99Ms,
+		MaxQPS:        in.MaxQPS,
+		SoloDurationS: in.SoloDurationS,
+		Instances:     in.Instances,
+	}
+	switch in.Class {
+	case "BG":
+		w.Class = BG
+	case "SC":
+		w.Class = SC
+	case "LS":
+		w.Class = LS
+	default:
+		return nil, fmt.Errorf("workload %q: unknown class %q (want BG, SC or LS)", in.Name, in.Class)
+	}
+	if w.Instances == 0 {
+		w.Instances = 1
+	}
+	index := map[string]int{}
+	for i, f := range in.Functions {
+		if f.Name == "" {
+			return nil, fmt.Errorf("workload %q: function %d has no name", in.Name, i)
+		}
+		if _, dup := index[f.Name]; dup {
+			return nil, fmt.Errorf("workload %q: duplicate function %q", in.Name, f.Name)
+		}
+		index[f.Name] = i
+	}
+	for _, jf := range in.Functions {
+		fn := Function{
+			Name:          jf.Name,
+			Demand:        jf.Demand.vector(),
+			Sensitivity:   jf.Sensitivity.vector(),
+			SoloIPC:       jf.SoloIPC,
+			BaseServiceMs: jf.BaseServiceMs,
+			ColdStartMs:   jf.ColdStartMs,
+		}
+		if fn.SoloIPC <= 0 {
+			return nil, fmt.Errorf("workload %q: function %q needs a positive solo_ipc", in.Name, jf.Name)
+		}
+		for _, c := range jf.Calls {
+			callee, ok := index[c.Callee]
+			if !ok {
+				return nil, fmt.Errorf("workload %q: function %q calls unknown %q", in.Name, jf.Name, c.Callee)
+			}
+			mode := Nested
+			switch c.Mode {
+			case "", "nested":
+			case "sequence":
+				mode = Sequence
+			case "async":
+				mode = Async
+			default:
+				return nil, fmt.Errorf("workload %q: unknown call mode %q", in.Name, c.Mode)
+			}
+			fn.Calls = append(fn.Calls, Call{Callee: callee, Mode: mode})
+		}
+		for _, p := range jf.Phases {
+			fn.Phases = append(fn.Phases, Phase{
+				Frac:        p.Frac,
+				DemandScale: p.DemandScale.vector(),
+				SensScale:   p.SensScale,
+			})
+		}
+		w.Functions = append(w.Functions, fn)
+	}
+	if in.Entry != "" {
+		e, ok := index[in.Entry]
+		if !ok {
+			return nil, fmt.Errorf("workload %q: entry %q not among functions", in.Name, in.Entry)
+		}
+		w.Entry = e
+	}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// LoadJSONFile parses a workload definition file.
+func LoadJSONFile(path string) (*Workload, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ParseJSON(f)
+}
+
+// WriteJSON encodes a workload in the same schema ParseJSON reads.
+func WriteJSON(w io.Writer, wl *Workload) error {
+	out := jsonWorkload{
+		Name:          wl.Name,
+		Class:         wl.Class.String(),
+		SLAp99Ms:      wl.SLAp99Ms,
+		MaxQPS:        wl.MaxQPS,
+		SoloDurationS: wl.SoloDurationS,
+		Instances:     wl.Instances,
+	}
+	if len(wl.Functions) > 0 {
+		out.Entry = wl.Functions[wl.Entry].Name
+	}
+	for _, fn := range wl.Functions {
+		jf := jsonFunction{
+			Name:          fn.Name,
+			Demand:        toJSONVector(fn.Demand),
+			Sensitivity:   toJSONVector(fn.Sensitivity),
+			SoloIPC:       fn.SoloIPC,
+			BaseServiceMs: fn.BaseServiceMs,
+			ColdStartMs:   fn.ColdStartMs,
+		}
+		for _, c := range fn.Calls {
+			jf.Calls = append(jf.Calls, jsonCall{
+				Callee: wl.Functions[c.Callee].Name,
+				Mode:   c.Mode.String(),
+			})
+		}
+		for _, p := range fn.Phases {
+			jf.Phases = append(jf.Phases, jsonPhase{
+				Frac:        p.Frac,
+				DemandScale: toJSONVector(p.DemandScale),
+				SensScale:   p.SensScale,
+			})
+		}
+		out.Functions = append(out.Functions, jf)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

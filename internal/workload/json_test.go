@@ -1,0 +1,163 @@
+package workload
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const validJSON = `{
+  "name": "user-app",
+  "class": "LS",
+  "entry": "front",
+  "sla_p99_ms": 120,
+  "max_qps": 500,
+  "functions": [
+    {
+      "name": "front",
+      "demand": {"cpu": 1, "memory_gb": 0.2, "llc_mb": 1.5, "membw_gbps": 1, "network_gbps": 0.3, "disk_mbps": 1},
+      "sensitivity": {"cpu": 0.5, "memory_gb": 0.1, "llc_mb": 0.4, "membw_gbps": 0.4, "network_gbps": 0.3, "disk_mbps": 0.05},
+      "solo_ipc": 1.3,
+      "base_service_ms": 5,
+      "calls": [{"callee": "back", "mode": "nested"}, {"callee": "log", "mode": "async"}]
+    },
+    {
+      "name": "back",
+      "demand": {"cpu": 1.5, "memory_gb": 0.4, "llc_mb": 3, "membw_gbps": 2, "network_gbps": 0.2, "disk_mbps": 4},
+      "sensitivity": {"cpu": 0.6, "memory_gb": 0.1, "llc_mb": 0.6, "membw_gbps": 0.5, "network_gbps": 0.2, "disk_mbps": 0.1},
+      "solo_ipc": 1.1,
+      "base_service_ms": 8
+    },
+    {
+      "name": "log",
+      "demand": {"cpu": 0.2, "memory_gb": 0.1, "llc_mb": 0.3, "membw_gbps": 0.2, "network_gbps": 0.1, "disk_mbps": 10},
+      "sensitivity": {"cpu": 0.2, "memory_gb": 0.05, "llc_mb": 0.1, "membw_gbps": 0.1, "network_gbps": 0.1, "disk_mbps": 0.3},
+      "solo_ipc": 0.9,
+      "base_service_ms": 2
+    }
+  ]
+}`
+
+func TestParseJSONValid(t *testing.T) {
+	w, err := ParseJSON(strings.NewReader(validJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Name != "user-app" || w.Class != LS || w.SLAp99Ms != 120 {
+		t.Fatalf("header wrong: %+v", w)
+	}
+	if w.NumFunctions() != 3 || w.Entry != 0 {
+		t.Fatalf("structure wrong: %d functions, entry %d", w.NumFunctions(), w.Entry)
+	}
+	front := w.Functions[0]
+	if len(front.Calls) != 2 {
+		t.Fatalf("front calls = %d", len(front.Calls))
+	}
+	if front.Calls[0].Mode != Nested || front.Calls[0].Callee != 1 {
+		t.Fatalf("nested call wrong: %+v", front.Calls[0])
+	}
+	if front.Calls[1].Mode != Async || front.Calls[1].Callee != 2 {
+		t.Fatalf("async call wrong: %+v", front.Calls[1])
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseJSONErrors(t *testing.T) {
+	cases := map[string]string{
+		"junk":          `junk`,
+		"unknown class": `{"name":"x","class":"XX","functions":[{"name":"a","solo_ipc":1,"demand":{},"sensitivity":{}}]}`,
+		"unknown field": `{"name":"x","class":"LS","bogus":1,"functions":[{"name":"a","solo_ipc":1,"demand":{},"sensitivity":{}}]}`,
+		"no name":       `{"name":"x","class":"SC","functions":[{"solo_ipc":1,"demand":{},"sensitivity":{}}]}`,
+		"dup name":      `{"name":"x","class":"SC","functions":[{"name":"a","solo_ipc":1,"demand":{},"sensitivity":{}},{"name":"a","solo_ipc":1,"demand":{},"sensitivity":{}}]}`,
+		"zero ipc":      `{"name":"x","class":"SC","functions":[{"name":"a","solo_ipc":0,"demand":{},"sensitivity":{}}]}`,
+		"bad callee":    `{"name":"x","class":"SC","functions":[{"name":"a","solo_ipc":1,"demand":{},"sensitivity":{},"calls":[{"callee":"ghost"}]}]}`,
+		"bad mode":      `{"name":"x","class":"SC","functions":[{"name":"a","solo_ipc":1,"demand":{},"sensitivity":{},"calls":[{"callee":"b","mode":"zig"}]},{"name":"b","solo_ipc":1,"demand":{},"sensitivity":{}}]}`,
+		"bad entry":     `{"name":"x","class":"SC","entry":"ghost","functions":[{"name":"a","solo_ipc":1,"demand":{},"sensitivity":{}}]}`,
+	}
+	for label, c := range cases {
+		if _, err := ParseJSON(strings.NewReader(c)); err == nil {
+			t.Errorf("%s: accepted invalid definition", label)
+		}
+	}
+}
+
+func TestJSONRoundTripCatalog(t *testing.T) {
+	// Every catalog workload must survive a write/parse round trip.
+	for name, w := range Catalog() {
+		var buf bytes.Buffer
+		if err := WriteJSON(&buf, w); err != nil {
+			t.Fatalf("%s: write: %v", name, err)
+		}
+		back, err := ParseJSON(&buf)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", name, err)
+		}
+		if back.Name != w.Name || back.Class != w.Class || back.NumFunctions() != w.NumFunctions() {
+			t.Fatalf("%s: header changed", name)
+		}
+		if back.Entry != w.Entry {
+			t.Fatalf("%s: entry changed: %d vs %d", name, back.Entry, w.Entry)
+		}
+		for f := range w.Functions {
+			a, b := w.Functions[f], back.Functions[f]
+			if a.Demand != b.Demand || a.Sensitivity != b.Sensitivity || a.SoloIPC != b.SoloIPC {
+				t.Fatalf("%s/%s: archetype changed", name, a.Name)
+			}
+			if len(a.Calls) != len(b.Calls) || len(a.Phases) != len(b.Phases) {
+				t.Fatalf("%s/%s: structure changed", name, a.Name)
+			}
+			for c := range a.Calls {
+				if a.Calls[c] != b.Calls[c] {
+					t.Fatalf("%s/%s: call %d changed", name, a.Name, c)
+				}
+			}
+			for p := range a.Phases {
+				if a.Phases[p] != b.Phases[p] {
+					t.Fatalf("%s/%s: phase %d changed", name, a.Name, p)
+				}
+			}
+		}
+	}
+}
+
+func TestLoadJSONFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "w.json")
+	if err := writeFile(path, validJSON); err != nil {
+		t.Fatal(err)
+	}
+	w, err := LoadJSONFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Name != "user-app" {
+		t.Fatal("wrong workload loaded")
+	}
+	if _, err := LoadJSONFile(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Fatal("missing file must error")
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+func FuzzParseJSON(f *testing.F) {
+	f.Add(validJSON)
+	f.Add(`{"name":"x","class":"SC","functions":[]}`)
+	f.Add(`{}`)
+	f.Add(`[1,2,3]`)
+	f.Fuzz(func(t *testing.T, s string) {
+		// Must never panic; a non-nil workload must validate.
+		w, err := ParseJSON(strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		if verr := w.Validate(); verr != nil {
+			t.Fatalf("ParseJSON returned an invalid workload: %v", verr)
+		}
+	})
+}
