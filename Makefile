@@ -1,0 +1,25 @@
+# Development targets. `make check` is the tier-1 gate; `make race`
+# covers the goroutine fan-out paths (ml batch prediction, sched batch
+# checks, experiment worker pools); `make bench` records the §6.4
+# micro-benchmark trajectory in BENCH_gsight.json.
+
+GO ?= go
+
+.PHONY: check race bench build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+check: build vet test
+
+race:
+	$(GO) test -race ./internal/ml ./internal/core ./internal/sched ./internal/experiments
+
+bench:
+	scripts/bench.sh

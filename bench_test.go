@@ -152,6 +152,25 @@ func BenchmarkInference(b *testing.B) {
 	}
 }
 
+// BenchmarkInferenceBatch measures batched QoS inference over 16
+// queries at a time — the scheduler's per-candidate check shape.
+func BenchmarkInferenceBatch(b *testing.B) {
+	p, obs := trainedPredictor(b)
+	const batch = 16
+	queries := make([]core.Query, batch)
+	out := make([]float64, batch)
+	for i := range queries {
+		o := obs[i%len(obs)]
+		queries[i] = core.Query{Target: o.Target, Inputs: o.Inputs}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.PredictBatchInto(core.IPCQoS, queries, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkIncrementalUpdate measures one batched incremental model
 // update — the paper reports 24.784 ms per update.
 func BenchmarkIncrementalUpdate(b *testing.B) {
@@ -248,19 +267,44 @@ func schedState(spec resources.ServerSpec) *SchedulerState {
 	return &SchedulerState{Caps: caps, Used: make([]resources.Vector, 8)}
 }
 
-// sanity keeps the example expectations in one place: the registry and
-// the bench list must stay in lockstep.
+// benchedIDs is the static list of experiment ids with a Benchmark*
+// runExperiment wrapper above. Adding an experiment to the registry
+// without benchmarking it (or removing one and leaving a stale bench)
+// fails TestBenchRegistryCoverage — keep this list in lockstep with the
+// Benchmark functions.
+var benchedIDs = []string{
+	"table1", "table3", "table4",
+	"fig3a", "fig3b", "fig4", "fig5", "fig7", "fig8", "fig9",
+	"fig10a", "fig10b", "fig10c", "fig11", "fig12", "fig13", "fig14",
+	"ext-pca", "ext-hierarchy", "ext-coldstart", "ext-isolation",
+}
+
+// TestBenchRegistryCoverage pins the registry and the bench list to
+// each other: every registered experiment must have a Benchmark*
+// wrapper (tracked in benchedIDs) and every benched id must still be
+// registered.
 func TestBenchRegistryCoverage(t *testing.T) {
-	covered := map[string]bool{}
-	for _, id := range experiments.IDs() {
-		covered[id] = false
-	}
-	// every registry id has a BenchmarkXxx above (by construction of
-	// runExperiment call sites); verify ids resolve.
-	for id := range covered {
-		if _, err := experiments.Run("nope-"+id, benchOptions()); err == nil {
-			t.Fatal("bogus id resolved")
+	benched := map[string]bool{}
+	for _, id := range benchedIDs {
+		if benched[id] {
+			t.Errorf("duplicate benched id %q", id)
 		}
+		benched[id] = true
+	}
+	registered := map[string]bool{}
+	for _, id := range experiments.IDs() {
+		registered[id] = true
+		if !benched[id] {
+			t.Errorf("experiment %q has no Benchmark* wrapper: add one and list it in benchedIDs", id)
+		}
+	}
+	for _, id := range benchedIDs {
+		if !registered[id] {
+			t.Errorf("benched id %q is no longer registered: remove its Benchmark* wrapper", id)
+		}
+	}
+	if _, err := experiments.Run("nope-bogus", benchOptions()); err == nil {
+		t.Fatal("bogus id resolved")
 	}
 	for _, id := range experiments.IDs() {
 		if !strings.HasPrefix(id, "table") && !strings.HasPrefix(id, "fig") && !strings.HasPrefix(id, "ext-") {

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	gsight-experiments [-scale 1.0] [-seed 42] [-run fig3a,fig9|all] [-list]
+//	gsight-experiments [-scale 1.0] [-seed 42] [-run fig3a,fig9|all] [-parallel] [-list]
 package main
 
 import (
@@ -12,6 +12,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
 	"gsight/internal/experiments"
@@ -24,6 +25,7 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	format := flag.String("format", "text", "output format: text or markdown")
 	out := flag.String("o", "", "write output to this file instead of stdout")
+	parallel := flag.Bool("parallel", false, "run the selected experiments concurrently (output order and contents unchanged)")
 	flag.Parse()
 
 	sink := io.Writer(os.Stdout)
@@ -51,21 +53,52 @@ func main() {
 		ids = strings.Split(*run, ",")
 	}
 	opt := experiments.Options{Seed: *seed, Scale: *scale}
-	failed := 0
-	for _, id := range ids {
-		id = strings.TrimSpace(id)
+	for i := range ids {
+		ids[i] = strings.TrimSpace(ids[i])
+	}
+
+	// Each experiment builds its own model and generator, so runs are
+	// independent; -parallel fans them out and reports are still emitted
+	// in id order with per-seed bit-identical contents.
+	type outcome struct {
+		rep  *experiments.Report
+		err  error
+		took time.Duration
+	}
+	results := make([]outcome, len(ids))
+	runOne := func(i int) {
 		t0 := time.Now()
-		rep, err := experiments.Run(id, opt)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: error: %v\n", id, err)
+		rep, err := experiments.Run(ids[i], opt)
+		results[i] = outcome{rep, err, time.Since(t0).Round(time.Millisecond)}
+	}
+	if *parallel {
+		var wg sync.WaitGroup
+		for i := range ids {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				runOne(i)
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		for i := range ids {
+			runOne(i)
+		}
+	}
+
+	failed := 0
+	for i, id := range ids {
+		res := results[i]
+		if res.err != nil {
+			fmt.Fprintf(os.Stderr, "%s: error: %v\n", id, res.err)
 			failed++
 			continue
 		}
-		took := time.Since(t0).Round(time.Millisecond)
 		if *format == "markdown" {
-			fmt.Fprintf(sink, "%s\n*(regenerated in %v at scale %.2f, seed %d)*\n\n", rep.Markdown(), took, *scale, *seed)
+			fmt.Fprintf(sink, "%s\n*(regenerated in %v at scale %.2f, seed %d)*\n\n", res.rep.Markdown(), res.took, *scale, *seed)
 		} else {
-			fmt.Fprintf(sink, "%s\n(%s took %v)\n\n", rep.String(), id, took)
+			fmt.Fprintf(sink, "%s\n(%s took %v)\n\n", res.rep.String(), id, res.took)
 		}
 	}
 	if failed > 0 {

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"gsight/internal/ml"
+)
+
+// Query is one prediction request in a batch: which member of Inputs is
+// the target workload. PredictBatch only reads Inputs for the duration
+// of the call; callers may reuse the backing slices afterwards.
+type Query struct {
+	Target int
+	Inputs []WorkloadInput
+}
+
+// batchScratch holds the reusable buffers of one PredictBatch call: a
+// flat float backing array, row views into it, and the raw model
+// outputs. Rows only ever point into flat, so pooling retains no caller
+// data.
+type batchScratch struct {
+	flat []float64
+	X    [][]float64
+	out  []float64
+}
+
+var batchPool = sync.Pool{New: func() interface{} { return new(batchScratch) }}
+
+// PredictBatch estimates the QoS of many colocations at once: every
+// query is encoded into one pooled backing array and the model runs its
+// batched inference path (ml.BatchRegressor) when it has one. Results
+// are bit-identical to calling Predict per query — batching changes
+// memory traffic, never arithmetic.
+func (p *Predictor) PredictBatch(kind QoSKind, queries []Query) ([]float64, error) {
+	out := make([]float64, len(queries))
+	if err := p.PredictBatchInto(kind, queries, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// PredictBatchInto is PredictBatch writing into a caller-owned result
+// slice (len(out) must equal len(queries)), for hot paths that reuse
+// their own scratch.
+func (p *Predictor) PredictBatchInto(kind QoSKind, queries []Query, out []float64) error {
+	if !p.trained[kind] {
+		return fmt.Errorf("core: %v model not trained", kind)
+	}
+	if len(out) != len(queries) {
+		return fmt.Errorf("core: PredictBatchInto out length %d != %d queries", len(out), len(queries))
+	}
+	n := len(queries)
+	if n == 0 {
+		return nil
+	}
+	d := p.coder.Dim()
+	sc := batchPool.Get().(*batchScratch)
+	if cap(sc.flat) < n*d {
+		sc.flat = make([]float64, n*d)
+	}
+	sc.flat = sc.flat[:n*d]
+	if cap(sc.X) < n {
+		sc.X = make([][]float64, n)
+	}
+	sc.X = sc.X[:n]
+	for i := range sc.X {
+		sc.X[i] = sc.flat[i*d : (i+1)*d]
+	}
+	for i, q := range queries {
+		if err := p.coder.EncodeInto(sc.X[i], q.Target, q.Inputs); err != nil {
+			batchPool.Put(sc)
+			return err
+		}
+	}
+	if cap(sc.out) < n {
+		sc.out = make([]float64, n)
+	}
+	sc.out = sc.out[:n]
+	model := p.models[kind]
+	if b, ok := model.(ml.BatchRegressor); ok {
+		b.PredictBatchInto(sc.X, sc.out)
+	} else {
+		for i := range sc.X {
+			sc.out[i] = model.Predict(sc.X[i])
+		}
+	}
+	for i, q := range queries {
+		out[i] = sc.out[i] * p.refFor(kind, q.Target, q.Inputs)
+	}
+	batchPool.Put(sc)
+	return nil
+}

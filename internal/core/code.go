@@ -10,7 +10,7 @@ package core
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"sync"
 
 	"gsight/internal/metrics"
 	"gsight/internal/profile"
@@ -154,6 +154,81 @@ func Classify(ws []WorkloadInput) ColocationKind {
 	}
 }
 
+// rowScratch accumulates one "virtual larger function" (§3.3): the
+// metrics, CPU-demand weights and summed allocation of a workload's
+// functions that share a server row.
+type rowScratch struct {
+	vs      []metrics.Vector
+	weights []float64
+	alloc   resources.Vector
+	used    bool
+}
+
+// codeScratch holds the reusable buffers EncodeInto needs, so that a
+// steady-state encode performs no allocation. Instances live in
+// encodePool; they are never retained across calls and hold no pointers
+// into caller data after release().
+type codeScratch struct {
+	ordered   []WorkloadInput
+	serverIDs []int        // serverIDs[row] = physical server id (first-use order)
+	rows      []rowScratch // per-row slot grouping, indexed by row
+	touched   []int        // rows used by the current slot
+}
+
+var encodePool = sync.Pool{New: func() interface{} { return new(codeScratch) }}
+
+// rowOf returns the canonical row of a physical server id, assigning
+// the next row on first use. Colocations touch at most a handful of
+// servers, so a linear scan beats a map — no hashing, no allocation.
+func (sc *codeScratch) rowOf(server int) int {
+	for row, id := range sc.serverIDs {
+		if id == server {
+			return row
+		}
+	}
+	sc.serverIDs = append(sc.serverIDs, server)
+	return len(sc.serverIDs) - 1
+}
+
+// release drops references to caller-owned data so pooled scratch never
+// pins workload inputs or profiles, and clears any rows left dirty by
+// an error return mid-encode.
+func (sc *codeScratch) release() {
+	for i := range sc.ordered {
+		sc.ordered[i] = WorkloadInput{}
+	}
+	sc.ordered = sc.ordered[:0]
+	sc.serverIDs = sc.serverIDs[:0]
+	for _, l := range sc.touched {
+		g := &sc.rows[l]
+		g.vs = g.vs[:0]
+		g.weights = g.weights[:0]
+		g.alloc = resources.Vector{}
+		g.used = false
+	}
+	sc.touched = sc.touched[:0]
+	encodePool.Put(sc)
+}
+
+// corunnerLess is the canonical corunner order: name, start delay,
+// first placement.
+func corunnerLess(a, b *WorkloadInput) bool {
+	if a.Name != b.Name {
+		return a.Name < b.Name
+	}
+	if a.StartDelayS != b.StartDelayS {
+		return a.StartDelayS < b.StartDelayS
+	}
+	pa, pb := -1, -1
+	if len(a.Placement) > 0 {
+		pa = a.Placement[0]
+	}
+	if len(b.Placement) > 0 {
+		pb = b.Placement[0]
+	}
+	return pa < pb
+}
+
 // Encode builds the feature vector for predicting workload ws[target]'s
 // QoS under the colocation. Workloads beyond MaxWorkloads-1 corunners
 // are dropped (the paper fixes n and zero-pads); servers beyond
@@ -162,42 +237,57 @@ func (c Coder) Encode(target int, ws []WorkloadInput) ([]float64, error) {
 	if target < 0 || target >= len(ws) {
 		return nil, fmt.Errorf("core: target %d out of range", target)
 	}
+	x := make([]float64, c.Dim())
+	if err := c.EncodeInto(x, target, ws); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// EncodeInto writes the feature vector for ws[target] into dst, which
+// must have length Dim(). It is the allocation-free core of Encode: all
+// intermediate state lives in pooled scratch, and dst is fully
+// overwritten (zero-padded), so callers may reuse one buffer across
+// calls. The output is bit-identical to Encode's. Safe for concurrent
+// use with distinct dst buffers.
+func (c Coder) EncodeInto(dst []float64, target int, ws []WorkloadInput) error {
+	if len(dst) != c.Dim() {
+		return fmt.Errorf("core: EncodeInto dst has %d entries, want %d", len(dst), c.Dim())
+	}
+	if target < 0 || target >= len(ws) {
+		return fmt.Errorf("core: target %d out of range", target)
+	}
+	sc := encodePool.Get().(*codeScratch)
+	defer sc.release()
+
 	// Reorder: target in slot 0, corunners in a canonical order
 	// (name, start delay, first placement) so that permuting the
 	// submission order of corunners cannot change the code — slot
 	// identity carries no information the model would have to learn
-	// away.
-	ordered := make([]WorkloadInput, 0, len(ws))
-	ordered = append(ordered, ws[target])
-	rest := make([]WorkloadInput, 0, len(ws)-1)
-	for i, w := range ws {
+	// away. The insertion sort is stable (same result as
+	// sort.SliceStable) and corunner counts are <= MaxWorkloads-1,
+	// so it is also the fastest option here.
+	sc.ordered = append(sc.ordered[:0], ws[target])
+	for i := range ws {
 		if i != target {
-			rest = append(rest, w)
+			sc.ordered = append(sc.ordered, ws[i])
 		}
 	}
-	sort.SliceStable(rest, func(a, b int) bool {
-		if rest[a].Name != rest[b].Name {
-			return rest[a].Name < rest[b].Name
+	rest := sc.ordered[1:]
+	for i := 1; i < len(rest); i++ {
+		for j := i; j > 0 && corunnerLess(&rest[j], &rest[j-1]); j-- {
+			rest[j], rest[j-1] = rest[j-1], rest[j]
 		}
-		if rest[a].StartDelayS != rest[b].StartDelayS {
-			return rest[a].StartDelayS < rest[b].StartDelayS
-		}
-		pa, pb := -1, -1
-		if len(rest[a].Placement) > 0 {
-			pa = rest[a].Placement[0]
-		}
-		if len(rest[b].Placement) > 0 {
-			pb = rest[b].Placement[0]
-		}
-		return pa < pb
-	})
-	ordered = append(ordered, rest...)
-	if len(ordered) > c.MaxWorkloads {
-		ordered = ordered[:c.MaxWorkloads]
 	}
+	if len(sc.ordered) > c.MaxWorkloads {
+		sc.ordered = sc.ordered[:c.MaxWorkloads]
+	}
+	ordered := sc.ordered
 
 	kind := Classify(ordered)
-	x := make([]float64, c.Dim())
+	for i := range dst {
+		dst[i] = 0
+	}
 	dOff := (c.MaxWorkloads + 1) * c.blockSize()
 	tOff := dOff + c.MaxWorkloads
 
@@ -208,57 +298,52 @@ func (c Coder) Encode(target int, ws []WorkloadInput) ([]float64, error) {
 	// assigned in order of first use (target's functions first, then
 	// corunners in slot order), which aligns "the server hosting the
 	// target's first function" to row 0 in every sample.
-	serverRow := make(map[int]int)
-	for _, w := range ordered {
-		for _, l := range w.Placement {
-			if _, ok := serverRow[l]; !ok {
-				serverRow[l] = len(serverRow)
-			}
+	for i := range ordered {
+		for _, l := range ordered[i].Placement {
+			sc.rowOf(l)
 		}
+	}
+	if need := c.NumServers; len(sc.rows) < need {
+		sc.rows = append(sc.rows, make([]rowScratch, need-len(sc.rows))...)
 	}
 
 	// Temporal overlap coding (§3.3): delays relative to the first
 	// SC/BG arrival; LS workloads carry D = T = 0.
 	firstSC := 0.0
 	found := false
-	for _, w := range ordered {
-		if w.Class != workload.LS {
-			if !found || w.StartDelayS < firstSC {
-				firstSC = w.StartDelayS
+	for i := range ordered {
+		if ordered[i].Class != workload.LS {
+			if !found || ordered[i].StartDelayS < firstSC {
+				firstSC = ordered[i].StartDelayS
 				found = true
 			}
 		}
 	}
 
-	for slot, w := range ordered {
+	for slot := range ordered {
+		w := &ordered[slot]
 		if len(w.Profiles) != len(w.Placement) {
-			return nil, fmt.Errorf("core: workload %q has %d profiles, %d placements",
+			return fmt.Errorf("core: workload %q has %d profiles, %d placements",
 				w.Name, len(w.Profiles), len(w.Placement))
 		}
 		// Spatial overlap coding: merge same-server functions into a
 		// "virtual larger function" by CPU-demand-weighted averaging
 		// of their metrics; allocations sum.
-		type group struct {
-			vs      []metrics.Vector
-			weights []float64
-			alloc   resources.Vector
-		}
-		groups := make(map[int]*group)
 		for f := range w.Profiles {
 			if w.Placement[f] < 0 {
-				return nil, fmt.Errorf("core: workload %q function %d on negative server", w.Name, f)
+				return fmt.Errorf("core: workload %q function %d on negative server", w.Name, f)
 			}
-			l := serverRow[w.Placement[f]]
+			l := sc.rowOf(w.Placement[f])
 			if l >= c.NumServers {
-				return nil, fmt.Errorf("core: workload %q function %d on server row %d (S=%d): %w",
+				return fmt.Errorf("core: workload %q function %d on server row %d (S=%d): %w",
 					w.Name, f, l, c.NumServers, ErrTooManyServers)
 			}
-			g := groups[l]
-			if g == nil {
-				g = &group{}
-				groups[l] = g
+			g := &sc.rows[l]
+			if !g.used {
+				g.used = true
+				sc.touched = append(sc.touched, l)
 			}
-			p := w.Profiles[f]
+			p := &w.Profiles[f]
 			m := p.Metrics
 			if w.Class == workload.LS && w.QPSFrac > 0 {
 				m = profile.ScaleLoad(m, w.QPSFrac)
@@ -271,32 +356,38 @@ func (c Coder) Encode(target int, ws []WorkloadInput) ([]float64, error) {
 			g.weights = append(g.weights, weight)
 			g.alloc = g.alloc.Add(p.Alloc.Scale(w.replicas(f)))
 		}
-		for l, g := range groups {
+		for _, l := range sc.touched {
+			g := &sc.rows[l]
 			merged := metrics.Mix(g.vs, g.weights).Select()
 			for col, v := range merged {
-				x[c.UFeatureIndex(slot, l, col)] = v
+				dst[c.UFeatureIndex(slot, l, col)] = v
 				if slot > 0 {
-					x[c.UFeatureIndex(c.aggSlot(), l, col)] += v
+					dst[c.UFeatureIndex(c.aggSlot(), l, col)] += v
 				}
 			}
 			// R rows: the six allocation dimensions occupy the first
 			// six columns; the rest stay zero-padded.
 			for k := 0; k < int(resources.NumKinds); k++ {
-				x[c.rFeatureIndex(slot, l, k)] = g.alloc[k]
+				dst[c.rFeatureIndex(slot, l, k)] = g.alloc[k]
 				if slot > 0 {
-					x[c.rFeatureIndex(c.aggSlot(), l, k)] += g.alloc[k]
+					dst[c.rFeatureIndex(c.aggSlot(), l, k)] += g.alloc[k]
 				}
 			}
+			g.vs = g.vs[:0]
+			g.weights = g.weights[:0]
+			g.alloc = resources.Vector{}
+			g.used = false
 		}
+		sc.touched = sc.touched[:0]
 		switch {
 		case kind == LSLS:
 			// D = T = 0; QPS is already folded into the scaled metrics.
 		case w.Class == workload.LS:
 			// LS in a mixed colocation: D = T = 0.
 		default:
-			x[dOff+slot] = w.StartDelayS - firstSC
-			x[tOff+slot] = w.LifetimeS
+			dst[dOff+slot] = w.StartDelayS - firstSC
+			dst[tOff+slot] = w.LifetimeS
 		}
 	}
-	return x, nil
+	return nil
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"gsight/internal/metrics"
 	"gsight/internal/ml"
@@ -93,6 +94,10 @@ type Predictor struct {
 	pending [numQoSKinds]ml.Dataset
 	trained [numQoSKinds]bool
 	seen    [numQoSKinds]int
+	// xPool recycles Dim()-sized encode buffers so the prediction hot
+	// path allocates nothing. Buffers never escape: the model reads x
+	// during Predict and must not retain it.
+	xPool sync.Pool
 }
 
 // NewPredictor returns an untrained predictor.
@@ -107,6 +112,10 @@ func NewPredictor(cfg Config) *Predictor {
 		cfg.Coder = DefaultCoder()
 	}
 	p := &Predictor{cfg: cfg, coder: cfg.Coder}
+	p.xPool.New = func() interface{} {
+		buf := make([]float64, p.coder.Dim())
+		return &buf
+	}
 	for k := range p.models {
 		m := cfg.Factory(cfg.Seed + uint64(k)*7919)
 		// Tail latency and JCT span orders of magnitude across
@@ -197,11 +206,15 @@ func (p *Predictor) Predict(kind QoSKind, target int, ws []WorkloadInput) (float
 	if !p.trained[kind] {
 		return 0, fmt.Errorf("core: %v model not trained", kind)
 	}
-	x, err := p.coder.Encode(target, ws)
-	if err != nil {
+	xp := p.xPool.Get().(*[]float64)
+	x := *xp
+	if err := p.coder.EncodeInto(x, target, ws); err != nil {
+		p.xPool.Put(xp)
 		return 0, err
 	}
-	return p.models[kind].Predict(x) * p.refFor(kind, target, ws), nil
+	v := p.models[kind].Predict(x)
+	p.xPool.Put(xp)
+	return v * p.refFor(kind, target, ws), nil
 }
 
 // Observe feeds one post-deployment measurement back into the model

@@ -13,6 +13,7 @@ import (
 	"gsight/internal/core"
 	"gsight/internal/perfmodel"
 	"gsight/internal/resources"
+	"gsight/internal/rng"
 	"gsight/internal/scenario"
 )
 
@@ -229,69 +230,112 @@ func trainTest(obs []core.Observation, holdEvery int) (train, test []core.Observ
 	return train, test
 }
 
-// mapeOf evaluates a predictor's mean relative error on observations.
-func mapeOf(p core.QoSPredictor, kind core.QoSKind, obs []core.Observation) (float64, error) {
-	sum, n := 0.0, 0
-	for _, o := range obs {
-		if o.Label == 0 {
-			continue
-		}
-		got, err := p.Predict(kind, o.Target, o.Inputs)
-		if err != nil {
-			return 0, err
-		}
-		e := (got - o.Label) / o.Label
-		if e < 0 {
-			e = -e
-		}
-		sum += e
-		n++
-	}
-	if n == 0 {
-		return 0, fmt.Errorf("experiments: no evaluable observations")
-	}
-	return sum / float64(n), nil
+// batchQoSPredictor is the optional batched inference fast path
+// (core.Predictor has it; the baselines do not). Batched predictions
+// are bit-identical to per-query Predict, so results don't depend on
+// which path runs.
+type batchQoSPredictor interface {
+	core.QoSPredictor
+	PredictBatch(kind core.QoSKind, queries []core.Query) ([]float64, error)
 }
 
-// errsOf returns per-sample relative errors.
+// mapeOf evaluates a predictor's mean relative error on observations.
+func mapeOf(p core.QoSPredictor, kind core.QoSKind, obs []core.Observation) (float64, error) {
+	errs, err := errsOf(p, kind, obs)
+	if err != nil {
+		return 0, err
+	}
+	if len(errs) == 0 {
+		return 0, fmt.Errorf("experiments: no evaluable observations")
+	}
+	sum := 0.0
+	for _, e := range errs {
+		sum += e
+	}
+	return sum / float64(len(errs)), nil
+}
+
+// errsOf returns per-sample relative errors, using the predictor's
+// batched path when it has one.
 func errsOf(p core.QoSPredictor, kind core.QoSKind, obs []core.Observation) ([]float64, error) {
-	var out []float64
+	kept := make([]core.Observation, 0, len(obs))
 	for _, o := range obs {
-		if o.Label == 0 {
-			continue
+		if o.Label != 0 {
+			kept = append(kept, o)
 		}
-		got, err := p.Predict(kind, o.Target, o.Inputs)
+	}
+	if len(kept) == 0 {
+		return nil, nil
+	}
+	preds := make([]float64, len(kept))
+	if bp, ok := p.(batchQoSPredictor); ok {
+		queries := make([]core.Query, len(kept))
+		for i, o := range kept {
+			queries[i] = core.Query{Target: o.Target, Inputs: o.Inputs}
+		}
+		got, err := bp.PredictBatch(kind, queries)
 		if err != nil {
 			return nil, err
 		}
-		e := (got - o.Label) / o.Label
+		preds = got
+	} else {
+		for i, o := range kept {
+			got, err := p.Predict(kind, o.Target, o.Inputs)
+			if err != nil {
+				return nil, err
+			}
+			preds[i] = got
+		}
+	}
+	out := make([]float64, len(kept))
+	for i, o := range kept {
+		e := (preds[i] - o.Label) / o.Label
 		if e < 0 {
 			e = -e
 		}
-		out = append(out, e)
+		out[i] = e
 	}
 	return out, nil
 }
 
 // collectObs draws labeled observations of one QoS kind from randomized
-// colocations.
+// colocations. Scenario and noise-stream draws happen sequentially (the
+// generator's RNG order is the determinism anchor); the expensive
+// testbed evaluations then fan out over the worker pool and results are
+// assembled in draw order, so the observation list is byte-identical to
+// a sequential run.
 func collectObs(g *scenario.Generator, colocation core.ColocationKind, kind core.QoSKind, scenarios, maxWorkloads int) ([]core.Observation, error) {
-	var obs []core.Observation
-	for i := 0; i < scenarios; i++ {
+	type draw struct {
+		sc    *perfmodel.Scenario
+		noise *rng.Rand
+	}
+	draws := make([]draw, scenarios)
+	for i := range draws {
 		k := 2
 		if maxWorkloads > 2 {
 			k = 2 + g.Rand().Intn(maxWorkloads-1)
 		}
-		sc := g.Colocation(colocation, k)
-		samples, err := g.Label(sc)
+		draws[i] = draw{g.Colocation(colocation, k), g.NoiseSplit()}
+	}
+	perScenario := make([][]core.Observation, scenarios)
+	err := forEach(scenarios, func(i int) error {
+		samples, err := g.LabelWith(draws[i].sc, draws[i].noise)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		for _, s := range samples {
 			if s.Kind == kind {
-				obs = append(obs, core.Observation{Target: s.Target, Inputs: s.Inputs, Label: s.Label})
+				perScenario[i] = append(perScenario[i], core.Observation{Target: s.Target, Inputs: s.Inputs, Label: s.Label})
 			}
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var obs []core.Observation
+	for _, part := range perScenario {
+		obs = append(obs, part...)
 	}
 	return obs, nil
 }

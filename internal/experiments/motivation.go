@@ -92,34 +92,48 @@ func Fig3aVolatility(opt Options) (*Report, error) {
 	}, 0)
 	r.AddRow("(solo)", "-", f1(soloP99), f2(soloCoV), f2(soloIPC))
 
+	// The 36 grid cells draw from per-cell seed-derived streams and the
+	// shared model is read-only under Evaluate, so they fan out freely;
+	// rows are assembled in grid order afterwards.
+	micros := workload.MicroBenchmarks()
+	nFn := sn.NumFunctions()
+	type cell struct{ p99, cov, ipc float64 }
+	cells := make([]cell, len(micros)*nFn)
+	if err := forEach(len(cells), func(idx int) error {
+		mi, f := idx/nFn, idx%nFn
+		p99, cov, ipc := evalRepeated(func() []*perfmodel.Deployment {
+			d := perfmodel.SpreadDeployment(sn, m.Testbed)
+			d.QPS = sn.MaxQPS / 2
+			c := perfmodel.NewDeployment(workload.MicroBenchmarks()[mi].Clone())
+			for cf := range c.Placement {
+				c.Placement[cf] = d.Placement[f]
+				c.Socket[cf] = d.Socket[f]
+			}
+			return []*perfmodel.Deployment{d, c}
+		}, uint64(100+mi*16+f))
+		cells[idx] = cell{p99, cov, ipc}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 	var minP99, maxP99 = soloP99, soloP99
 	var entryP99, followP99 float64
-	for mi, micro := range workload.MicroBenchmarks() {
-		for f := 0; f < sn.NumFunctions(); f++ {
-			mi, f := mi, f
-			p99, cov, ipc := evalRepeated(func() []*perfmodel.Deployment {
-				d := perfmodel.SpreadDeployment(sn, m.Testbed)
-				d.QPS = sn.MaxQPS / 2
-				c := perfmodel.NewDeployment(workload.MicroBenchmarks()[mi].Clone())
-				for cf := range c.Placement {
-					c.Placement[cf] = d.Placement[f]
-					c.Socket[cf] = d.Socket[f]
-				}
-				return []*perfmodel.Deployment{d, c}
-			}, uint64(100+mi*16+f))
+	for mi, micro := range micros {
+		for f := 0; f < nFn; f++ {
+			c := cells[mi*nFn+f]
 			r.AddRow(micro.Name, fmt.Sprintf("fn%d %s", f+1, sn.Functions[f].Name),
-				f1(p99), f2(cov), f2(ipc))
-			if p99 < minP99 {
-				minP99 = p99
+				f1(c.p99), f2(c.cov), f2(c.ipc))
+			if c.p99 < minP99 {
+				minP99 = c.p99
 			}
-			if p99 > maxP99 {
-				maxP99 = p99
+			if c.p99 > maxP99 {
+				maxP99 = c.p99
 			}
 			if micro.Name == "matmul" && f == 0 {
-				entryP99 = p99
+				entryP99 = c.p99
 			}
 			if micro.Name == "matmul" && f == 8 {
-				followP99 = p99
+				followP99 = c.p99
 			}
 		}
 	}

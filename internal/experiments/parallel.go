@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+)
+
+// forEach runs fn(0) … fn(n-1) on a bounded worker pool (GOMAXPROCS
+// wide) and returns the lowest-index error, matching what a sequential
+// loop would have surfaced.
+//
+// Determinism contract: fn(i) must write only to index i of pre-sized
+// result slices, and any randomness it consumes must come from streams
+// split sequentially BEFORE the fan-out (scenario.Generator.NoiseSplit,
+// rng.Split). Under that contract a parallel run is byte-identical to
+// the sequential one — assembly order is the index order, and each
+// stream's draw sequence is fixed at split time.
+func forEach(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"gsight/internal/core"
+)
+
+func TestForEachRunsAll(t *testing.T) {
+	const n = 100
+	var hits [n]int32
+	if err := forEach(n, func(i int) error {
+		atomic.AddInt32(&hits[i], 1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d ran %d times", i, h)
+		}
+	}
+	if err := forEach(0, func(int) error { t.Fatal("fn called for n=0"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	errA, errB := errors.New("a"), errors.New("b")
+	err := forEach(50, func(i int) error {
+		switch i {
+		case 7:
+			return errA
+		case 31:
+			return errB
+		}
+		return nil
+	})
+	if !errors.Is(err, errA) {
+		t.Fatalf("got %v, want lowest-index error %v", err, errA)
+	}
+}
+
+// TestFig3aDeterministic guards the parallel-replica contract: the
+// fanned-out grid must render byte-identically across runs at the same
+// seed.
+func TestFig3aDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repeated fig3a run is slow")
+	}
+	opt := Options{Seed: 42, Scale: 0.02}
+	a, err := Fig3aVolatility(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fig3aVolatility(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("fig3a not deterministic across parallel runs:\n--- first\n%s\n--- second\n%s", a, b)
+	}
+}
+
+// TestCollectObsDeterministic: parallel labeling with pre-split noise
+// streams must reproduce the sequential draw order exactly.
+func TestCollectObsDeterministic(t *testing.T) {
+	run := func() []float64 {
+		_, g := newLab(Options{Seed: 7, Scale: 0.02})
+		obs, err := collectObs(g, core.LSSC, core.IPCQoS, 12, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		labels := make([]float64, len(obs))
+		for i, o := range obs {
+			labels[i] = o.Label
+		}
+		return labels
+	}
+	a, b := run(), run()
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("label counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("label %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

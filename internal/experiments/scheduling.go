@@ -85,19 +85,29 @@ func scheduleStudy(opt Options) (map[string]*platform.Stats, error) {
 	if duration < 7200 {
 		duration = 7200
 	}
-	out := map[string]*platform.Stats{}
-	for _, entry := range []struct {
+	// The three scheduler runs are independent: each gets its own model,
+	// scheduler (placement scratch is per-scheduler) and service set, all
+	// built sequentially, and platform.Run derives its randomness from
+	// Seed. They fan out across the worker pool with no shared mutable
+	// state — the per-run predictors are only read during placement.
+	entries := []struct {
 		name string
 		s    sched.Scheduler
 	}{
 		{"Gsight", sched.NewGsight(gsightP)},
 		{"Pythia", sched.NewBestFit(pythiaP)},
 		{"WorstFit", sched.NewWorstFit()},
-	} {
+	}
+	svcSets := make([][]platform.LSService, len(entries))
+	for i := range entries {
+		svcSets[i] = services()
+	}
+	results := make([]*platform.Stats, len(entries))
+	err = forEach(len(entries), func(i int) error {
 		st, err := platform.Run(platform.Config{
 			Model:           perfmodel.New(m.Testbed),
-			Scheduler:       entry.s,
-			Services:        services(),
+			Scheduler:       entries[i].s,
+			Services:        svcSets[i],
 			SCPool:          scPool,
 			SCMeanIntervalS: 180,
 			DurationS:       duration,
@@ -105,10 +115,18 @@ func scheduleStudy(opt Options) (map[string]*platform.Stats, error) {
 			Seed:            opt.Seed,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("experiments: %s run: %w", entry.name, err)
+			return fmt.Errorf("experiments: %s run: %w", entries[i].name, err)
 		}
-		st.SchedulerName = entry.name
-		out[entry.name] = st
+		st.SchedulerName = entries[i].name
+		results[i] = st
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]*platform.Stats{}
+	for i, entry := range entries {
+		out[entry.name] = results[i]
 	}
 	return out, nil
 }

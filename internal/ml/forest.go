@@ -3,6 +3,7 @@ package ml
 import (
 	"math"
 	"runtime"
+	"sort"
 	"sync"
 
 	"gsight/internal/rng"
@@ -108,38 +109,41 @@ func (f *Forest) Update(X [][]float64, y []float64) error {
 // are statistically indistinguishable, so pruning is harmless; after a
 // concept shift (Figure 13) the stale-regime trees score terribly and
 // are culled within a few updates.
+//
+// Each tree is scored once and the scores are sorted once; survivors
+// keep their original order. A stable descending sort breaks SSE ties
+// by tree age exactly like the previous repeated worst-scan did, so the
+// surviving set is unchanged — just O(T log T) instead of O(excess*T).
 func (f *Forest) prune(X [][]float64, y []float64) {
 	excess := len(f.trees) - f.cfg.MaxTrees
 	if excess <= 0 {
 		return
 	}
-	type scored struct {
-		t   *Tree
-		sse float64
-	}
-	ss := make([]scored, len(f.trees))
+	sse := make([]float64, len(f.trees))
 	for i, t := range f.trees {
-		sse := 0.0
+		s := 0.0
 		for j, x := range X {
 			d := t.Predict(x) - y[j]
-			sse += d * d
+			s += d * d
 		}
-		ss[i] = scored{t, sse}
+		sse[i] = s
 	}
-	// partial selection: repeatedly remove the worst
-	for n := 0; n < excess; n++ {
-		worst := 0
-		for i := 1; i < len(ss); i++ {
-			if ss[i].sse > ss[worst].sse {
-				worst = i
-			}
+	order := make([]int, len(f.trees))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return sse[order[a]] > sse[order[b]] })
+	drop := make([]bool, len(f.trees))
+	for _, i := range order[:excess] {
+		drop[i] = true
+	}
+	kept := f.trees[:0]
+	for i, t := range f.trees {
+		if !drop[i] {
+			kept = append(kept, t)
 		}
-		ss = append(ss[:worst], ss[worst+1:]...)
 	}
-	f.trees = f.trees[:0]
-	for _, s := range ss {
-		f.trees = append(f.trees, s.t)
-	}
+	f.trees = kept
 }
 
 func (f *Forest) absorb(X [][]float64, y []float64) {
@@ -157,21 +161,21 @@ func (f *Forest) absorb(X [][]float64, y []float64) {
 
 // growTrees grows k trees, drawing each tree's bootstrap and split RNG
 // sequentially from the forest's stream (determinism) and then fitting
-// all trees concurrently across the available cores.
+// all trees concurrently across the available cores. Bootstraps are
+// index lists into the shared window (FitIndexed) rather than
+// materialized row copies.
 func (f *Forest) growTrees(k int) ([]*Tree, error) {
 	n := f.buf.Len()
 	if n == 0 {
 		return nil, ErrNoData
 	}
 	type job struct {
-		bx  [][]float64
-		by  []float64
+		idx []int
 		rnd *rng.Rand
 	}
 	jobs := make([]job, k)
 	for t := 0; t < k; t++ {
-		bx := make([][]float64, n)
-		by := make([]float64, n)
+		idx := make([]int, n)
 		for i := 0; i < n; i++ {
 			// Recency-biased bootstrap: u^1.5 skews index draws
 			// toward the newest window entries, so fresh trees track
@@ -181,10 +185,9 @@ func (f *Forest) growTrees(k int) ([]*Tree, error) {
 			if j < 0 {
 				j = 0
 			}
-			bx[i] = f.buf.X[j]
-			by[i] = f.buf.Y[j]
+			idx[i] = j
 		}
-		jobs[t] = job{bx, by, f.rnd.Split()}
+		jobs[t] = job{idx, f.rnd.Split()}
 	}
 
 	trees := make([]*Tree, k)
@@ -201,7 +204,7 @@ func (f *Forest) growTrees(k int) ([]*Tree, error) {
 			defer wg.Done()
 			for t := range next {
 				tree := NewTree(f.cfg.Tree)
-				errs[t] = tree.FitSeeded(jobs[t].bx, jobs[t].by, jobs[t].rnd)
+				errs[t] = tree.FitIndexed(f.buf.X, f.buf.Y, jobs[t].idx, jobs[t].rnd)
 				trees[t] = tree
 			}
 		}()
@@ -231,6 +234,75 @@ func (f *Forest) Predict(x []float64) float64 {
 	return sum / float64(len(f.trees))
 }
 
+// PredictBatch predicts every sample of X. Results are bit-identical to
+// calling Predict per sample.
+func (f *Forest) PredictBatch(X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	f.PredictBatchInto(X, out)
+	return out
+}
+
+// batchParallelMin is the per-worker sample count below which goroutine
+// fan-out costs more than it saves.
+const batchParallelMin = 16
+
+// PredictBatchInto predicts every sample of X into out (len(out) must
+// equal len(X)). Large batches fan out over sample ranges; within each
+// range the loop is tree-outer/sample-inner, so a tree's nodes stay hot
+// in cache across the whole range. Because every sample still
+// accumulates its tree sum in tree order, the results are bit-identical
+// to per-sample Predict regardless of worker count.
+func (f *Forest) PredictBatchInto(X [][]float64, out []float64) {
+	n := len(X)
+	if n == 0 {
+		return
+	}
+	if len(f.trees) == 0 {
+		for i := range out {
+			out[i] = 0
+		}
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if max := n / batchParallelMin; workers > max {
+		workers = max
+	}
+	if workers <= 1 {
+		f.predictRange(X, out, 0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			f.predictRange(X, out, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// predictRange fills out[lo:hi] with forest predictions for X[lo:hi].
+func (f *Forest) predictRange(X [][]float64, out []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		out[i] = 0
+	}
+	for _, t := range f.trees {
+		for i := lo; i < hi; i++ {
+			out[i] += t.Predict(X[i])
+		}
+	}
+	n := float64(len(f.trees))
+	for i := lo; i < hi; i++ {
+		out[i] /= n
+	}
+}
+
 // Importance returns the normalized impurity-based feature importances
 // (summing to 1 when any split occurred) — Figure 8's metric.
 func (f *Forest) Importance() []float64 {
@@ -256,3 +328,4 @@ func (f *Forest) Importance() []float64 {
 func (f *Forest) NumTrees() int { return len(f.trees) }
 
 var _ Incremental = (*Forest)(nil)
+var _ BatchRegressor = (*Forest)(nil)

@@ -48,4 +48,21 @@ func (l *LogTarget) Predict(x []float64) float64 {
 	return math.Exp(l.Inner.Predict(x))
 }
 
+// PredictBatchInto predicts every sample of X into out, delegating to
+// the inner model's batch path when it has one and exponentiating in
+// place. Bit-identical to per-sample Predict.
+func (l *LogTarget) PredictBatchInto(X [][]float64, out []float64) {
+	if b, ok := l.Inner.(BatchRegressor); ok {
+		b.PredictBatchInto(X, out)
+	} else {
+		for i, x := range X {
+			out[i] = l.Inner.Predict(x)
+		}
+	}
+	for i := range out {
+		out[i] = math.Exp(out[i])
+	}
+}
+
 var _ Incremental = (*LogTarget)(nil)
+var _ BatchRegressor = (*LogTarget)(nil)

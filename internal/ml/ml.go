@@ -30,6 +30,17 @@ type Incremental interface {
 	Update(X [][]float64, y []float64) error
 }
 
+// BatchRegressor is implemented by models whose batched prediction path
+// beats a per-sample Predict loop (shared traversal state, cache
+// locality, goroutine fan-out). Implementations MUST return results
+// bit-identical to per-sample Predict — callers rely on single and
+// batched inference being interchangeable.
+type BatchRegressor interface {
+	// PredictBatchInto fills out[i] with the prediction for X[i];
+	// len(out) must equal len(X).
+	PredictBatchInto(X [][]float64, out []float64)
+}
+
 // ErrNoData is returned when fitting on an empty dataset.
 var ErrNoData = errors.New("ml: empty training set")
 

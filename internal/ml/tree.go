@@ -67,15 +67,34 @@ func (t *Tree) FitSeeded(X [][]float64, y []float64, rnd *rng.Rand) error {
 	if err := checkXY(X, y); err != nil {
 		return err
 	}
+	idx := make([]int, len(y))
+	for i := range idx {
+		idx[i] = i
+	}
+	return t.FitIndexed(X, y, idx, rnd)
+}
+
+// FitIndexed grows the tree on the samples X[idx[0]], X[idx[1]], ...
+// (duplicates allowed): a bootstrap resample is just an index list into
+// the shared training window, so forests never materialize per-tree row
+// copies. FitSeeded is the identity-index special case. The tree does
+// not retain idx.
+func (t *Tree) FitIndexed(X [][]float64, y []float64, idx []int, rnd *rng.Rand) error {
+	if err := checkXY(X, y); err != nil {
+		return err
+	}
+	if len(idx) == 0 {
+		return ErrNoData
+	}
 	t.dim = len(X[0])
 	// Sparse colocation codes zero-pad unused workload slots and
 	// servers; restricting split search to features that actually vary
 	// makes the per-split feature subsample land on signal.
 	t.active = t.active[:0]
 	for j := 0; j < t.dim; j++ {
-		v0 := X[0][j]
-		for _, x := range X[1:] {
-			if x[j] != v0 {
+		v0 := X[idx[0]][j]
+		for _, i := range idx[1:] {
+			if X[i][j] != v0 {
 				t.active = append(t.active, j)
 				break
 			}
@@ -84,10 +103,6 @@ func (t *Tree) FitSeeded(X [][]float64, y []float64, rnd *rng.Rand) error {
 	t.cfg = t.cfg.withDefaults(len(t.active))
 	t.nodes = t.nodes[:0]
 	t.importance = make([]float64, t.dim)
-	idx := make([]int, len(y))
-	for i := range idx {
-		idx[i] = i
-	}
 	t.grow(X, y, idx, 0, rnd)
 	return nil
 }

@@ -224,10 +224,33 @@ func (g *Generator) Colocation(kind core.ColocationKind, k int) *perfmodel.Scena
 	return &perfmodel.Scenario{Deployments: deps}
 }
 
+// NoiseSplit draws an independent measurement-noise stream from the
+// generator's noise sequence. Streams are drawn sequentially (each call
+// advances the parent stream) and may then be consumed concurrently —
+// the experiment harness's recipe for parallel labeling with
+// byte-identical results.
+func (g *Generator) NoiseSplit() *rng.Rand { return g.noise.Split() }
+
 // Label evaluates a scenario on the testbed (with measurement noise)
 // and emits one sample per deployment and applicable QoS kind.
 func (g *Generator) Label(sc *perfmodel.Scenario) ([]Sample, error) {
-	res, err := g.Model.Evaluate(sc, g.noise.Split())
+	// Profile any workload outside the pre-profiled pools before
+	// splitting the noise stream, so LabelWith itself stays free of
+	// generator RNG use.
+	for _, d := range sc.Deployments {
+		if _, ok := g.Store.Get(d.W.Name); !ok {
+			g.Store.ProfileWorkload(d.W, g.Model.Testbed.Servers[0], g.rnd.Split())
+		}
+	}
+	return g.LabelWith(sc, g.noise.Split())
+}
+
+// LabelWith is Label with a caller-provided noise stream. It reads but
+// never mutates the generator (no RNG draws, no store writes), so
+// concurrent calls with pre-split streams are safe. Every workload in
+// the scenario must already be profiled; pool workloads always are.
+func (g *Generator) LabelWith(sc *perfmodel.Scenario, noise *rng.Rand) ([]Sample, error) {
+	res, err := g.Model.Evaluate(sc, noise)
 	if err != nil {
 		return nil, err
 	}
@@ -235,7 +258,7 @@ func (g *Generator) Label(sc *perfmodel.Scenario) ([]Sample, error) {
 	for i, d := range sc.Deployments {
 		ps, ok := g.Store.Get(d.W.Name)
 		if !ok {
-			ps = g.Store.ProfileWorkload(d.W, g.Model.Testbed.Servers[0], g.rnd.Split())
+			return nil, fmt.Errorf("scenario: workload %q not profiled", d.W.Name)
 		}
 		inputs[i] = InputFrom(d, ps)
 	}

@@ -1,0 +1,132 @@
+package sched
+
+import (
+	"testing"
+
+	"gsight/internal/core"
+	"gsight/internal/ml"
+	"gsight/internal/perfmodel"
+	"gsight/internal/resources"
+	"gsight/internal/scenario"
+	"gsight/internal/workload"
+)
+
+// noBatch hides a predictor's batch fast path behind the plain
+// interface, forcing the scheduler down the sequential check loop.
+type noBatch struct{ core.QoSPredictor }
+
+func trainedSchedPredictor(t *testing.T) *core.Predictor {
+	t.Helper()
+	m := perfmodel.New(resources.DefaultTestbed())
+	scenario.FastConfig(m)
+	g := scenario.NewGenerator(m, 42)
+	var ipcObs, jctObs []core.Observation
+	for i := 0; i < 30; i++ {
+		sc := g.Colocation(core.LSSC, 2)
+		samples, err := g.Label(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range samples {
+			o := core.Observation{Target: s.Target, Inputs: s.Inputs, Label: s.Label}
+			switch s.Kind {
+			case core.IPCQoS:
+				ipcObs = append(ipcObs, o)
+			case core.JCTQoS:
+				jctObs = append(jctObs, o)
+			}
+		}
+	}
+	p := core.NewPredictor(core.Config{
+		Seed: 1,
+		Factory: func(seed uint64) ml.Incremental {
+			return ml.NewForest(ml.ForestConfig{Trees: 4, Seed: seed, Tree: ml.TreeConfig{MTry: 48}})
+		},
+	})
+	if err := p.TrainObservations(core.IPCQoS, ipcObs); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.TrainObservations(core.JCTQoS, jctObs); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestGsightBatchMatchesSequential drives two schedulers — one on the
+// predictor's batched check path, one forced sequential — through the
+// same request sequence. Batched predictions are bit-identical to
+// single ones, so every placement decision must agree.
+func TestGsightBatchMatchesSequential(t *testing.T) {
+	p := trainedSchedPredictor(t)
+	reqs := []*Request{
+		{Input: inputFor(workload.SocialNetwork(), 0.5), SLA: SLA{MinIPC: 0.4}},
+		{Input: inputFor(workload.MatMul(), 0), SLA: SLA{MaxJCTFactor: 3}, SoloDurationS: 60},
+		{Input: inputFor(workload.ECommerce(), 0.4), SLA: SLA{MinIPC: 0.4}},
+		{Input: inputFor(workload.DD(), 0), SLA: SLA{MinIPC: 0.3, MaxJCTFactor: 4}, SoloDurationS: 45},
+		{Input: inputFor(workload.MLServing(), 0.3), SLA: SLA{MinIPC: 0.4}},
+	}
+	run := func(pred core.QoSPredictor) [][]int {
+		st := StateFromProfiles(spec, 8)
+		g := NewGsight(pred)
+		var placements [][]int
+		for _, req := range reqs {
+			placement, err := g.Place(st, req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			in := req.Input
+			in.Placement = placement
+			st.Commit(in, req.SLA)
+			placements = append(placements, placement)
+		}
+		return placements
+	}
+	batched := run(p)
+	sequential := run(noBatch{p})
+	for i := range reqs {
+		if len(batched[i]) != len(sequential[i]) {
+			t.Fatalf("request %d: placement lengths differ", i)
+		}
+		for f := range batched[i] {
+			if batched[i][f] != sequential[i][f] {
+				t.Fatalf("request %d fn %d: batched %v vs sequential %v",
+					i, f, batched[i], sequential[i])
+			}
+		}
+	}
+}
+
+// TestGsightPlaceDeterministic re-runs the same placement on one
+// scheduler instance: scratch reuse must not leak state between calls,
+// and returned placements must be freshly owned (not aliased scratch).
+func TestGsightPlaceDeterministic(t *testing.T) {
+	p := trainedSchedPredictor(t)
+	g := NewGsight(p)
+	st := StateFromProfiles(spec, 8)
+	seed := inputFor(workload.MatMul(), 0)
+	seed.Placement = []int{0}
+	st.Commit(seed, SLA{MaxJCTFactor: 5})
+	req := &Request{Input: inputFor(workload.SocialNetwork(), 0.5), SLA: SLA{MinIPC: 0.4}}
+	first, err := g.Place(st, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot := append([]int(nil), first...)
+	for round := 0; round < 5; round++ {
+		got, err := g.Place(st, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for f := range snapshot {
+			if got[f] != snapshot[f] {
+				t.Fatalf("round %d: placement drifted: %v vs %v", round, got, snapshot)
+			}
+		}
+		// The earlier result must be unaffected by later Place calls.
+		for f := range snapshot {
+			if first[f] != snapshot[f] {
+				t.Fatalf("round %d: prior placement mutated: %v vs %v", round, first, snapshot)
+			}
+		}
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
 
 	"gsight/internal/core"
 	"gsight/internal/resources"
@@ -121,6 +120,47 @@ func fits(st *State, s int, add resources.Vector, cpuOversub float64) bool {
 	return true
 }
 
+// insertionSort stably sorts ids in place with the given element-wise
+// ordering — the same result as sort.SliceStable (a stable sort is
+// uniquely determined by its comparator) without the reflection and
+// closure allocations on the placement hot path.
+func insertionSort(ids []int, less func(a, b int) bool) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && less(ids[j], ids[j-1]); j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}
+
+func resizeInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+func resizeVecs(s []resources.Vector, n int) []resources.Vector {
+	if cap(s) < n {
+		return make([]resources.Vector, n)
+	}
+	return s[:n]
+}
+
+func resizeFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// batchPredictor is the optional fast path of a QoSPredictor: all SLA
+// checks of one candidate placement issued as a single batch. Results
+// must be bit-identical to per-query Predict calls (core.Predictor's
+// contract), so schedulers may use whichever path is available.
+type batchPredictor interface {
+	PredictBatchInto(kind core.QoSKind, queries []core.Query, out []float64) error
+}
+
 // ---- Gsight binary-search scheduler (§4) ----
 
 // Gsight schedules with the predictor: it tries the densest placement
@@ -129,10 +169,34 @@ func fits(st *State, s int, add resources.Vector, cpuOversub float64) bool {
 // the new workload or any running workload violates its SLA. Per
 // overlap level it evaluates exactly one candidate (max-demand function
 // onto max-headroom server), giving the paper's O(MP log S) complexity.
+//
+// A Gsight value owns reusable placement scratch: it must not be copied
+// after first use, and a single value must not serve concurrent Place
+// calls. Give each goroutine its own scheduler (they may share the
+// predictor, whose hot path is goroutine-safe).
 type Gsight struct {
 	Predictor core.QoSPredictor
 	// CPUOversub bounds how far CPU allocation may exceed capacity.
 	CPUOversub float64
+
+	scratch placeScratch
+}
+
+// placeScratch is the per-scheduler reusable state of one Place call:
+// every slice is overwritten before use, so nothing leaks between
+// requests, and steady-state placement allocates only the returned
+// placement slice.
+type placeScratch struct {
+	order      []int              // candidate server order
+	free       []resources.Vector // headroom per server id during candidate()
+	candServer []bool             // servers touched by the candidate placement
+	fnOrder    []int              // functions in descending CPU demand
+	placement  []int              // candidate placement under construction
+	inputs     []core.WorkloadInput
+	slas       []SLA
+	durations  []float64
+	queries    []core.Query
+	preds      []float64
 }
 
 // NewGsight returns the predictor-guided scheduler. Its accurate
@@ -154,17 +218,18 @@ func (g *Gsight) Place(st *State, req *Request) ([]int, error) {
 	// Candidate server order: busiest (least free CPU) first but only
 	// servers that can hold at least the smallest function — packing
 	// onto already-active servers minimizes active-server count.
-	order := make([]int, s)
-	for i := range order {
-		order[i] = i
+	sc := &g.scratch
+	sc.order = resizeInts(sc.order, s)
+	for i := range sc.order {
+		sc.order[i] = i
 	}
-	sort.SliceStable(order, func(a, b int) bool {
-		ua, ub := st.Used[order[a]], st.Used[order[b]]
+	insertionSort(sc.order, func(a, b int) bool {
+		ua, ub := st.Used[a], st.Used[b]
 		activeA, activeB := !ua.IsZero(), !ub.IsZero()
 		if activeA != activeB {
 			return activeA // active servers first
 		}
-		return st.Free(order[a])[resources.CPU] < st.Free(order[b])[resources.CPU]
+		return st.Free(a)[resources.CPU] < st.Free(b)[resources.CPU]
 	})
 
 	var lastErr error
@@ -172,14 +237,14 @@ func (g *Gsight) Place(st *State, req *Request) ([]int, error) {
 		if k > s {
 			k = s
 		}
-		placement, err := g.candidate(st, req, order[:k])
+		placement, err := g.candidate(st, req, sc.order[:k])
 		if err == nil {
 			ok, err := g.satisfies(st, req, placement)
 			if err != nil {
 				return nil, err
 			}
 			if ok {
-				return placement, nil
+				return append([]int(nil), placement...), nil
 			}
 			lastErr = fmt.Errorf("sched: SLA violated at spread %d", k)
 		} else {
@@ -190,36 +255,38 @@ func (g *Gsight) Place(st *State, req *Request) ([]int, error) {
 		}
 	}
 	// Full spread as last resort: one more candidate over all servers.
-	placement, err := g.candidate(st, req, order)
+	placement, err := g.candidate(st, req, sc.order)
 	if err != nil {
 		return nil, fmt.Errorf("sched: no feasible placement: %w", lastErr)
 	}
-	return placement, nil
+	return append([]int(nil), placement...), nil
 }
 
 // candidate builds one placement over the given servers: functions in
 // descending allocation order onto the candidate server with the most
-// remaining headroom.
+// remaining headroom. The returned slice is g.scratch.placement — valid
+// until the next candidate call.
 func (g *Gsight) candidate(st *State, req *Request, servers []int) ([]int, error) {
 	in := &req.Input
 	n := len(in.Profiles)
-	placement := make([]int, n)
-	free := make(map[int]resources.Vector, len(servers))
+	sc := &g.scratch
+	sc.placement = resizeInts(sc.placement, n)
+	sc.free = resizeVecs(sc.free, st.NumServers())
 	for _, s := range servers {
-		free[s] = st.Free(s)
+		sc.free[s] = st.Free(s)
 	}
-	fnOrder := make([]int, n)
-	for i := range fnOrder {
-		fnOrder[i] = i
+	sc.fnOrder = resizeInts(sc.fnOrder, n)
+	for i := range sc.fnOrder {
+		sc.fnOrder[i] = i
 	}
-	sort.SliceStable(fnOrder, func(a, b int) bool {
-		return AllocOf(in, fnOrder[a])[resources.CPU] > AllocOf(in, fnOrder[b])[resources.CPU]
+	insertionSort(sc.fnOrder, func(a, b int) bool {
+		return AllocOf(in, a)[resources.CPU] > AllocOf(in, b)[resources.CPU]
 	})
-	for _, f := range fnOrder {
+	for _, f := range sc.fnOrder {
 		alloc := AllocOf(in, f)
 		best, bestFree := -1, -1.0
 		for _, s := range servers {
-			fr := free[s]
+			fr := sc.free[s]
 			tryUsed := st.Caps[s].Sub(fr).Add(alloc)
 			if tryUsed[resources.Memory] > st.Caps[s][resources.Memory] {
 				continue
@@ -234,34 +301,35 @@ func (g *Gsight) candidate(st *State, req *Request, servers []int) ([]int, error
 		if best == -1 {
 			return nil, fmt.Errorf("sched: function %d does not fit on %d servers", f, len(servers))
 		}
-		placement[f] = best
-		free[best] = free[best].Sub(alloc).Clamped()
+		sc.placement[f] = best
+		sc.free[best] = sc.free[best].Sub(alloc).Clamped()
 	}
-	return placement, nil
+	return sc.placement, nil
 }
 
 // satisfies predicts the QoS of the new workload and of every running
 // workload under the candidate placement and checks all SLAs.
 func (g *Gsight) satisfies(st *State, req *Request, placement []int) (bool, error) {
+	sc := &g.scratch
 	cand := req.Input
 	cand.Placement = placement
-	candServers := map[int]bool{}
-	for _, s := range placement {
-		candServers[s] = true
+	sc.candServer = sc.candServer[:0]
+	for len(sc.candServer) < st.NumServers() {
+		sc.candServer = append(sc.candServer, false)
 	}
-	inputs := make([]core.WorkloadInput, 0, len(st.Running)+1)
-	slas := make([]SLA, 0, len(st.Running)+1)
-	durations := make([]float64, 0, len(st.Running)+1)
-	inputs = append(inputs, cand)
-	slas = append(slas, req.SLA)
-	durations = append(durations, req.SoloDurationS)
+	for _, s := range placement {
+		sc.candServer[s] = true
+	}
+	sc.inputs = append(sc.inputs[:0], cand)
+	sc.slas = append(sc.slas[:0], req.SLA)
+	sc.durations = append(sc.durations[:0], req.SoloDurationS)
 	// Interference is local: only running workloads that share a server
 	// with the candidate can be affected by (or affect) it. Filtering
 	// keeps the colocation code small on large clusters.
 	for _, d := range st.Running {
 		overlaps := false
 		for _, s := range d.Input.Placement {
-			if candServers[s] {
+			if sc.candServer[s] {
 				overlaps = true
 				break
 			}
@@ -269,16 +337,88 @@ func (g *Gsight) satisfies(st *State, req *Request, placement []int) (bool, erro
 		if !overlaps {
 			continue
 		}
-		inputs = append(inputs, d.Input)
-		slas = append(slas, d.SLA)
-		durations = append(durations, d.Input.LifetimeS)
+		sc.inputs = append(sc.inputs, d.Input)
+		sc.slas = append(sc.slas, d.SLA)
+		sc.durations = append(sc.durations, d.Input.LifetimeS)
 	}
+	return g.checkAll(sc.inputs, sc.slas, sc.durations)
+}
+
+// needsJCT reports whether target i's JCT SLA applies.
+func needsJCT(inputs []core.WorkloadInput, slas []SLA, durations []float64, i int) bool {
+	return slas[i].MaxJCTFactor > 0 && durations[i] > 0 && inputs[i].Class != workload.LS
+}
+
+// checkAll verifies every workload's SLA under the colocation described
+// by inputs. With a batch-capable predictor all IPC checks (then all
+// JCT checks) go out as one PredictBatchInto call each; predictions are
+// bit-identical to the sequential path, so the verdict is too. A batch
+// error other than ErrTooManyServers falls back to the sequential loop
+// so error values keep their legacy shape.
+func (g *Gsight) checkAll(inputs []core.WorkloadInput, slas []SLA, durations []float64) (bool, error) {
+	bp, ok := g.Predictor.(batchPredictor)
+	if !ok {
+		return g.checkSequential(inputs, slas, durations)
+	}
+	sc := &g.scratch
+	sc.queries = sc.queries[:0]
+	for i := range inputs {
+		if slas[i].MinIPC > 0 {
+			sc.queries = append(sc.queries, core.Query{Target: i, Inputs: inputs})
+		}
+	}
+	nIPC := len(sc.queries)
+	for i := range inputs {
+		if needsJCT(inputs, slas, durations, i) {
+			sc.queries = append(sc.queries, core.Query{Target: i, Inputs: inputs})
+		}
+	}
+	sc.preds = resizeFloats(sc.preds, len(sc.queries))
+	if nIPC > 0 {
+		if err := bp.PredictBatchInto(core.IPCQoS, sc.queries[:nIPC], sc.preds[:nIPC]); err != nil {
+			if errors.Is(err, core.ErrTooManyServers) {
+				// Beyond the code's spatial rows the predictor cannot
+				// see the whole colocation (§6.4's scaling limit); fall
+				// back to capacity-based acceptance for this candidate.
+				return true, nil
+			}
+			return g.checkSequential(inputs, slas, durations)
+		}
+	}
+	if n := len(sc.queries); n > nIPC {
+		if err := bp.PredictBatchInto(core.JCTQoS, sc.queries[nIPC:n], sc.preds[nIPC:n]); err != nil {
+			if errors.Is(err, core.ErrTooManyServers) {
+				return true, nil
+			}
+			return g.checkSequential(inputs, slas, durations)
+		}
+	}
+	k := 0
+	for i := range inputs {
+		if slas[i].MinIPC > 0 {
+			if sc.preds[k] < slas[i].MinIPC {
+				return false, nil
+			}
+			k++
+		}
+	}
+	for i := range inputs {
+		if needsJCT(inputs, slas, durations, i) {
+			if sc.preds[k] > durations[i]*slas[i].MaxJCTFactor {
+				return false, nil
+			}
+			k++
+		}
+	}
+	return true, nil
+}
+
+// checkSequential is the one-Predict-per-check path, kept for
+// predictors without a batch interface and as the error-path fallback.
+func (g *Gsight) checkSequential(inputs []core.WorkloadInput, slas []SLA, durations []float64) (bool, error) {
 	for i := range inputs {
 		ok, err := g.checkOne(i, inputs, slas[i], durations[i])
 		if errors.Is(err, core.ErrTooManyServers) {
-			// Beyond the code's spatial rows the predictor cannot see
-			// the whole colocation (§6.4's scaling limit); fall back
-			// to capacity-based acceptance for this candidate.
 			return true, nil
 		}
 		if err != nil {
@@ -317,10 +457,15 @@ func (g *Gsight) checkOne(target int, inputs []core.WorkloadInput, sla SLA, solo
 
 // BestFit places each function on the feasible server with the least
 // headroom ("smallest amount of headroom", §6.1), optionally checking
-// an SLA with its predictor first.
+// an SLA with its predictor first. Like Gsight it owns reusable
+// scratch: do not share one value across goroutines.
 type BestFit struct {
 	Predictor  core.QoSPredictor // may be nil: pure bin-packing
 	CPUOversub float64
+
+	free   []resources.Vector
+	inputs []core.WorkloadInput
+	spread WorstFit // SLA-violation fallback, reused across calls
 }
 
 // NewBestFit returns Pythia's placement policy around a predictor:
@@ -339,43 +484,43 @@ func (b *BestFit) Place(st *State, req *Request) ([]int, error) {
 	in := &req.Input
 	n := len(in.Profiles)
 	placement := make([]int, n)
-	free := make([]resources.Vector, st.NumServers())
-	for s := range free {
-		free[s] = st.Free(s)
+	b.free = resizeVecs(b.free, st.NumServers())
+	for s := range b.free {
+		b.free[s] = st.Free(s)
 	}
 	for f := 0; f < n; f++ {
 		alloc := AllocOf(in, f)
 		best, bestFree := -1, math.MaxFloat64
-		for s := range free {
-			used := st.Caps[s].Sub(free[s]).Add(alloc)
+		for s := range b.free {
+			used := st.Caps[s].Sub(b.free[s]).Add(alloc)
 			if used[resources.Memory] > st.Caps[s][resources.Memory] {
 				continue
 			}
 			if used[resources.CPU] > st.Caps[s][resources.CPU]*b.CPUOversub {
 				continue
 			}
-			if free[s][resources.CPU] < bestFree {
-				best, bestFree = s, free[s][resources.CPU]
+			if b.free[s][resources.CPU] < bestFree {
+				best, bestFree = s, b.free[s][resources.CPU]
 			}
 		}
 		if best == -1 {
 			return nil, fmt.Errorf("sched: best fit found no server for function %d", f)
 		}
 		placement[f] = best
-		free[best] = free[best].Sub(alloc).Clamped()
+		b.free[best] = b.free[best].Sub(alloc).Clamped()
 	}
 	if b.Predictor != nil && req.SLA.MinIPC > 0 {
 		cand := req.Input
 		cand.Placement = placement
-		inputs := []core.WorkloadInput{cand}
+		b.inputs = append(b.inputs[:0], cand)
 		for _, d := range st.Running {
-			inputs = append(inputs, d.Input)
+			b.inputs = append(b.inputs, d.Input)
 		}
-		ipc, err := b.Predictor.Predict(core.IPCQoS, 0, inputs)
+		ipc, err := b.Predictor.Predict(core.IPCQoS, 0, b.inputs)
 		if err == nil && ipc < req.SLA.MinIPC {
 			// Pythia's reaction: spread to the emptiest servers.
-			wf := &WorstFit{CPUOversub: b.CPUOversub}
-			return wf.Place(st, req)
+			b.spread.CPUOversub = b.CPUOversub
+			return b.spread.Place(st, req)
 		}
 	}
 	return placement, nil
@@ -387,6 +532,9 @@ func (b *BestFit) Place(st *State, req *Request) ([]int, error) {
 // requirement to the server with the maximum available resources.
 type WorstFit struct {
 	CPUOversub float64
+
+	free    []resources.Vector
+	fnOrder []int
 }
 
 // NewWorstFit returns the spreading strawman (request-based capacity).
@@ -400,41 +548,41 @@ func (w *WorstFit) Place(st *State, req *Request) ([]int, error) {
 	in := &req.Input
 	n := len(in.Profiles)
 	placement := make([]int, n)
-	free := make([]resources.Vector, st.NumServers())
-	for s := range free {
-		free[s] = st.Free(s)
+	w.free = resizeVecs(w.free, st.NumServers())
+	for s := range w.free {
+		w.free[s] = st.Free(s)
 	}
-	fnOrder := make([]int, n)
-	for i := range fnOrder {
-		fnOrder[i] = i
+	w.fnOrder = resizeInts(w.fnOrder, n)
+	for i := range w.fnOrder {
+		w.fnOrder[i] = i
 	}
-	sort.SliceStable(fnOrder, func(a, b int) bool {
-		return AllocOf(in, fnOrder[a])[resources.CPU] > AllocOf(in, fnOrder[b])[resources.CPU]
+	insertionSort(w.fnOrder, func(a, b int) bool {
+		return AllocOf(in, a)[resources.CPU] > AllocOf(in, b)[resources.CPU]
 	})
 	oversub := w.CPUOversub
 	if oversub == 0 {
 		oversub = 1.5
 	}
-	for _, f := range fnOrder {
+	for _, f := range w.fnOrder {
 		alloc := AllocOf(in, f)
 		best, bestFree := -1, -1.0
-		for s := range free {
-			used := st.Caps[s].Sub(free[s]).Add(alloc)
+		for s := range w.free {
+			used := st.Caps[s].Sub(w.free[s]).Add(alloc)
 			if used[resources.Memory] > st.Caps[s][resources.Memory] {
 				continue
 			}
 			if used[resources.CPU] > st.Caps[s][resources.CPU]*oversub {
 				continue
 			}
-			if free[s][resources.CPU] > bestFree {
-				best, bestFree = s, free[s][resources.CPU]
+			if w.free[s][resources.CPU] > bestFree {
+				best, bestFree = s, w.free[s][resources.CPU]
 			}
 		}
 		if best == -1 {
 			return nil, fmt.Errorf("sched: worst fit found no server for function %d", f)
 		}
 		placement[f] = best
-		free[best] = free[best].Sub(alloc).Clamped()
+		w.free[best] = w.free[best].Sub(alloc).Clamped()
 	}
 	return placement, nil
 }
