@@ -19,7 +19,7 @@ test:
 check: build vet test
 
 race:
-	$(GO) test -race ./internal/ml ./internal/core ./internal/sched ./internal/experiments
+	$(GO) test -race ./internal/ml ./internal/core ./internal/sched ./internal/experiments ./internal/telemetry
 
 bench:
 	scripts/bench.sh

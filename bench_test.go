@@ -7,6 +7,7 @@ package gsight
 // whole pipeline exercised and timed under `go test -bench`.
 
 import (
+	"io"
 	"strings"
 	"testing"
 
@@ -114,7 +115,7 @@ func BenchmarkExtIsolation(b *testing.B) { runExperiment(b, "ext-isolation") }
 
 // ---- micro-benchmarks of the paper's operational costs (§6.4) ----
 
-func trainedPredictor(b *testing.B) (*core.Predictor, []core.Observation) {
+func trainedPredictor(b testing.TB) (*core.Predictor, []core.Observation) {
 	b.Helper()
 	m := perfmodel.New(resources.DefaultTestbed())
 	scenario.FastConfig(m)
@@ -248,6 +249,26 @@ func BenchmarkBinarySearchScheduling(b *testing.B) {
 	p, obs := trainedPredictor(b)
 	spec := resources.DefaultServerSpec("bench")
 	scheduler := NewScheduler(p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := schedState(spec)
+		o := obs[i%len(obs)]
+		req := &PlacementRequest{Input: o.Inputs[o.Target], SLA: SLA{MinIPC: 0.5}}
+		if _, err := scheduler.Place(st, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSchedulingInstrumented is BenchmarkBinarySearchScheduling
+// with a live telemetry sink and decision log attached: same placements,
+// and the alloc-neutrality contract (pinned by TestSchedulingAllocNeutral)
+// keeps allocs/op identical to the uninstrumented baseline.
+func BenchmarkSchedulingInstrumented(b *testing.B) {
+	p, obs := trainedPredictor(b)
+	spec := resources.DefaultServerSpec("bench")
+	scheduler := NewScheduler(p)
+	scheduler.Instrument(NewTelemetry().WithDecisions(io.Discard))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		st := schedState(spec)

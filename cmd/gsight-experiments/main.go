@@ -1,9 +1,12 @@
 // Command gsight-experiments regenerates the paper's tables and
 // figures on the simulated testbed and prints paper-vs-measured notes.
+// Progress goes to stderr; the reports on stdout (or -o) stay pipeable.
 //
 // Usage:
 //
-//	gsight-experiments [-scale 1.0] [-seed 42] [-run fig3a,fig9|all] [-parallel] [-list]
+//	gsight-experiments [-scale 1.0] [-seed 42] [-run fig3a,fig9|all]
+//	                   [-parallel] [-list] [-v|-quiet]
+//	                   [-debug-addr :6060] [-report run.json]
 package main
 
 import (
@@ -16,6 +19,8 @@ import (
 	"time"
 
 	"gsight/internal/experiments"
+	"gsight/internal/logx"
+	"gsight/internal/telemetry"
 )
 
 func main() {
@@ -26,14 +31,29 @@ func main() {
 	format := flag.String("format", "text", "output format: text or markdown")
 	out := flag.String("o", "", "write output to this file instead of stdout")
 	parallel := flag.Bool("parallel", false, "run the selected experiments concurrently (output order and contents unchanged)")
+	verbose := flag.Bool("v", false, "verbose progress")
+	quiet := flag.Bool("quiet", false, "errors only")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
+	reportPath := flag.String("report", "", "write a JSON run report to this file")
 	flag.Parse()
+
+	log := logx.Default(*verbose, *quiet)
+
+	tel := telemetry.New()
+	experiments.SetTelemetry(tel)
+	if *debugAddr != "" {
+		addr, err := telemetry.ServeDebug(*debugAddr, tel.Registry)
+		if err != nil {
+			log.Fatalf("debug server: %v", err)
+		}
+		log.Infof("debug server on http://%s (metrics, expvar, pprof)", addr)
+	}
 
 	sink := io.Writer(os.Stdout)
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			log.Fatalf("%v", err)
 		}
 		defer f.Close()
 		sink = f
@@ -65,11 +85,15 @@ func main() {
 		err  error
 		took time.Duration
 	}
+	log.Infof("running %d experiments at scale %.2f (seed %d)...", len(ids), *scale, *seed)
+	tAll := time.Now()
 	results := make([]outcome, len(ids))
 	runOne := func(i int) {
+		log.Debugf("running %s...", ids[i])
 		t0 := time.Now()
 		rep, err := experiments.Run(ids[i], opt)
 		results[i] = outcome{rep, err, time.Since(t0).Round(time.Millisecond)}
+		log.Debugf("%s done in %v", ids[i], results[i].took)
 	}
 	if *parallel {
 		var wg sync.WaitGroup
@@ -86,12 +110,13 @@ func main() {
 			runOne(i)
 		}
 	}
+	log.Infof("all experiments finished in %v", time.Since(tAll).Round(time.Millisecond))
 
 	failed := 0
 	for i, id := range ids {
 		res := results[i]
 		if res.err != nil {
-			fmt.Fprintf(os.Stderr, "%s: error: %v\n", id, res.err)
+			log.Errorf("%s: %v", id, res.err)
 			failed++
 			continue
 		}
@@ -100,6 +125,24 @@ func main() {
 		} else {
 			fmt.Fprintf(sink, "%s\n(%s took %v)\n\n", res.rep.String(), id, res.took)
 		}
+	}
+
+	if *reportPath != "" {
+		rep := tel.Report("gsight-experiments",
+			map[string]interface{}{
+				"run":      strings.Join(ids, ","),
+				"scale":    *scale,
+				"seed":     *seed,
+				"parallel": *parallel,
+			},
+			map[string]interface{}{
+				"experiments": len(ids),
+				"failed":      failed,
+			})
+		if err := telemetry.WriteRunReport(*reportPath, rep); err != nil {
+			log.Fatalf("run report: %v", err)
+		}
+		log.Infof("run report written to %s", *reportPath)
 	}
 	if failed > 0 {
 		os.Exit(1)

@@ -13,16 +13,30 @@ import (
 	"os"
 	"sort"
 
+	"gsight/internal/logx"
 	"gsight/internal/metrics"
 	"gsight/internal/profile"
 	"gsight/internal/resources"
+	"gsight/internal/telemetry"
 	"gsight/internal/workload"
 )
 
 func main() {
 	name := flag.String("workload", "social-network", "catalog workload to profile")
 	all := flag.Bool("all", false, "profile every catalog workload")
+	verbose := flag.Bool("v", false, "verbose progress")
+	quiet := flag.Bool("quiet", false, "errors only")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/vars and /debug/pprof on this address")
 	flag.Parse()
+
+	log := logx.Default(*verbose, *quiet)
+	if *debugAddr != "" {
+		addr, err := telemetry.ServeDebug(*debugAddr, nil)
+		if err != nil {
+			log.Fatalf("debug server: %v", err)
+		}
+		log.Infof("debug server on http://%s (expvar, pprof)", addr)
+	}
 
 	cat := workload.Catalog()
 	var names []string
@@ -33,11 +47,10 @@ func main() {
 		sort.Strings(names)
 	} else {
 		if _, ok := cat[*name]; !ok {
-			fmt.Fprintf(os.Stderr, "unknown workload %q; available:\n", *name)
 			for n := range cat {
 				fmt.Fprintf(os.Stderr, "  %s\n", n)
 			}
-			os.Exit(1)
+			log.Fatalf("unknown workload %q (available listed above)", *name)
 		}
 		names = []string{*name}
 	}

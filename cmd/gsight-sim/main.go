@@ -1,14 +1,17 @@
 // Command gsight-sim runs the trace-driven serverless platform
 // simulation under a chosen scheduler and prints density, utilization
-// and SLA statistics — the §6.3 case study as a tool.
+// and SLA statistics — the §6.3 case study as a tool. Progress goes to
+// stderr; the report on stdout stays pipeable.
 //
 // Usage:
 //
 //	gsight-sim [-scheduler gsight|bestfit|worstfit] [-hours 24]
-//	           [-train 800] [-seed 42]
+//	           [-train 800] [-seed 42] [-v|-quiet]
+//	           [-debug-addr :6060] [-report run.json] [-decision-log run.jsonl]
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -17,12 +20,14 @@ import (
 
 	"gsight/internal/baselines"
 	"gsight/internal/core"
+	"gsight/internal/logx"
 	"gsight/internal/perfmodel"
 	"gsight/internal/platform"
 	"gsight/internal/resources"
 	"gsight/internal/scenario"
 	"gsight/internal/sched"
 	"gsight/internal/stats"
+	"gsight/internal/telemetry"
 	"gsight/internal/trace"
 	"gsight/internal/workload"
 )
@@ -32,7 +37,35 @@ func main() {
 	hours := flag.Float64("hours", 24, "simulated duration")
 	trainScen := flag.Int("train", 800, "bootstrap scenarios for the predictor")
 	seed := flag.Uint64("seed", 42, "seed")
+	verbose := flag.Bool("v", false, "verbose progress")
+	quiet := flag.Bool("quiet", false, "errors only")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
+	reportPath := flag.String("report", "", "write a JSON run report to this file")
+	decisionPath := flag.String("decision-log", "", "write the JSONL decision log to this file")
 	flag.Parse()
+
+	log := logx.Default(*verbose, *quiet)
+
+	sink := telemetry.New()
+	if *decisionPath != "" {
+		f, err := os.Create(*decisionPath)
+		if err != nil {
+			log.Fatalf("decision log: %v", err)
+		}
+		bw := bufio.NewWriter(f)
+		defer func() {
+			bw.Flush()
+			f.Close()
+		}()
+		sink.WithDecisions(bw)
+	}
+	if *debugAddr != "" {
+		addr, err := telemetry.ServeDebug(*debugAddr, sink.Registry)
+		if err != nil {
+			log.Fatalf("debug server: %v", err)
+		}
+		log.Infof("debug server on http://%s (metrics, expvar, pprof)", addr)
+	}
 
 	m := perfmodel.New(resources.DefaultTestbed())
 	scenario.FastConfig(m)
@@ -52,20 +85,24 @@ func main() {
 		scheduler = sched.NewWorstFit()
 		needTraining = false
 	default:
-		fmt.Fprintf(os.Stderr, "unknown scheduler %q\n", *schedName)
-		os.Exit(1)
+		log.Fatalf("unknown scheduler %q", *schedName)
+	}
+	if in, ok := scheduler.(interface{ Instrument(*telemetry.Sink) }); ok {
+		in.Instrument(sink)
+	}
+	if in, ok := pred.(interface{ Instrument(*telemetry.Sink) }); ok {
+		in.Instrument(sink)
 	}
 
 	if needTraining {
-		fmt.Printf("bootstrapping %s's predictor on %d scenarios...\n", scheduler.Name(), *trainScen)
+		log.Infof("bootstrapping %s's predictor on %d scenarios...", scheduler.Name(), *trainScen)
 		t0 := time.Now()
 		var ipcObs, jctObs []core.Observation
 		for i := 0; i < *trainScen; i++ {
 			sc := g.Colocation(core.LSSC, 2+g.Rand().Intn(2))
 			samples, err := g.Label(sc)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				log.Fatalf("labeling: %v", err)
 			}
 			for _, s := range samples {
 				o := core.Observation{Target: s.Target, Inputs: s.Inputs, Label: s.Label}
@@ -78,16 +115,14 @@ func main() {
 			}
 		}
 		if err := pred.TrainObservations(core.IPCQoS, ipcObs); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			log.Fatalf("training: %v", err)
 		}
 		if len(jctObs) > 0 {
 			if err := pred.TrainObservations(core.JCTQoS, jctObs); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				log.Fatalf("training: %v", err)
 			}
 		}
-		fmt.Printf("trained in %v\n", time.Since(t0).Round(time.Millisecond))
+		log.Infof("trained in %v", time.Since(t0).Round(time.Millisecond))
 	}
 
 	var services []platform.LSService
@@ -101,7 +136,7 @@ func main() {
 		services = append(services, platform.LSService{W: w, Pattern: p, SLA: sched.SLA{MinIPC: minIPC}})
 	}
 
-	fmt.Printf("running %.0fh trace-driven simulation under %s...\n", *hours, scheduler.Name())
+	log.Infof("running %.0fh trace-driven simulation under %s...", *hours, scheduler.Name())
 	t0 := time.Now()
 	st, err := platform.Run(platform.Config{
 		Model:     perfmodel.New(m.Testbed),
@@ -117,12 +152,12 @@ func main() {
 		DurationS:       *hours * 3600,
 		StepS:           30,
 		Seed:            *seed,
+		Telemetry:       sink,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		log.Fatalf("simulation: %v", err)
 	}
-	fmt.Printf("simulated in %v (%d steps)\n\n", time.Since(t0).Round(time.Millisecond), st.Steps)
+	log.Infof("simulated in %v (%d steps)", time.Since(t0).Round(time.Millisecond), st.Steps)
 
 	fmt.Printf("function density (inst/core): mean %.3f, p50 %.3f, p90 %.3f\n",
 		stats.Mean(st.Density), stats.Median(st.Density), stats.Percentile(st.Density, 90))
@@ -143,9 +178,34 @@ func main() {
 		st.ColdStarts, st.Migrations, st.Reschedules, st.RejectedJobs)
 	fmt.Printf("scheduling wall-clock: %v over %d placements\n",
 		st.SchedulingTime.Round(time.Millisecond), st.Placements)
-	total := 0
+	totalJobs := 0
 	for _, jcts := range st.JCTs {
-		total += len(jcts)
+		totalJobs += len(jcts)
 	}
-	fmt.Printf("batch jobs completed: %d\n", total)
+	fmt.Printf("batch jobs completed: %d\n", totalJobs)
+
+	if *reportPath != "" {
+		rep := sink.Report("gsight-sim",
+			map[string]interface{}{
+				"scheduler": scheduler.Name(),
+				"hours":     *hours,
+				"train":     *trainScen,
+				"seed":      *seed,
+			},
+			map[string]interface{}{
+				"steps":          st.Steps,
+				"mean_density":   stats.Mean(st.Density),
+				"mean_cpu_util":  stats.Mean(st.CPUUtil),
+				"cold_starts":    st.ColdStarts,
+				"migrations":     st.Migrations,
+				"reschedules":    st.Reschedules,
+				"rejected_jobs":  st.RejectedJobs,
+				"placements":     st.Placements,
+				"jobs_completed": totalJobs,
+			})
+		if err := telemetry.WriteRunReport(*reportPath, rep); err != nil {
+			log.Fatalf("run report: %v", err)
+		}
+		log.Infof("run report written to %s", *reportPath)
+	}
 }

@@ -1,15 +1,18 @@
 // Command gsight-train generates a labeled colocation dataset on the
 // simulated testbed, trains a chosen predictor incrementally, and
 // reports its error curve — the paper's Figure 10 pipeline as a tool.
+// Progress goes to stderr; the error curve on stdout stays pipeable.
 //
 // Usage:
 //
 //	gsight-train [-model irfr|iknn|ilr|isvr|imlp|pythia|esp]
 //	             [-colocation lssc|lsls|scsc] [-qos ipc|p99|jct]
-//	             [-scenarios 1000] [-seed 42]
+//	             [-scenarios 1000] [-seed 42] [-v|-quiet]
+//	             [-debug-addr :6060] [-report run.json] [-decision-log run.jsonl]
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -17,9 +20,11 @@ import (
 
 	"gsight/internal/baselines"
 	"gsight/internal/core"
+	"gsight/internal/logx"
 	"gsight/internal/perfmodel"
 	"gsight/internal/resources"
 	"gsight/internal/scenario"
+	"gsight/internal/telemetry"
 )
 
 func main() {
@@ -28,17 +33,45 @@ func main() {
 	qosName := flag.String("qos", "ipc", "QoS target: ipc, p99, jct")
 	scenarios := flag.Int("scenarios", 1000, "number of colocation scenarios to label")
 	seed := flag.Uint64("seed", 42, "seed")
+	verbose := flag.Bool("v", false, "verbose progress")
+	quiet := flag.Bool("quiet", false, "errors only")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
+	reportPath := flag.String("report", "", "write a JSON run report to this file")
+	decisionPath := flag.String("decision-log", "", "write the JSONL decision log to this file")
 	flag.Parse()
+
+	log := logx.Default(*verbose, *quiet)
+
+	sink := telemetry.New()
+	if *decisionPath != "" {
+		f, err := os.Create(*decisionPath)
+		if err != nil {
+			log.Fatalf("decision log: %v", err)
+		}
+		bw := bufio.NewWriter(f)
+		defer func() {
+			bw.Flush()
+			f.Close()
+		}()
+		sink.WithDecisions(bw)
+	}
+	if *debugAddr != "" {
+		addr, err := telemetry.ServeDebug(*debugAddr, sink.Registry)
+		if err != nil {
+			log.Fatalf("debug server: %v", err)
+		}
+		log.Infof("debug server on http://%s (metrics, expvar, pprof)", addr)
+	}
 
 	kinds := map[string]core.ColocationKind{"lsls": core.LSLS, "lssc": core.LSSC, "scsc": core.SCSC}
 	colocation, ok := kinds[*colo]
 	if !ok {
-		fatal("unknown colocation %q", *colo)
+		log.Fatalf("unknown colocation %q", *colo)
 	}
 	qosKinds := map[string]core.QoSKind{"ipc": core.IPCQoS, "p99": core.TailLatencyQoS, "jct": core.JCTQoS}
 	qos, ok := qosKinds[*qosName]
 	if !ok {
-		fatal("unknown qos %q", *qosName)
+		log.Fatalf("unknown qos %q", *qosName)
 	}
 	var pred core.QoSPredictor
 	switch *model {
@@ -57,14 +90,17 @@ func main() {
 	case "esp":
 		pred = baselines.NewESP(*seed)
 	default:
-		fatal("unknown model %q", *model)
+		log.Fatalf("unknown model %q", *model)
+	}
+	if in, ok := pred.(interface{ Instrument(*telemetry.Sink) }); ok {
+		in.Instrument(sink)
 	}
 
 	m := perfmodel.New(resources.DefaultTestbed())
 	scenario.FastConfig(m)
 	g := scenario.NewGenerator(m, *seed)
 
-	fmt.Printf("generating %d %s scenarios on the simulated testbed...\n", *scenarios, colocation)
+	log.Infof("generating %d %s scenarios on the simulated testbed...", *scenarios, colocation)
 	t0 := time.Now()
 	var obs []core.Observation
 	for i := 0; i < *scenarios; i++ {
@@ -72,7 +108,7 @@ func main() {
 		sc := g.Colocation(colocation, k)
 		samples, err := g.Label(sc)
 		if err != nil {
-			fatal("labeling: %v", err)
+			log.Fatalf("labeling: %v", err)
 		}
 		for _, s := range samples {
 			if s.Kind == qos {
@@ -80,7 +116,7 @@ func main() {
 			}
 		}
 	}
-	fmt.Printf("labeled %d observations in %v\n", len(obs), time.Since(t0).Round(time.Millisecond))
+	log.Infof("labeled %d observations in %v", len(obs), time.Since(t0).Round(time.Millisecond))
 
 	var train, test []core.Observation
 	for i, o := range obs {
@@ -92,23 +128,24 @@ func main() {
 	}
 
 	// Incremental training in quarters, reporting the error trajectory.
-	fmt.Printf("training %s incrementally (%d train, %d test)\n", pred.Name(), len(train), len(test))
+	log.Infof("training %s incrementally (%d train, %d test)", pred.Name(), len(train), len(test))
 	const stages = 4
+	finalErr := 0.0
 	for s := 0; s < stages; s++ {
 		lo, hi := s*len(train)/stages, (s+1)*len(train)/stages
 		t0 = time.Now()
 		if s == 0 {
 			if err := pred.TrainObservations(qos, train[lo:hi]); err != nil {
-				fatal("train: %v", err)
+				log.Fatalf("train: %v", err)
 			}
 		} else {
 			for _, o := range train[lo:hi] {
 				if err := pred.Observe(qos, o.Target, o.Inputs, o.Label); err != nil {
-					fatal("observe: %v", err)
+					log.Fatalf("observe: %v", err)
 				}
 			}
 			if err := pred.Flush(qos); err != nil {
-				fatal("flush: %v", err)
+				log.Fatalf("flush: %v", err)
 			}
 		}
 		trainDur := time.Since(t0)
@@ -119,7 +156,7 @@ func main() {
 			}
 			got, err := pred.Predict(qos, o.Target, o.Inputs)
 			if err != nil {
-				fatal("predict: %v", err)
+				log.Fatalf("predict: %v", err)
 			}
 			e := (got - o.Label) / o.Label
 			if e < 0 {
@@ -128,12 +165,29 @@ func main() {
 			sum += e
 			n++
 		}
+		finalErr = 100 * sum / float64(n)
 		fmt.Printf("  after %4d samples: error %.2f%% (stage took %v)\n",
-			hi, 100*sum/float64(n), trainDur.Round(time.Millisecond))
+			hi, finalErr, trainDur.Round(time.Millisecond))
 	}
-}
 
-func fatal(format string, args ...interface{}) {
-	fmt.Fprintf(os.Stderr, format+"\n", args...)
-	os.Exit(1)
+	if *reportPath != "" {
+		rep := sink.Report("gsight-train",
+			map[string]interface{}{
+				"model":      pred.Name(),
+				"colocation": *colo,
+				"qos":        *qosName,
+				"scenarios":  *scenarios,
+				"seed":       *seed,
+			},
+			map[string]interface{}{
+				"observations":  len(obs),
+				"train_samples": len(train),
+				"test_samples":  len(test),
+				"final_error_percent": finalErr,
+			})
+		if err := telemetry.WriteRunReport(*reportPath, rep); err != nil {
+			log.Fatalf("run report: %v", err)
+		}
+		log.Infof("run report written to %s", *reportPath)
+	}
 }

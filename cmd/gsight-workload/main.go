@@ -16,19 +16,35 @@ import (
 	"fmt"
 	"os"
 
+	"gsight/internal/logx"
 	"gsight/internal/metrics"
 	"gsight/internal/perfmodel"
 	"gsight/internal/profile"
 	"gsight/internal/resources"
+	"gsight/internal/telemetry"
 	"gsight/internal/workload"
 )
+
+var log *logx.Logger
 
 func main() {
 	file := flag.String("file", "", "JSON workload definition to validate")
 	catalogName := flag.String("catalog", "", "inspect a catalog workload instead")
 	export := flag.String("export", "", "print a catalog workload as JSON and exit")
 	characterize := flag.Bool("characterize", false, "run the micro-benchmark interference sweep")
+	verbose := flag.Bool("v", false, "verbose progress")
+	quiet := flag.Bool("quiet", false, "errors only")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/vars and /debug/pprof on this address")
 	flag.Parse()
+
+	log = logx.Default(*verbose, *quiet)
+	if *debugAddr != "" {
+		addr, err := telemetry.ServeDebug(*debugAddr, nil)
+		if err != nil {
+			log.Fatalf("debug server: %v", err)
+		}
+		log.Infof("debug server on http://%s (expvar, pprof)", addr)
+	}
 
 	if *export != "" {
 		w, ok := workload.Catalog()[*export]
@@ -149,6 +165,5 @@ func deploy(w *workload.Workload, m *perfmodel.Model) *perfmodel.Deployment {
 }
 
 func fatal(format string, args ...interface{}) {
-	fmt.Fprintf(os.Stderr, format+"\n", args...)
-	os.Exit(1)
+	log.Fatalf(format, args...)
 }

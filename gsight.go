@@ -30,6 +30,7 @@ import (
 	"gsight/internal/resources"
 	"gsight/internal/scenario"
 	"gsight/internal/sched"
+	"gsight/internal/telemetry"
 	"gsight/internal/workload"
 )
 
@@ -171,6 +172,26 @@ func NewWorstFit() *sched.WorstFit { return sched.NewWorstFit() }
 // BuildCurve calibrates a workload's latency-IPC curve on the model
 // testbed (the §6.3 SLA transformation source).
 var BuildCurve = sched.BuildCurve
+
+// Observability (see DESIGN.md §10).
+type (
+	// TelemetrySink bundles a metrics registry with an optional JSONL
+	// decision log; pass it to Instrument methods and platform configs.
+	TelemetrySink = telemetry.Sink
+	// TelemetryRunReport is the exportable JSON summary of a run.
+	TelemetryRunReport = telemetry.RunReport
+)
+
+// NewTelemetry returns a live sink with a fresh metrics registry.
+var NewTelemetry = telemetry.New
+
+// TelemetryNop is the disabled sink: instrumenting with it is exactly
+// equivalent to not instrumenting at all (bit-identical, alloc-neutral).
+var TelemetryNop = telemetry.Nop
+
+// ServeDebug starts the background debug HTTP server (/metrics in
+// Prometheus text format, /debug/vars, /debug/pprof).
+var ServeDebug = telemetry.ServeDebug
 
 // Experiments: the paper-reproduction harness.
 type (

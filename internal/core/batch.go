@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"gsight/internal/ml"
 )
@@ -54,6 +55,10 @@ func (p *Predictor) PredictBatchInto(kind QoSKind, queries []Query, out []float6
 	if n == 0 {
 		return nil
 	}
+	var t0 time.Time
+	if p.ins.Enabled() {
+		t0 = time.Now()
+	}
 	d := p.coder.Dim()
 	sc := batchPool.Get().(*batchScratch)
 	if cap(sc.flat) < n*d {
@@ -73,6 +78,11 @@ func (p *Predictor) PredictBatchInto(kind QoSKind, queries []Query, out []float6
 			return err
 		}
 	}
+	if p.ins.Enabled() {
+		t1 := time.Now()
+		p.ins.EncodeSeconds.Observe(t1.Sub(t0).Seconds())
+		t0 = t1
+	}
 	if cap(sc.out) < n {
 		sc.out = make([]float64, n)
 	}
@@ -89,5 +99,11 @@ func (p *Predictor) PredictBatchInto(kind QoSKind, queries []Query, out []float6
 		out[i] = sc.out[i] * p.refFor(kind, q.Target, q.Inputs)
 	}
 	batchPool.Put(sc)
+	if p.ins.Enabled() {
+		p.ins.InferSeconds.Observe(time.Since(t0).Seconds())
+		p.ins.Batches.Inc()
+		p.ins.BatchQueries.Add(uint64(n))
+		p.ins.BatchSize.Observe(float64(n))
+	}
 	return nil
 }

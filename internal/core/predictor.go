@@ -3,10 +3,12 @@ package core
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"gsight/internal/metrics"
 	"gsight/internal/ml"
 	"gsight/internal/resources"
+	"gsight/internal/telemetry"
 )
 
 // QoSKind identifies the predicted quality-of-service metric.
@@ -98,6 +100,39 @@ type Predictor struct {
 	// path allocates nothing. Buffers never escape: the model reads x
 	// during Predict and must not retain it.
 	xPool sync.Pool
+
+	ins telemetry.PredictorInstruments
+	ev  telemetry.PredictorUpdate // reusable training event
+}
+
+// Instrument attaches a telemetry sink to the predictor and its models.
+// Instrumenting with telemetry.Nop leaves every output bit-identical.
+func (p *Predictor) Instrument(s *telemetry.Sink) {
+	p.ins = s.Predictor()
+	fi := s.Forest()
+	for _, m := range p.models {
+		if im, ok := m.(ml.Instrumentable); ok {
+			im.Instrument(fi)
+		}
+	}
+}
+
+// trainEvent emits a predictor_update decision event and refreshes the
+// training gauges after a fit/update step of `batch` samples.
+func (p *Predictor) trainEvent(kind QoSKind, phase string, batch int) {
+	p.ins.Updates.Inc()
+	p.ins.SamplesSeen.SetInt(p.seen[kind])
+	p.ins.PendingWindow.SetInt(p.pending[kind].Len())
+	if p.ins.Decisions != nil {
+		p.ev = telemetry.PredictorUpdate{
+			Predictor:   p.Name(),
+			Kind:        kind.String(),
+			Phase:       phase,
+			Batch:       batch,
+			SamplesSeen: p.seen[kind],
+		}
+		p.ins.Decisions.PredictorUpdate(&p.ev)
+	}
 }
 
 // NewPredictor returns an untrained predictor.
@@ -183,6 +218,7 @@ func (p *Predictor) refFor(kind QoSKind, target int, ws []WorkloadInput) float64
 // TrainObservations encodes and fits labeled colocations — the offline
 // bootstrap phase over raw observations (steps ❷-❸ in Figure 6).
 func (p *Predictor) TrainObservations(kind QoSKind, obs []Observation) error {
+	span := telemetry.StartSpan(p.ins.UpdateSeconds)
 	var ds ml.Dataset
 	for _, o := range obs {
 		x, err := p.coder.Encode(o.Target, o.Inputs)
@@ -196,6 +232,10 @@ func (p *Predictor) TrainObservations(kind QoSKind, obs []Observation) error {
 	}
 	p.trained[kind] = true
 	p.seen[kind] = ds.Len()
+	if p.ins.Enabled() {
+		p.trainEvent(kind, "train", ds.Len())
+	}
+	span.End()
 	return nil
 }
 
@@ -206,14 +246,29 @@ func (p *Predictor) Predict(kind QoSKind, target int, ws []WorkloadInput) (float
 	if !p.trained[kind] {
 		return 0, fmt.Errorf("core: %v model not trained", kind)
 	}
+	// Clock reads are gated on Enabled so the uninstrumented hot path
+	// never touches the time source.
+	var t0 time.Time
+	if p.ins.Enabled() {
+		t0 = time.Now()
+	}
 	xp := p.xPool.Get().(*[]float64)
 	x := *xp
 	if err := p.coder.EncodeInto(x, target, ws); err != nil {
 		p.xPool.Put(xp)
 		return 0, err
 	}
+	if p.ins.Enabled() {
+		t1 := time.Now()
+		p.ins.EncodeSeconds.Observe(t1.Sub(t0).Seconds())
+		t0 = t1
+	}
 	v := p.models[kind].Predict(x)
 	p.xPool.Put(xp)
+	if p.ins.Enabled() {
+		p.ins.InferSeconds.Observe(time.Since(t0).Seconds())
+		p.ins.Predicts.Inc()
+	}
 	return v * p.refFor(kind, target, ws), nil
 }
 
@@ -226,6 +281,8 @@ func (p *Predictor) Observe(kind QoSKind, target int, ws []WorkloadInput, actual
 		return err
 	}
 	p.pending[kind].Append(x, actual/p.refFor(kind, target, ws))
+	p.ins.Observations.Inc()
+	p.ins.PendingWindow.SetInt(p.pending[kind].Len())
 	if p.pending[kind].Len() >= p.cfg.UpdateEvery {
 		return p.Flush(kind)
 	}
@@ -238,8 +295,12 @@ func (p *Predictor) Flush(kind QoSKind) error {
 	if ds.Len() == 0 {
 		return nil
 	}
+	span := telemetry.StartSpan(p.ins.UpdateSeconds)
+	batch := ds.Len()
+	phase := "update"
 	var err error
 	if !p.trained[kind] {
+		phase = "train"
 		err = p.models[kind].Fit(ds.X, ds.Y)
 		p.trained[kind] = err == nil
 	} else {
@@ -248,8 +309,12 @@ func (p *Predictor) Flush(kind QoSKind) error {
 	if err != nil {
 		return err
 	}
-	p.seen[kind] += ds.Len()
+	p.seen[kind] += batch
 	*ds = ml.Dataset{}
+	if p.ins.Enabled() {
+		p.trainEvent(kind, phase, batch)
+	}
+	span.End()
 	return nil
 }
 

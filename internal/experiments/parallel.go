@@ -3,7 +3,27 @@ package experiments
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
+
+	"gsight/internal/telemetry"
 )
+
+// poolIns is the worker pool's instrument set, swapped atomically so
+// replica tasks already in flight never race a SetTelemetry call.
+var poolIns atomic.Pointer[telemetry.PoolInstruments]
+
+// SetTelemetry attaches the experiments worker pool to a sink; nil (or
+// telemetry.Nop) detaches it. Instrumentation is observation-only: the
+// fan-out order, worker count and replica results are unchanged.
+func SetTelemetry(s *telemetry.Sink) {
+	if s == nil {
+		poolIns.Store(nil)
+		return
+	}
+	ins := s.Pool()
+	poolIns.Store(&ins)
+}
 
 // forEach runs fn(0) … fn(n-1) on a bounded worker pool (GOMAXPROCS
 // wide) and returns the lowest-index error, matching what a sequential
@@ -23,6 +43,35 @@ func forEach(n int, fn func(i int) error) error {
 	if workers > n {
 		workers = n
 	}
+	ins := poolIns.Load()
+	run := fn
+	var busy atomic.Int64 // summed task nanoseconds across workers
+	var t0 time.Time
+	if ins != nil {
+		t0 = time.Now()
+		ins.Runs.Inc()
+		ins.Tasks.Add(uint64(n))
+		ins.Workers.SetInt(workers)
+		run = func(i int) error {
+			ts := time.Now()
+			err := fn(i)
+			d := time.Since(ts)
+			ins.TaskSeconds.Observe(d.Seconds())
+			busy.Add(int64(d))
+			return err
+		}
+	}
+	err := forEachOn(workers, n, run)
+	if ins != nil {
+		if wall := time.Since(t0).Seconds(); wall > 0 {
+			ins.Utilization.Observe(time.Duration(busy.Load()).Seconds() / (float64(workers) * wall))
+		}
+	}
+	return err
+}
+
+// forEachOn is forEach's scheduling core over a fixed worker count.
+func forEachOn(workers, n int, fn func(i int) error) error {
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
 			if err := fn(i); err != nil {

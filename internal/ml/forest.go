@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"gsight/internal/rng"
+	"gsight/internal/telemetry"
 )
 
 // ForestConfig parameterizes random forest training.
@@ -54,7 +55,12 @@ type Forest struct {
 	buf    Dataset // retained window for incremental updates
 	dim    int
 	fitted bool
+	ins    telemetry.ForestInstruments
 }
+
+// Instrument attaches the shared forest instrument set. The zero value
+// disables instrumentation.
+func (f *Forest) Instrument(ins telemetry.ForestInstruments) { f.ins = ins }
 
 // NewForest returns an untrained forest.
 func NewForest(cfg ForestConfig) *Forest {
@@ -67,6 +73,7 @@ func (f *Forest) Fit(X [][]float64, y []float64) error {
 	if err := checkXY(X, y); err != nil {
 		return err
 	}
+	span := telemetry.StartSpan(f.ins.FitSeconds)
 	f.dim = len(X[0])
 	f.trees = f.trees[:0]
 	f.buf = Dataset{}
@@ -77,6 +84,10 @@ func (f *Forest) Fit(X [][]float64, y []float64) error {
 	}
 	f.trees = append(f.trees, trees...)
 	f.fitted = true
+	f.ins.Fits.Inc()
+	f.ins.TreesGrown.Add(uint64(len(trees)))
+	f.ins.WindowSize.SetInt(f.buf.Len())
+	span.End()
 	return nil
 }
 
@@ -94,13 +105,20 @@ func (f *Forest) Update(X [][]float64, y []float64) error {
 	if len(X[0]) != f.dim {
 		return ErrDimMismatch
 	}
+	span := telemetry.StartSpan(f.ins.UpdateSeconds)
 	f.absorb(X, y)
 	trees, err := f.growTrees(f.cfg.UpdateTrees)
 	if err != nil {
 		return err
 	}
+	before := len(f.trees) + len(trees)
 	f.trees = append(f.trees, trees...)
 	f.prune(X, y)
+	f.ins.Updates.Inc()
+	f.ins.TreesGrown.Add(uint64(len(trees)))
+	f.ins.TreesPruned.Add(uint64(before - len(f.trees)))
+	f.ins.WindowSize.SetInt(f.buf.Len())
+	span.End()
 	return nil
 }
 

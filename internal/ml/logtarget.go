@@ -1,6 +1,10 @@
 package ml
 
-import "math"
+import (
+	"math"
+
+	"gsight/internal/telemetry"
+)
 
 // LogTarget wraps an incremental regressor so that it learns log(y)
 // instead of y and exponentiates its predictions. Heavy-tailed QoS
@@ -13,6 +17,13 @@ type LogTarget struct {
 
 // NewLogTarget wraps inner.
 func NewLogTarget(inner Incremental) *LogTarget { return &LogTarget{Inner: inner} }
+
+// Instrument forwards the instrument set to the inner model.
+func (l *LogTarget) Instrument(ins telemetry.ForestInstruments) {
+	if im, ok := l.Inner.(Instrumentable); ok {
+		im.Instrument(ins)
+	}
+}
 
 const logFloor = 1e-9
 

@@ -11,6 +11,7 @@ import (
 	"math"
 
 	"gsight/internal/rng"
+	"gsight/internal/telemetry"
 )
 
 // Regressor is a trainable model mapping feature vectors to a scalar.
@@ -28,6 +29,13 @@ type Incremental interface {
 	// Update folds a new batch of samples into the model without a
 	// full retrain.
 	Update(X [][]float64, y []float64) error
+}
+
+// Instrumentable is implemented by models that accept the shared
+// forest instrument set. Wrappers (LogTarget) forward to their inner
+// model. Instrumenting with the zero value is a no-op.
+type Instrumentable interface {
+	Instrument(ins telemetry.ForestInstruments)
 }
 
 // BatchRegressor is implemented by models whose batched prediction path

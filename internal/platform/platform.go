@@ -20,6 +20,7 @@ import (
 	"gsight/internal/rng"
 	"gsight/internal/sched"
 	"gsight/internal/sim"
+	"gsight/internal/telemetry"
 	"gsight/internal/trace"
 	"gsight/internal/workload"
 )
@@ -55,6 +56,9 @@ type Config struct {
 	Predictor core.QoSPredictor
 	// ObserveEvery throttles online observations (steps).
 	ObserveEvery int
+	// Telemetry, when set, receives runtime metrics and reactive-control
+	// decision events. telemetry.Nop (nil) leaves the run bit-identical.
+	Telemetry *telemetry.Sink
 }
 
 // Stats aggregates a run's outcomes.
@@ -130,6 +134,8 @@ func Run(cfg Config) (*Stats, error) {
 	if cfg.ObserveEvery <= 0 {
 		cfg.ObserveEvery = 10
 	}
+	ins := cfg.Telemetry.Platform()
+	var rev telemetry.ReactiveAction // reusable reactive decision event
 	m := cfg.Model
 	stepper := m.NewStepper()
 	noise := rng.Stream(cfg.Seed, "platform-noise")
@@ -179,6 +185,7 @@ func Run(cfg Config) (*Stats, error) {
 
 	// Batch job arrival schedule on the event engine.
 	var engine sim.Engine
+	engine.Instrument(cfg.Telemetry)
 	activeSC := map[int]*scActive{}
 	scProfiles := map[string][]profile.Profile{}
 	submitJob := func() {
@@ -231,6 +238,7 @@ func Run(cfg Config) (*Stats, error) {
 	coresPerServer := spec.Capacity[resources.CPU]
 	step := 0
 	for now := 0.0; now < cfg.DurationS; now += cfg.StepS {
+		span := telemetry.StartSpan(ins.StepSeconds)
 		engine.RunUntil(now) // fire job submissions due by now
 		step++
 
@@ -296,6 +304,9 @@ func Run(cfg Config) (*Stats, error) {
 			r := rep.LS[i]
 			ok := ss.svc.W.SLAp99Ms <= 0 || r.E2EP99Ms <= ss.svc.W.SLAp99Ms
 			stats.SLAOK[ss.svc.W.Name] = append(stats.SLAOK[ss.svc.W.Name], ok)
+			if !ok {
+				ins.SLAViolations.Inc()
+			}
 			// The reactive controller tolerates a 5% band over the SLA
 			// so measurement noise cannot trigger spreads by itself.
 			controlOK := ss.svc.W.SLAp99Ms <= 0 || r.E2EP99Ms <= ss.svc.W.SLAp99Ms*1.05
@@ -314,19 +325,29 @@ func Run(cfg Config) (*Stats, error) {
 					hot := ss.dep.Placement[worstFuncs(r, 1)[0]]
 					if evictSC(state, activeSC, hot) {
 						stats.Migrations++
+						moved := 1
 						if n := migrateWorst(m, state, ss, r, 1); n > 0 {
 							stats.Migrations += n
 							stats.ColdStarts += n
+							moved += n
 						}
 						ss.cooldown = 20
 						stepper.MarkDirty()
 						refreshState(state, services, activeSC)
+						if ins.Decisions != nil {
+							rev = telemetry.ReactiveAction{SimTimeS: now, Action: "evict-corunner", Service: ss.svc.W.Name, Moved: moved}
+							ins.Decisions.Reactive(&rev)
+						}
 					} else if n := migrateWorst(m, state, ss, r, 3); n > 0 {
 						stats.Migrations += n
 						stats.ColdStarts += n
 						ss.cooldown = 40
 						stepper.MarkDirty()
 						refreshState(state, services, activeSC)
+						if ins.Decisions != nil {
+							rev = telemetry.ReactiveAction{SimTimeS: now, Action: "spread-service", Service: ss.svc.W.Name, Moved: n}
+							ins.Decisions.Reactive(&rev)
+						}
 					}
 					ss.violations = 0
 				}
@@ -389,8 +410,17 @@ func Run(cfg Config) (*Stats, error) {
 			stats.GoodDensity = append(stats.GoodDensity, density*okFrac)
 			stats.ActiveServers = append(stats.ActiveServers, float64(activeServers))
 		}
+		ins.Steps.Inc()
+		ins.ActiveServers.SetInt(activeServers)
+		span.End()
 	}
 	stats.Steps = step
+	// Operational totals mirror the Stats counters so an exported
+	// snapshot is self-contained.
+	ins.Migrations.Add(uint64(stats.Migrations))
+	ins.Reschedules.Add(uint64(stats.Reschedules))
+	ins.ColdStarts.Add(uint64(stats.ColdStarts))
+	ins.RejectedJobs.Add(uint64(stats.RejectedJobs))
 	return stats, nil
 }
 
@@ -422,7 +452,7 @@ func refreshState(state *sched.State, services []*serviceState, activeSC map[int
 		in := inputFor(ss.svc.W, ss.dep, ss.profiles)
 		state.Commit(in, ss.svc.SLA)
 	}
-	for _, a := range activeSC {
+	for _, a := range sortedSC(activeSC) {
 		state.Commit(a.input, a.sla)
 	}
 }
@@ -432,6 +462,20 @@ type scActive struct {
 	input core.WorkloadInput
 	sla   sched.SLA
 	dep   *perfmodel.Deployment
+}
+
+// sortedSC returns the active batch jobs in ascending submission order.
+// activeSC is a map; consumers that fold float allocations in iteration
+// order (refreshState), break ties by first-seen (evictSC) or feed the
+// online learner (snapshotInputs) must not see Go's randomized map
+// order, or same-seed runs diverge.
+func sortedSC(activeSC map[int]*scActive) []*scActive {
+	out := make([]*scActive, 0, len(activeSC))
+	for _, a := range activeSC {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
 }
 
 func countSCInstances(activeSC map[int]*scActive) int {
@@ -453,7 +497,7 @@ func snapshotInputs(services []*serviceState, activeSC map[int]*scActive) []core
 	for _, ss := range services {
 		inputs = append(inputs, inputFor(ss.svc.W, ss.dep, ss.profiles))
 	}
-	for _, a := range activeSC {
+	for _, a := range sortedSC(activeSC) {
 		inputs = append(inputs, a.input)
 	}
 	return inputs
@@ -527,7 +571,7 @@ func evictSC(state *sched.State, activeSC map[int]*scActive, hot int) bool {
 	// Pick the largest co-located batch job (by CPU allocation).
 	var victim *scActive
 	victimCPU := 0.0
-	for _, a := range activeSC {
+	for _, a := range sortedSC(activeSC) {
 		onHot := false
 		cpu := 0.0
 		for f := range a.input.Profiles {

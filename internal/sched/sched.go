@@ -7,6 +7,7 @@ import (
 
 	"gsight/internal/core"
 	"gsight/internal/resources"
+	"gsight/internal/telemetry"
 	"gsight/internal/workload"
 )
 
@@ -180,6 +181,8 @@ type Gsight struct {
 	CPUOversub float64
 
 	scratch placeScratch
+	ins     telemetry.SchedulerInstruments
+	ev      telemetry.PlacementDecision // reusable decision event
 }
 
 // placeScratch is the per-scheduler reusable state of one Place call:
@@ -209,12 +212,50 @@ func NewGsight(p core.QoSPredictor) *Gsight {
 // Name implements Scheduler.
 func (g *Gsight) Name() string { return "Gsight" }
 
+// Instrument attaches a telemetry sink. Passing telemetry.Nop (or never
+// calling Instrument) leaves every decision and allocation
+// bit-identical to the uninstrumented scheduler.
+func (g *Gsight) Instrument(s *telemetry.Sink) { g.ins = s.Scheduler(g.Name()) }
+
+// finish records one decision into the instruments; a no-op when
+// uninstrumented. The event struct is scheduler-owned scratch so
+// logging allocates nothing.
+func (g *Gsight) finish(span telemetry.Span, st *State, req *Request, placement []int, iters, checks int, outcome, reason string) {
+	g.ins.Placements.Inc()
+	if placement == nil {
+		g.ins.Failures.Inc()
+	}
+	if outcome == "fallback" {
+		g.ins.Fallbacks.Inc()
+	}
+	g.ins.SearchIterations.Observe(float64(iters))
+	g.ins.SLAChecks.Observe(float64(checks))
+	if g.ins.Decisions != nil {
+		g.ev = telemetry.PlacementDecision{
+			Scheduler:     g.Name(),
+			Workload:      req.Input.Name,
+			Class:         req.Input.Class.String(),
+			Functions:     len(req.Input.Profiles),
+			Servers:       st.NumServers(),
+			ActiveServers: st.ActiveServers(),
+			SpreadLevels:  iters,
+			SLAChecks:     checks,
+			Outcome:       outcome,
+			Reason:        reason,
+			Placement:     placement,
+		}
+		g.ins.Decisions.Placement(&g.ev)
+	}
+	span.End()
+}
+
 // Place implements Scheduler.
 func (g *Gsight) Place(st *State, req *Request) ([]int, error) {
 	s := st.NumServers()
 	if s == 0 {
 		return nil, fmt.Errorf("sched: empty cluster")
 	}
+	span := telemetry.StartSpan(g.ins.PlaceSeconds)
 	// Candidate server order: busiest (least free CPU) first but only
 	// servers that can hold at least the smallest function — packing
 	// onto already-active servers minimizes active-server count.
@@ -233,21 +274,31 @@ func (g *Gsight) Place(st *State, req *Request) ([]int, error) {
 	})
 
 	var lastErr error
+	iters, checks := 0, 0
+	reason := ""
 	for k := 1; ; k *= 2 {
 		if k > s {
 			k = s
 		}
+		iters++
 		placement, err := g.candidate(st, req, sc.order[:k])
 		if err == nil {
-			ok, err := g.satisfies(st, req, placement)
+			ok, n, err := g.satisfies(st, req, placement)
+			checks += n
 			if err != nil {
+				g.finish(span, st, req, nil, iters, checks, "error", "predictor-error")
 				return nil, err
 			}
 			if ok {
-				return append([]int(nil), placement...), nil
+				out := append([]int(nil), placement...)
+				g.finish(span, st, req, out, iters, checks, "placed", "")
+				return out, nil
 			}
+			g.ins.SLARejections.Inc()
+			reason = "sla-violated"
 			lastErr = fmt.Errorf("sched: SLA violated at spread %d", k)
 		} else {
+			reason = "no-fit"
 			lastErr = err
 		}
 		if k == s {
@@ -257,9 +308,12 @@ func (g *Gsight) Place(st *State, req *Request) ([]int, error) {
 	// Full spread as last resort: one more candidate over all servers.
 	placement, err := g.candidate(st, req, sc.order)
 	if err != nil {
+		g.finish(span, st, req, nil, iters, checks, "rejected", reason)
 		return nil, fmt.Errorf("sched: no feasible placement: %w", lastErr)
 	}
-	return append([]int(nil), placement...), nil
+	out := append([]int(nil), placement...)
+	g.finish(span, st, req, out, iters, checks, "fallback", reason)
+	return out, nil
 }
 
 // candidate builds one placement over the given servers: functions in
@@ -308,8 +362,10 @@ func (g *Gsight) candidate(st *State, req *Request, servers []int) ([]int, error
 }
 
 // satisfies predicts the QoS of the new workload and of every running
-// workload under the candidate placement and checks all SLAs.
-func (g *Gsight) satisfies(st *State, req *Request, placement []int) (bool, error) {
+// workload under the candidate placement and checks all SLAs. It also
+// reports how many QoS predictions were issued (the decision trace's
+// SLA-check count).
+func (g *Gsight) satisfies(st *State, req *Request, placement []int) (bool, int, error) {
 	sc := &g.scratch
 	cand := req.Input
 	cand.Placement = placement
@@ -350,12 +406,13 @@ func needsJCT(inputs []core.WorkloadInput, slas []SLA, durations []float64, i in
 }
 
 // checkAll verifies every workload's SLA under the colocation described
-// by inputs. With a batch-capable predictor all IPC checks (then all
-// JCT checks) go out as one PredictBatchInto call each; predictions are
+// by inputs, reporting the verdict and the number of QoS predictions
+// issued. With a batch-capable predictor all IPC checks (then all JCT
+// checks) go out as one PredictBatchInto call each; predictions are
 // bit-identical to the sequential path, so the verdict is too. A batch
 // error other than ErrTooManyServers falls back to the sequential loop
 // so error values keep their legacy shape.
-func (g *Gsight) checkAll(inputs []core.WorkloadInput, slas []SLA, durations []float64) (bool, error) {
+func (g *Gsight) checkAll(inputs []core.WorkloadInput, slas []SLA, durations []float64) (bool, int, error) {
 	bp, ok := g.Predictor.(batchPredictor)
 	if !ok {
 		return g.checkSequential(inputs, slas, durations)
@@ -373,6 +430,7 @@ func (g *Gsight) checkAll(inputs []core.WorkloadInput, slas []SLA, durations []f
 			sc.queries = append(sc.queries, core.Query{Target: i, Inputs: inputs})
 		}
 	}
+	checks := len(sc.queries)
 	sc.preds = resizeFloats(sc.preds, len(sc.queries))
 	if nIPC > 0 {
 		if err := bp.PredictBatchInto(core.IPCQoS, sc.queries[:nIPC], sc.preds[:nIPC]); err != nil {
@@ -380,7 +438,7 @@ func (g *Gsight) checkAll(inputs []core.WorkloadInput, slas []SLA, durations []f
 				// Beyond the code's spatial rows the predictor cannot
 				// see the whole colocation (§6.4's scaling limit); fall
 				// back to capacity-based acceptance for this candidate.
-				return true, nil
+				return true, checks, nil
 			}
 			return g.checkSequential(inputs, slas, durations)
 		}
@@ -388,7 +446,7 @@ func (g *Gsight) checkAll(inputs []core.WorkloadInput, slas []SLA, durations []f
 	if n := len(sc.queries); n > nIPC {
 		if err := bp.PredictBatchInto(core.JCTQoS, sc.queries[nIPC:n], sc.preds[nIPC:n]); err != nil {
 			if errors.Is(err, core.ErrTooManyServers) {
-				return true, nil
+				return true, checks, nil
 			}
 			return g.checkSequential(inputs, slas, durations)
 		}
@@ -397,7 +455,7 @@ func (g *Gsight) checkAll(inputs []core.WorkloadInput, slas []SLA, durations []f
 	for i := range inputs {
 		if slas[i].MinIPC > 0 {
 			if sc.preds[k] < slas[i].MinIPC {
-				return false, nil
+				return false, checks, nil
 			}
 			k++
 		}
@@ -405,52 +463,57 @@ func (g *Gsight) checkAll(inputs []core.WorkloadInput, slas []SLA, durations []f
 	for i := range inputs {
 		if needsJCT(inputs, slas, durations, i) {
 			if sc.preds[k] > durations[i]*slas[i].MaxJCTFactor {
-				return false, nil
+				return false, checks, nil
 			}
 			k++
 		}
 	}
-	return true, nil
+	return true, checks, nil
 }
 
 // checkSequential is the one-Predict-per-check path, kept for
 // predictors without a batch interface and as the error-path fallback.
-func (g *Gsight) checkSequential(inputs []core.WorkloadInput, slas []SLA, durations []float64) (bool, error) {
+func (g *Gsight) checkSequential(inputs []core.WorkloadInput, slas []SLA, durations []float64) (bool, int, error) {
+	checks := 0
 	for i := range inputs {
-		ok, err := g.checkOne(i, inputs, slas[i], durations[i])
+		ok, n, err := g.checkOne(i, inputs, slas[i], durations[i])
+		checks += n
 		if errors.Is(err, core.ErrTooManyServers) {
-			return true, nil
+			return true, checks, nil
 		}
 		if err != nil {
-			return false, err
+			return false, checks, err
 		}
 		if !ok {
-			return false, nil
+			return false, checks, nil
 		}
 	}
-	return true, nil
+	return true, checks, nil
 }
 
-func (g *Gsight) checkOne(target int, inputs []core.WorkloadInput, sla SLA, soloDur float64) (bool, error) {
+func (g *Gsight) checkOne(target int, inputs []core.WorkloadInput, sla SLA, soloDur float64) (bool, int, error) {
+	checks := 0
 	if sla.MinIPC > 0 {
+		checks++
 		ipc, err := g.Predictor.Predict(core.IPCQoS, target, inputs)
 		if err != nil {
-			return false, err
+			return false, checks, err
 		}
 		if ipc < sla.MinIPC {
-			return false, nil
+			return false, checks, nil
 		}
 	}
 	if sla.MaxJCTFactor > 0 && soloDur > 0 && inputs[target].Class != workload.LS {
+		checks++
 		jct, err := g.Predictor.Predict(core.JCTQoS, target, inputs)
 		if err != nil {
-			return false, err
+			return false, checks, err
 		}
 		if jct > soloDur*sla.MaxJCTFactor {
-			return false, nil
+			return false, checks, nil
 		}
 	}
-	return true, nil
+	return true, checks, nil
 }
 
 // ---- Best Fit (Pythia's policy) ----
@@ -466,6 +529,8 @@ type BestFit struct {
 	free   []resources.Vector
 	inputs []core.WorkloadInput
 	spread WorstFit // SLA-violation fallback, reused across calls
+	ins    telemetry.SchedulerInstruments
+	ev     telemetry.PlacementDecision
 }
 
 // NewBestFit returns Pythia's placement policy around a predictor:
@@ -479,8 +544,42 @@ func NewBestFit(p core.QoSPredictor) *BestFit {
 // Name implements Scheduler.
 func (b *BestFit) Name() string { return "BestFit" }
 
+// Instrument attaches a telemetry sink (Nop-safe, decision-neutral).
+func (b *BestFit) Instrument(s *telemetry.Sink) { b.ins = s.Scheduler(b.Name()) }
+
+// finish records one decision; a no-op when uninstrumented.
+func (b *BestFit) finish(span telemetry.Span, st *State, req *Request, placement []int, checks int, outcome, reason string) {
+	b.ins.Placements.Inc()
+	if placement == nil {
+		b.ins.Failures.Inc()
+	}
+	if outcome == "fallback" {
+		b.ins.Fallbacks.Inc()
+	}
+	b.ins.SearchIterations.Observe(1)
+	b.ins.SLAChecks.Observe(float64(checks))
+	if b.ins.Decisions != nil {
+		b.ev = telemetry.PlacementDecision{
+			Scheduler:     b.Name(),
+			Workload:      req.Input.Name,
+			Class:         req.Input.Class.String(),
+			Functions:     len(req.Input.Profiles),
+			Servers:       st.NumServers(),
+			ActiveServers: st.ActiveServers(),
+			SpreadLevels:  1,
+			SLAChecks:     checks,
+			Outcome:       outcome,
+			Reason:        reason,
+			Placement:     placement,
+		}
+		b.ins.Decisions.Placement(&b.ev)
+	}
+	span.End()
+}
+
 // Place implements Scheduler.
 func (b *BestFit) Place(st *State, req *Request) ([]int, error) {
+	span := telemetry.StartSpan(b.ins.PlaceSeconds)
 	in := &req.Input
 	n := len(in.Profiles)
 	placement := make([]int, n)
@@ -504,6 +603,7 @@ func (b *BestFit) Place(st *State, req *Request) ([]int, error) {
 			}
 		}
 		if best == -1 {
+			b.finish(span, st, req, nil, 0, "rejected", "no-fit")
 			return nil, fmt.Errorf("sched: best fit found no server for function %d", f)
 		}
 		placement[f] = best
@@ -519,10 +619,20 @@ func (b *BestFit) Place(st *State, req *Request) ([]int, error) {
 		ipc, err := b.Predictor.Predict(core.IPCQoS, 0, b.inputs)
 		if err == nil && ipc < req.SLA.MinIPC {
 			// Pythia's reaction: spread to the emptiest servers.
+			b.ins.SLARejections.Inc()
 			b.spread.CPUOversub = b.CPUOversub
-			return b.spread.Place(st, req)
+			spreadPlacement, err := b.spread.Place(st, req)
+			if err != nil {
+				b.finish(span, st, req, nil, 1, "rejected", "sla-violated")
+			} else {
+				b.finish(span, st, req, spreadPlacement, 1, "fallback", "sla-violated")
+			}
+			return spreadPlacement, err
 		}
+		b.finish(span, st, req, placement, 1, "placed", "")
+		return placement, nil
 	}
+	b.finish(span, st, req, placement, 0, "placed", "")
 	return placement, nil
 }
 
@@ -535,6 +645,8 @@ type WorstFit struct {
 
 	free    []resources.Vector
 	fnOrder []int
+	ins     telemetry.SchedulerInstruments
+	ev      telemetry.PlacementDecision
 }
 
 // NewWorstFit returns the spreading strawman (request-based capacity).
@@ -543,8 +655,38 @@ func NewWorstFit() *WorstFit { return &WorstFit{CPUOversub: 1.0} }
 // Name implements Scheduler.
 func (w *WorstFit) Name() string { return "WorstFit" }
 
+// Instrument attaches a telemetry sink (Nop-safe, decision-neutral).
+func (w *WorstFit) Instrument(s *telemetry.Sink) { w.ins = s.Scheduler(w.Name()) }
+
+// finish records one decision; a no-op when uninstrumented.
+func (w *WorstFit) finish(span telemetry.Span, st *State, req *Request, placement []int, outcome, reason string) {
+	w.ins.Placements.Inc()
+	if placement == nil {
+		w.ins.Failures.Inc()
+	}
+	w.ins.SearchIterations.Observe(1)
+	w.ins.SLAChecks.Observe(0)
+	if w.ins.Decisions != nil {
+		w.ev = telemetry.PlacementDecision{
+			Scheduler:     w.Name(),
+			Workload:      req.Input.Name,
+			Class:         req.Input.Class.String(),
+			Functions:     len(req.Input.Profiles),
+			Servers:       st.NumServers(),
+			ActiveServers: st.ActiveServers(),
+			SpreadLevels:  1,
+			Outcome:       outcome,
+			Reason:        reason,
+			Placement:     placement,
+		}
+		w.ins.Decisions.Placement(&w.ev)
+	}
+	span.End()
+}
+
 // Place implements Scheduler.
 func (w *WorstFit) Place(st *State, req *Request) ([]int, error) {
+	span := telemetry.StartSpan(w.ins.PlaceSeconds)
 	in := &req.Input
 	n := len(in.Profiles)
 	placement := make([]int, n)
@@ -579,11 +721,13 @@ func (w *WorstFit) Place(st *State, req *Request) ([]int, error) {
 			}
 		}
 		if best == -1 {
+			w.finish(span, st, req, nil, "rejected", "no-fit")
 			return nil, fmt.Errorf("sched: worst fit found no server for function %d", f)
 		}
 		placement[f] = best
 		w.free[best] = w.free[best].Sub(alloc).Clamped()
 	}
+	w.finish(span, st, req, placement, "placed", "")
 	return placement, nil
 }
 

@@ -4,7 +4,11 @@
 // ticks and migration cooldowns on one timeline.
 package sim
 
-import "container/heap"
+import (
+	"container/heap"
+
+	"gsight/internal/telemetry"
+)
 
 // Event is a scheduled callback.
 type event struct {
@@ -37,7 +41,11 @@ type Engine struct {
 	now    float64
 	seq    uint64
 	events eventHeap
+	ins    telemetry.SimInstruments
 }
+
+// Instrument attaches a telemetry sink (Nop-safe).
+func (e *Engine) Instrument(s *telemetry.Sink) { e.ins = s.Sim() }
 
 // Now returns the current simulation time.
 func (e *Engine) Now() float64 { return e.now }
@@ -50,6 +58,8 @@ func (e *Engine) At(t float64, fn func()) {
 	}
 	e.seq++
 	heap.Push(&e.events, &event{time: t, seq: e.seq, fn: fn})
+	e.ins.Scheduled.Inc()
+	e.ins.QueueDepth.SetInt(len(e.events))
 }
 
 // After schedules fn d seconds from now.
@@ -75,6 +85,8 @@ func (e *Engine) Step() bool {
 	}
 	ev := heap.Pop(&e.events).(*event)
 	e.now = ev.time
+	e.ins.Executed.Inc()
+	e.ins.QueueDepth.SetInt(len(e.events))
 	ev.fn()
 	return true
 }

@@ -1,0 +1,211 @@
+package telemetry
+
+import (
+	"io"
+	"strconv"
+	"sync"
+)
+
+// DecisionLog writes structured JSONL decision traces: one JSON object
+// per line, fields in a fixed order, monotonically increasing sequence
+// numbers. Events are built by hand into a reusable buffer under a
+// mutex, so steady-state logging allocates nothing and concurrent
+// writers never interleave bytes.
+//
+// Determinism: events carry no wall-clock fields (timings belong to
+// histograms), so a fixed-seed run emits a byte-identical log.
+type DecisionLog struct {
+	mu  sync.Mutex
+	w   io.Writer
+	buf []byte
+	seq uint64
+	err error
+}
+
+// NewDecisionLog logs events to w. Callers own w's lifecycle (and any
+// buffering/flushing); the log only writes whole lines.
+func NewDecisionLog(w io.Writer) *DecisionLog {
+	return &DecisionLog{w: w}
+}
+
+// Events returns the number of events emitted so far.
+func (l *DecisionLog) Events() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// Err returns the first write error, if any — decision logging is
+// best-effort and never fails the instrumented operation.
+func (l *DecisionLog) Err() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// emit finishes the line in l.buf and writes it. Callers hold l.mu.
+func (l *DecisionLog) emit(b []byte) {
+	b = append(b, '}', '\n')
+	l.buf = b // retain grown capacity for the next event
+	l.seq++
+	if _, err := l.w.Write(b); err != nil && l.err == nil {
+		l.err = err
+	}
+}
+
+// begin starts a new event line: {"event":"<kind>","seq":N. Callers
+// hold l.mu.
+func (l *DecisionLog) begin(kind string) []byte {
+	b := l.buf[:0]
+	b = append(b, `{"event":`...)
+	b = strconv.AppendQuote(b, kind)
+	b = append(b, `,"seq":`...)
+	b = strconv.AppendUint(b, l.seq, 10)
+	return b
+}
+
+func appendStr(b []byte, key, v string) []byte {
+	b = append(b, ',', '"')
+	b = append(b, key...)
+	b = append(b, '"', ':')
+	return strconv.AppendQuote(b, v)
+}
+
+func appendInt(b []byte, key string, v int) []byte {
+	b = append(b, ',', '"')
+	b = append(b, key...)
+	b = append(b, '"', ':')
+	return strconv.AppendInt(b, int64(v), 10)
+}
+
+func appendFloat(b []byte, key string, v float64) []byte {
+	b = append(b, ',', '"')
+	b = append(b, key...)
+	b = append(b, '"', ':')
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
+}
+
+func appendInts(b []byte, key string, vs []int) []byte {
+	b = append(b, ',', '"')
+	b = append(b, key...)
+	b = append(b, '"', ':', '[')
+	for i, v := range vs {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendInt(b, int64(v), 10)
+	}
+	return append(b, ']')
+}
+
+// PlacementDecision records one scheduling decision: what was asked,
+// how hard the scheduler searched, and what it decided.
+type PlacementDecision struct {
+	Scheduler string
+	Workload  string
+	Class     string
+	Functions int // functions to place
+	Servers   int // cluster size
+	// SpreadLevels counts the binary-search iterations (candidate
+	// spread levels tried); non-search schedulers report 1.
+	SpreadLevels int
+	// SLAChecks counts the QoS predictions issued while vetting
+	// candidates (batched checks count each query).
+	SLAChecks int
+	// Outcome is "placed", "fallback" (placed by the full-spread last
+	// resort after SLA rejections), "rejected" or "error".
+	Outcome string
+	// Reason qualifies non-"placed" outcomes: "sla-violated", "no-fit"
+	// or "predictor-error".
+	Reason string
+	// Placement is the chosen server per function (nil when rejected).
+	Placement []int
+	// ActiveServers is the cluster's active-server count before the
+	// decision — the density denominator the scheduler optimizes.
+	ActiveServers int
+}
+
+// Placement emits a placement decision event.
+func (l *DecisionLog) Placement(e *PlacementDecision) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	b := l.begin("placement")
+	b = appendStr(b, "scheduler", e.Scheduler)
+	b = appendStr(b, "workload", e.Workload)
+	b = appendStr(b, "class", e.Class)
+	b = appendInt(b, "functions", e.Functions)
+	b = appendInt(b, "servers", e.Servers)
+	b = appendInt(b, "active_servers", e.ActiveServers)
+	b = appendInt(b, "spread_levels", e.SpreadLevels)
+	b = appendInt(b, "sla_checks", e.SLAChecks)
+	b = appendStr(b, "outcome", e.Outcome)
+	if e.Reason != "" {
+		b = appendStr(b, "reason", e.Reason)
+	}
+	if e.Placement != nil {
+		b = appendInts(b, "placement", e.Placement)
+	}
+	l.emit(b)
+	l.mu.Unlock()
+}
+
+// PredictorUpdate records one predictor training step: the offline
+// bootstrap or an incremental window flush.
+type PredictorUpdate struct {
+	Predictor string
+	Kind      string // QoS kind ("ipc", "p99", "jct")
+	Phase     string // "train" (bootstrap fit) or "update" (incremental)
+	Batch     int    // samples folded in by this step
+	// SamplesSeen is the cumulative count after the step — the
+	// incremental-update window position.
+	SamplesSeen int
+}
+
+// PredictorUpdate emits a predictor training event.
+func (l *DecisionLog) PredictorUpdate(e *PredictorUpdate) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	b := l.begin("predictor_update")
+	b = appendStr(b, "predictor", e.Predictor)
+	b = appendStr(b, "kind", e.Kind)
+	b = appendStr(b, "phase", e.Phase)
+	b = appendInt(b, "batch", e.Batch)
+	b = appendInt(b, "samples_seen", e.SamplesSeen)
+	l.emit(b)
+	l.mu.Unlock()
+}
+
+// ReactiveAction records one runtime SLA-control action of the
+// platform: a corunner eviction or a reactive spread of a violating
+// service.
+type ReactiveAction struct {
+	SimTimeS float64
+	Action   string // "evict-corunner" or "spread-service"
+	Service  string
+	Moved    int // functions/jobs moved
+}
+
+// Reactive emits a reactive-control event.
+func (l *DecisionLog) Reactive(e *ReactiveAction) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	b := l.begin("reactive")
+	b = appendFloat(b, "sim_time_s", e.SimTimeS)
+	b = appendStr(b, "action", e.Action)
+	b = appendStr(b, "service", e.Service)
+	b = appendInt(b, "moved", e.Moved)
+	l.emit(b)
+	l.mu.Unlock()
+}

@@ -1,0 +1,177 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// atomicFloat is a lock-free float64 accumulator (CAS on the bit
+// pattern).
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) Add(v float64) {
+	for {
+		old := f.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) Load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// Histogram is a fixed-bucket histogram with lock-free observation:
+// bucket i counts values in (bounds[i-1], bounds[i]], with an implicit
+// +Inf overflow bucket. Buckets are fixed at registration so the hot
+// path is a binary search plus three atomic adds — no locks, no
+// allocation. Quantiles (p50/p95/p99) are estimated by linear
+// interpolation inside the covering bucket.
+type Histogram struct {
+	name, help string
+	bounds     []float64 // strictly increasing upper bounds
+	counts     []atomic.Uint64
+	count      atomic.Uint64
+	sum        atomicFloat
+}
+
+// newHistogram builds a histogram; nil/empty bounds get DurationBuckets.
+func newHistogram(name, help string, bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DurationBuckets()
+	}
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{
+		name:   name,
+		help:   help,
+		bounds: b,
+		counts: make([]atomic.Uint64, len(b)+1),
+	}
+}
+
+// Observe records one value. Safe on a nil receiver and for concurrent
+// use; allocates nothing.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations (0 for nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values (0 for nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Name returns the registered metric name.
+func (h *Histogram) Name() string {
+	if h == nil {
+		return ""
+	}
+	return h.name
+}
+
+// Quantile estimates the q-th quantile (0 < q <= 1) by linear
+// interpolation within the covering bucket. The overflow bucket clamps
+// to the largest bound; an empty histogram returns 0. The estimate is
+// exact to within one bucket's width, which is the resolution contract
+// callers pick via the bucket layout.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	if rank < 1 {
+		rank = 1
+	}
+	cum := 0.0
+	for i := range h.counts {
+		c := float64(h.counts[i].Load())
+		if c == 0 {
+			continue
+		}
+		if cum+c >= rank {
+			if i == len(h.bounds) {
+				// Overflow bucket: no finite upper edge to
+				// interpolate toward.
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.bounds[i]
+			if lo > hi {
+				lo = hi
+			}
+			return lo + (hi-lo)*((rank-cum)/c)
+		}
+		cum += c
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// snapshotBuckets returns the bucket bounds with cumulative counts —
+// the Prometheus histogram shape.
+func (h *Histogram) snapshotBuckets() (bounds []float64, cumulative []uint64) {
+	bounds = h.bounds
+	cumulative = make([]uint64, len(h.counts))
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		cumulative[i] = cum
+	}
+	return bounds, cumulative
+}
+
+// ExpBuckets returns n exponentially spaced upper bounds starting at
+// start and growing by factor.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// LinearBuckets returns n linearly spaced upper bounds.
+func LinearBuckets(start, width float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start + width*float64(i)
+	}
+	return out
+}
+
+// DurationBuckets spans 1µs to ~17s exponentially — the default layout
+// for wall-clock spans (scheduling, inference, model updates).
+func DurationBuckets() []float64 { return ExpBuckets(1e-6, 2, 25) }
+
+// CountBuckets spans 1 to 32768 in powers of two — for discrete sizes
+// (binary-search iterations, SLA checks per placement, batch sizes).
+func CountBuckets() []float64 { return ExpBuckets(1, 2, 16) }
+
+// RatioBuckets spans (0, 1] in 5% steps — for utilization fractions.
+func RatioBuckets() []float64 { return LinearBuckets(0.05, 0.05, 20) }

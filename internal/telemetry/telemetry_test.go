@@ -1,0 +1,308 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// exactPercentile returns the value at rank ceil(q*n) of the sorted
+// sample — the reference the histogram estimate is compared against.
+func exactPercentile(sorted []float64, q float64) float64 {
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	// Fine linear buckets: the estimate must land within one bucket
+	// width of the exact sample percentile.
+	const width = 1.0
+	h := newHistogram("t", "", LinearBuckets(width, width, 1000))
+	rnd := rand.New(rand.NewSource(7))
+	var vals []float64
+	for i := 0; i < 20000; i++ {
+		// Mix of uniform and heavy-tail values inside the bucket range.
+		v := rnd.Float64() * 500
+		if i%10 == 0 {
+			v = 500 + rnd.Float64()*450
+		}
+		vals = append(vals, v)
+		h.Observe(v)
+	}
+	sort.Float64s(vals)
+	for _, q := range []float64{0.50, 0.90, 0.95, 0.99} {
+		got := h.Quantile(q)
+		want := exactPercentile(vals, q)
+		if math.Abs(got-want) > width {
+			t.Errorf("q=%.2f: got %.3f, exact %.3f (tolerance %.1f)", q, got, want, width)
+		}
+	}
+	if h.Count() != 20000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	sum := 0.0
+	for _, v := range vals {
+		sum += v
+	}
+	if math.Abs(h.Sum()-sum) > 1e-6*sum {
+		t.Fatalf("sum = %v, want %v", h.Sum(), sum)
+	}
+}
+
+func TestHistogramEdgeCases(t *testing.T) {
+	h := newHistogram("t", "", []float64{1, 2, 4})
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile should be 0")
+	}
+	h.Observe(100) // overflow
+	if got := h.Quantile(0.99); got != 4 {
+		t.Fatalf("overflow quantile should clamp to last bound, got %v", got)
+	}
+	var nilH *Histogram
+	nilH.Observe(1) // must not panic
+	if nilH.Quantile(0.5) != 0 || nilH.Count() != 0 || nilH.Sum() != 0 {
+		t.Fatal("nil histogram accessors should be zero")
+	}
+}
+
+func TestConcurrentInstruments(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", CountBuckets())
+	const workers, each = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				c.Inc()
+				g.SetInt(w)
+				h.Observe(float64(i % 64))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != workers*each {
+		t.Fatalf("counter lost updates: %d != %d", c.Value(), workers*each)
+	}
+	if h.Count() != workers*each {
+		t.Fatalf("histogram lost updates: %d != %d", h.Count(), workers*each)
+	}
+	if v := g.Value(); v < 0 || v >= workers {
+		t.Fatalf("gauge out of range: %v", v)
+	}
+}
+
+func TestRegistryTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on type mismatch")
+		}
+	}()
+	r.Gauge("x", "")
+}
+
+func TestDecisionLogJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewDecisionLog(&buf)
+	l.Placement(&PlacementDecision{
+		Scheduler: "Gsight", Workload: "social-network", Class: "LS",
+		Functions: 3, Servers: 8, ActiveServers: 2, SpreadLevels: 2,
+		SLAChecks: 5, Outcome: "placed", Placement: []int{0, 0, 1},
+	})
+	l.PredictorUpdate(&PredictorUpdate{Predictor: "Gsight", Kind: "ipc", Phase: "update", Batch: 100, SamplesSeen: 300})
+	l.Reactive(&ReactiveAction{SimTimeS: 120, Action: "evict-corunner", Service: "e-commerce", Moved: 2})
+	if l.Events() != 3 {
+		t.Fatalf("events = %d", l.Events())
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	for i, line := range lines {
+		var m map[string]interface{}
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("line %d not valid JSON: %v\n%s", i, err, line)
+		}
+		if int(m["seq"].(float64)) != i {
+			t.Fatalf("line %d has seq %v", i, m["seq"])
+		}
+	}
+	if !strings.Contains(lines[0], `"placement":[0,0,1]`) {
+		t.Fatalf("placement array missing: %s", lines[0])
+	}
+	// Omitted optional fields stay omitted.
+	if strings.Contains(lines[0], `"reason"`) {
+		t.Fatalf("empty reason should be omitted: %s", lines[0])
+	}
+}
+
+func TestDecisionLogDeterminism(t *testing.T) {
+	emit := func() []byte {
+		var buf bytes.Buffer
+		l := NewDecisionLog(&buf)
+		for i := 0; i < 50; i++ {
+			l.Placement(&PlacementDecision{
+				Scheduler: "Gsight", Workload: fmt.Sprintf("w%d", i), Class: "SC",
+				Functions: i % 4, Servers: 8, SpreadLevels: 1 + i%3,
+				Outcome: "placed", Placement: []int{i % 8},
+			})
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(emit(), emit()) {
+		t.Fatal("identical event sequences must serialize byte-identically")
+	}
+}
+
+func TestDecisionLogConcurrentWriters(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewDecisionLog(&buf)
+	const workers, each = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				l.Placement(&PlacementDecision{Scheduler: "s", Outcome: "placed", Placement: []int{1}})
+			}
+		}()
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != workers*each {
+		t.Fatalf("lines = %d, want %d", len(lines), workers*each)
+	}
+	seqs := map[int]bool{}
+	for _, line := range lines {
+		var m map[string]interface{}
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("interleaved write produced invalid JSON: %v", err)
+		}
+		seqs[int(m["seq"].(float64))] = true
+	}
+	if len(seqs) != workers*each {
+		t.Fatalf("duplicate sequence numbers: %d unique", len(seqs))
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "a counter").Add(3)
+	r.Gauge("a_gauge", "a gauge").Set(1.5)
+	h := r.Histogram("c_hist", "a histogram", []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(1.5)
+	h.Observe(10) // overflow
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE a_gauge gauge\na_gauge 1.5\n",
+		"# TYPE b_total counter\nb_total 3\n",
+		`c_hist_bucket{le="1"} 1`,
+		`c_hist_bucket{le="2"} 2`,
+		`c_hist_bucket{le="+Inf"} 3`,
+		"c_hist_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	// Lexical order: a_gauge before b_total before c_hist.
+	if !(strings.Index(out, "a_gauge") < strings.Index(out, "b_total") &&
+		strings.Index(out, "b_total") < strings.Index(out, "c_hist")) {
+		t.Fatalf("metrics not in lexical order:\n%s", out)
+	}
+}
+
+func TestSnapshotAndReport(t *testing.T) {
+	s := New().WithDecisions(io.Discard)
+	ins := s.Scheduler("Gsight")
+	ins.Placements.Add(5)
+	ins.PlaceSeconds.Observe(0.001)
+	ins.Decisions.Placement(&PlacementDecision{Scheduler: "Gsight", Outcome: "placed"})
+	rep := s.Report("test-tool", map[string]interface{}{"seed": 42}, map[string]interface{}{"ok": true})
+	if rep.Tool != "test-tool" || rep.DecisionEvents != 1 {
+		t.Fatalf("report header wrong: %+v", rep)
+	}
+	if rep.Metrics.Counters["sched_gsight_placements_total"] != 5 {
+		t.Fatalf("snapshot missing counter: %+v", rep.Metrics.Counters)
+	}
+	hs, ok := rep.Metrics.Histograms["sched_gsight_place_seconds"]
+	if !ok || hs.Count != 1 {
+		t.Fatalf("snapshot missing histogram: %+v", rep.Metrics.Histograms)
+	}
+	if _, err := json.Marshal(rep); err != nil {
+		t.Fatalf("report not marshalable: %v", err)
+	}
+}
+
+func TestNopSinkIsFullyDisabled(t *testing.T) {
+	ins := Nop.Scheduler("x")
+	ins.Placements.Inc()
+	ins.PlaceSeconds.Observe(1)
+	ins.Decisions.Placement(&PlacementDecision{})
+	span := StartSpan(ins.PlaceSeconds)
+	span.End()
+	pi := Nop.Predictor()
+	if pi.Enabled() {
+		t.Fatal("Nop predictor instruments must be disabled")
+	}
+	if Nop.Report("t", nil, nil).DecisionEvents != 0 {
+		t.Fatal("Nop report should be empty")
+	}
+	var r *Registry
+	if r.Counter("x", "") != nil || r.Snapshot() == nil {
+		t.Fatal("nil registry must hand out nil instruments and empty snapshots")
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil || buf.Len() != 0 {
+		t.Fatal("nil registry must export nothing")
+	}
+}
+
+func TestServeDebug(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("up", "").Inc()
+	addr, err := ServeDebug("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(path string) (int, string) {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "up 1") {
+		t.Fatalf("/metrics: code %d body %q", code, body)
+	}
+	if code, body := get("/debug/vars"); code != 200 || !strings.Contains(body, "memstats") {
+		t.Fatalf("/debug/vars: code %d", code)
+	}
+	if code, _ := get("/debug/pprof/cmdline"); code != 200 {
+		t.Fatalf("/debug/pprof/cmdline: code %d", code)
+	}
+}
