@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check race bench build vet test
+.PHONY: check race bench build vet vuln test
 
 build:
 	$(GO) build ./...
@@ -13,10 +13,19 @@ build:
 vet:
 	$(GO) vet ./...
 
+# govulncheck is optional locally (skipped when not installed); CI
+# installs it and fails on findings.
+vuln:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
+	fi
+
 test:
 	$(GO) test ./...
 
-check: build vet test
+check: build vet vuln test
 
 race:
 	$(GO) test -race ./internal/ml ./internal/core ./internal/sched ./internal/experiments ./internal/telemetry

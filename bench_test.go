@@ -28,7 +28,7 @@ func benchOptions() experiments.Options {
 func runExperiment(b *testing.B, id string) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
-		rep, err := experiments.Run(id, benchOptions())
+		rep, err := experiments.Run(nil, id, benchOptions())
 		if err != nil {
 			b.Fatalf("%s: %v", id, err)
 		}
@@ -112,6 +112,10 @@ func BenchmarkExtColdStart(b *testing.B) { runExperiment(b, "ext-coldstart") }
 
 // BenchmarkExtIsolation runs the §6.3 isolation-orthogonality study.
 func BenchmarkExtIsolation(b *testing.B) { runExperiment(b, "ext-isolation") }
+
+// BenchmarkExtResilience runs the fault-injection study: the platform
+// under every named fault scenario vs the healthy baseline.
+func BenchmarkExtResilience(b *testing.B) { runExperiment(b, "ext-resilience") }
 
 // ---- micro-benchmarks of the paper's operational costs (§6.4) ----
 
@@ -280,6 +284,41 @@ func BenchmarkSchedulingInstrumented(b *testing.B) {
 	}
 }
 
+// BenchmarkFaultyPlatform measures the platform's fault path: a short
+// trace-driven run under the "chaos" scenario (crash + straggler +
+// cold-start storm + predictor outage), exercising evacuation, capacity
+// rescaling and degraded-mode placement end to end.
+func BenchmarkFaultyPlatform(b *testing.B) {
+	cat := Catalog()
+	const durationS = 2 * 3600
+	chaos, err := FaultScenario("chaos", 42, durationS, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		st, err := RunPlatform(nil, PlatformConfig{
+			Model:     NewTestbedModel(),
+			Scheduler: NewWorstFit(),
+			Services: []PlatformService{
+				{W: cat["social-network"], Pattern: DefaultTracePattern(250), SLA: SLA{MinIPC: 0.9}},
+				{W: cat["e-commerce"], Pattern: DefaultTracePattern(350), SLA: SLA{MinIPC: 1.0}},
+			},
+			SCPool:          []*Workload{cat["matmul"], cat["dd"], cat["float-op"]},
+			SCMeanIntervalS: 200,
+			DurationS:       durationS,
+			StepS:           30,
+			Seed:            42,
+			Faults:          chaos,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.FaultEvents == 0 {
+			b.Fatal("chaos run injected no faults")
+		}
+	}
+}
+
 func schedState(spec resources.ServerSpec) *SchedulerState {
 	caps := make([]resources.Vector, 8)
 	for i := range caps {
@@ -298,6 +337,7 @@ var benchedIDs = []string{
 	"fig3a", "fig3b", "fig4", "fig5", "fig7", "fig8", "fig9",
 	"fig10a", "fig10b", "fig10c", "fig11", "fig12", "fig13", "fig14",
 	"ext-pca", "ext-hierarchy", "ext-coldstart", "ext-isolation",
+	"ext-resilience",
 }
 
 // TestBenchRegistryCoverage pins the registry and the bench list to
@@ -324,7 +364,7 @@ func TestBenchRegistryCoverage(t *testing.T) {
 			t.Errorf("benched id %q is no longer registered: remove its Benchmark* wrapper", id)
 		}
 	}
-	if _, err := experiments.Run("nope-bogus", benchOptions()); err == nil {
+	if _, err := experiments.Run(nil, "nope-bogus", benchOptions()); err == nil {
 		t.Fatal("bogus id resolved")
 	}
 	for _, id := range experiments.IDs() {

@@ -1,6 +1,8 @@
 // Command gsight-experiments regenerates the paper's tables and
 // figures on the simulated testbed and prints paper-vs-measured notes.
 // Progress goes to stderr; the reports on stdout (or -o) stay pipeable.
+// SIGINT/SIGTERM cancel the remaining experiments cleanly: finished
+// reports are still emitted and open files flushed before exiting.
 //
 // Usage:
 //
@@ -10,12 +12,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"gsight/internal/experiments"
@@ -39,26 +45,6 @@ func main() {
 
 	log := logx.Default(*verbose, *quiet)
 
-	tel := telemetry.New()
-	experiments.SetTelemetry(tel)
-	if *debugAddr != "" {
-		addr, err := telemetry.ServeDebug(*debugAddr, tel.Registry)
-		if err != nil {
-			log.Fatalf("debug server: %v", err)
-		}
-		log.Infof("debug server on http://%s (metrics, expvar, pprof)", addr)
-	}
-
-	sink := io.Writer(os.Stdout)
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			log.Fatalf("%v", err)
-		}
-		defer f.Close()
-		sink = f
-	}
-
 	if *list {
 		for _, id := range experiments.IDs() {
 			fmt.Println(id)
@@ -66,13 +52,63 @@ func main() {
 		return
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	ok := runAll(ctx, log, config{
+		scale: *scale, seed: *seed, run: *run, format: *format, out: *out,
+		parallel: *parallel, debugAddr: *debugAddr, reportPath: *reportPath,
+	})
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	scale      float64
+	seed       uint64
+	run        string
+	format     string
+	out        string
+	parallel   bool
+	debugAddr  string
+	reportPath string
+}
+
+// runAll executes the selected experiments and emits their reports; it
+// returns false when any experiment failed (cancellation included).
+// Deferred cleanups (output file close) run before main decides the
+// exit code.
+func runAll(ctx context.Context, log *logx.Logger, cfg config) bool {
+	tel := telemetry.New()
+	experiments.SetTelemetry(tel)
+	if cfg.debugAddr != "" {
+		addr, err := telemetry.ServeDebug(cfg.debugAddr, tel.Registry)
+		if err != nil {
+			log.Errorf("debug server: %v", err)
+			return false
+		}
+		log.Infof("debug server on http://%s (metrics, expvar, pprof)", addr)
+	}
+
+	sink := io.Writer(os.Stdout)
+	if cfg.out != "" {
+		f, err := os.Create(cfg.out)
+		if err != nil {
+			log.Errorf("%v", err)
+			return false
+		}
+		defer f.Close()
+		sink = f
+	}
+
 	var ids []string
-	if *run == "all" {
+	if cfg.run == "all" {
 		ids = experiments.IDs()
 	} else {
-		ids = strings.Split(*run, ",")
+		ids = strings.Split(cfg.run, ",")
 	}
-	opt := experiments.Options{Seed: *seed, Scale: *scale}
+	opt := experiments.Options{Seed: cfg.seed, Scale: cfg.scale}
 	for i := range ids {
 		ids[i] = strings.TrimSpace(ids[i])
 	}
@@ -85,17 +121,17 @@ func main() {
 		err  error
 		took time.Duration
 	}
-	log.Infof("running %d experiments at scale %.2f (seed %d)...", len(ids), *scale, *seed)
+	log.Infof("running %d experiments at scale %.2f (seed %d)...", len(ids), cfg.scale, cfg.seed)
 	tAll := time.Now()
 	results := make([]outcome, len(ids))
 	runOne := func(i int) {
 		log.Debugf("running %s...", ids[i])
 		t0 := time.Now()
-		rep, err := experiments.Run(ids[i], opt)
+		rep, err := experiments.Run(ctx, ids[i], opt)
 		results[i] = outcome{rep, err, time.Since(t0).Round(time.Millisecond)}
 		log.Debugf("%s done in %v", ids[i], results[i].took)
 	}
-	if *parallel {
+	if cfg.parallel {
 		var wg sync.WaitGroup
 		for i := range ids {
 			wg.Add(1)
@@ -107,44 +143,55 @@ func main() {
 		wg.Wait()
 	} else {
 		for i := range ids {
+			if ctx.Err() != nil {
+				results[i] = outcome{nil, ctx.Err(), 0}
+				continue
+			}
 			runOne(i)
 		}
 	}
 	log.Infof("all experiments finished in %v", time.Since(tAll).Round(time.Millisecond))
 
-	failed := 0
+	failed, cancelled := 0, 0
 	for i, id := range ids {
 		res := results[i]
+		if errors.Is(res.err, context.Canceled) {
+			cancelled++
+			continue
+		}
 		if res.err != nil {
 			log.Errorf("%s: %v", id, res.err)
 			failed++
 			continue
 		}
-		if *format == "markdown" {
-			fmt.Fprintf(sink, "%s\n*(regenerated in %v at scale %.2f, seed %d)*\n\n", res.rep.Markdown(), res.took, *scale, *seed)
+		if cfg.format == "markdown" {
+			fmt.Fprintf(sink, "%s\n*(regenerated in %v at scale %.2f, seed %d)*\n\n", res.rep.Markdown(), res.took, cfg.scale, cfg.seed)
 		} else {
 			fmt.Fprintf(sink, "%s\n(%s took %v)\n\n", res.rep.String(), id, res.took)
 		}
 	}
+	if cancelled > 0 {
+		log.Errorf("interrupted: %d experiments cancelled", cancelled)
+	}
 
-	if *reportPath != "" {
+	if cfg.reportPath != "" {
 		rep := tel.Report("gsight-experiments",
 			map[string]interface{}{
 				"run":      strings.Join(ids, ","),
-				"scale":    *scale,
-				"seed":     *seed,
-				"parallel": *parallel,
+				"scale":    cfg.scale,
+				"seed":     cfg.seed,
+				"parallel": cfg.parallel,
 			},
 			map[string]interface{}{
 				"experiments": len(ids),
 				"failed":      failed,
+				"cancelled":   cancelled,
 			})
-		if err := telemetry.WriteRunReport(*reportPath, rep); err != nil {
-			log.Fatalf("run report: %v", err)
+		if err := telemetry.WriteRunReport(cfg.reportPath, rep); err != nil {
+			log.Errorf("run report: %v", err)
+			return false
 		}
-		log.Infof("run report written to %s", *reportPath)
+		log.Infof("run report written to %s", cfg.reportPath)
 	}
-	if failed > 0 {
-		os.Exit(1)
-	}
+	return failed == 0 && cancelled == 0
 }

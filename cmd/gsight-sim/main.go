@@ -1,25 +1,32 @@
 // Command gsight-sim runs the trace-driven serverless platform
 // simulation under a chosen scheduler and prints density, utilization
 // and SLA statistics — the §6.3 case study as a tool. Progress goes to
-// stderr; the report on stdout stays pipeable.
+// stderr; the report on stdout stays pipeable. SIGINT/SIGTERM cancel
+// the run cleanly: open files are flushed before exiting.
 //
 // Usage:
 //
 //	gsight-sim [-scheduler gsight|bestfit|worstfit] [-hours 24]
 //	           [-train 800] [-seed 42] [-v|-quiet]
+//	           [-faults chaos|node-crash|...|schedule.json]
 //	           [-debug-addr :6060] [-report run.json] [-decision-log run.jsonl]
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
+	"strings"
+	"syscall"
 	"time"
 
 	"gsight/internal/baselines"
 	"gsight/internal/core"
+	"gsight/internal/faults"
 	"gsight/internal/logx"
 	"gsight/internal/perfmodel"
 	"gsight/internal/platform"
@@ -39,6 +46,7 @@ func main() {
 	seed := flag.Uint64("seed", 42, "seed")
 	verbose := flag.Bool("v", false, "verbose progress")
 	quiet := flag.Bool("quiet", false, "errors only")
+	faultsFlag := flag.String("faults", "", "fault schedule: a named scenario ("+strings.Join(faults.Names(), ", ")+") or a JSON schedule file")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
 	reportPath := flag.String("report", "", "write a JSON run report to this file")
 	decisionPath := flag.String("decision-log", "", "write the JSONL decision log to this file")
@@ -46,11 +54,43 @@ func main() {
 
 	log := logx.Default(*verbose, *quiet)
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// run (not main) owns the deferred cleanups, so a failure exits
+	// through them — buffered decision logs land on disk either way.
+	if err := run(ctx, log, options{
+		scheduler:    *schedName,
+		hours:        *hours,
+		trainScen:    *trainScen,
+		seed:         *seed,
+		faults:       *faultsFlag,
+		debugAddr:    *debugAddr,
+		reportPath:   *reportPath,
+		decisionPath: *decisionPath,
+	}); err != nil {
+		log.Errorf("%v", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	scheduler    string
+	hours        float64
+	trainScen    int
+	seed         uint64
+	faults       string
+	debugAddr    string
+	reportPath   string
+	decisionPath string
+}
+
+func run(ctx context.Context, log *logx.Logger, opt options) error {
 	sink := telemetry.New()
-	if *decisionPath != "" {
-		f, err := os.Create(*decisionPath)
+	if opt.decisionPath != "" {
+		f, err := os.Create(opt.decisionPath)
 		if err != nil {
-			log.Fatalf("decision log: %v", err)
+			return fmt.Errorf("decision log: %w", err)
 		}
 		bw := bufio.NewWriter(f)
 		defer func() {
@@ -59,33 +99,33 @@ func main() {
 		}()
 		sink.WithDecisions(bw)
 	}
-	if *debugAddr != "" {
-		addr, err := telemetry.ServeDebug(*debugAddr, sink.Registry)
+	if opt.debugAddr != "" {
+		addr, err := telemetry.ServeDebug(opt.debugAddr, sink.Registry)
 		if err != nil {
-			log.Fatalf("debug server: %v", err)
+			return fmt.Errorf("debug server: %w", err)
 		}
 		log.Infof("debug server on http://%s (metrics, expvar, pprof)", addr)
 	}
 
 	m := perfmodel.New(resources.DefaultTestbed())
 	scenario.FastConfig(m)
-	g := scenario.NewGenerator(m, *seed)
+	g := scenario.NewGenerator(m, opt.seed)
 
 	var pred core.QoSPredictor
 	var scheduler sched.Scheduler
 	needTraining := true
-	switch *schedName {
+	switch opt.scheduler {
 	case "gsight":
-		pred = core.NewPredictor(core.Config{Seed: *seed})
+		pred = core.NewPredictor(core.Config{Seed: opt.seed})
 		scheduler = sched.NewGsight(pred)
 	case "bestfit":
-		pred = baselines.NewPythia(*seed)
+		pred = baselines.NewPythia(opt.seed)
 		scheduler = sched.NewBestFit(pred)
 	case "worstfit":
 		scheduler = sched.NewWorstFit()
 		needTraining = false
 	default:
-		log.Fatalf("unknown scheduler %q", *schedName)
+		return fmt.Errorf("unknown scheduler %q", opt.scheduler)
 	}
 	if in, ok := scheduler.(interface{ Instrument(*telemetry.Sink) }); ok {
 		in.Instrument(sink)
@@ -94,15 +134,33 @@ func main() {
 		in.Instrument(sink)
 	}
 
+	durationS := opt.hours * 3600
+	var schedule *faults.Schedule
+	if opt.faults != "" {
+		var err error
+		if strings.HasSuffix(opt.faults, ".json") {
+			schedule, err = faults.LoadFile(opt.faults)
+		} else {
+			schedule, err = faults.Scenario(opt.faults, opt.seed, durationS, m.Testbed.NumServers())
+		}
+		if err != nil {
+			return err // faults package errors are self-describing
+		}
+		log.Infof("fault schedule %q: %d events", schedule.Name, len(schedule.Events))
+	}
+
 	if needTraining {
-		log.Infof("bootstrapping %s's predictor on %d scenarios...", scheduler.Name(), *trainScen)
+		log.Infof("bootstrapping %s's predictor on %d scenarios...", scheduler.Name(), opt.trainScen)
 		t0 := time.Now()
 		var ipcObs, jctObs []core.Observation
-		for i := 0; i < *trainScen; i++ {
+		for i := 0; i < opt.trainScen; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			sc := g.Colocation(core.LSSC, 2+g.Rand().Intn(2))
 			samples, err := g.Label(sc)
 			if err != nil {
-				log.Fatalf("labeling: %v", err)
+				return fmt.Errorf("labeling: %w", err)
 			}
 			for _, s := range samples {
 				o := core.Observation{Target: s.Target, Inputs: s.Inputs, Label: s.Label}
@@ -115,11 +173,11 @@ func main() {
 			}
 		}
 		if err := pred.TrainObservations(core.IPCQoS, ipcObs); err != nil {
-			log.Fatalf("training: %v", err)
+			return fmt.Errorf("training: %w", err)
 		}
 		if len(jctObs) > 0 {
 			if err := pred.TrainObservations(core.JCTQoS, jctObs); err != nil {
-				log.Fatalf("training: %v", err)
+				return fmt.Errorf("training: %w", err)
 			}
 		}
 		log.Infof("trained in %v", time.Since(t0).Round(time.Millisecond))
@@ -129,16 +187,16 @@ func main() {
 	for i, w := range []*workload.Workload{
 		workload.SocialNetwork(), workload.ECommerce(), workload.MLServing(),
 	} {
-		curve := sched.BuildCurve(m, w, 250, *seed+uint64(i))
+		curve := sched.BuildCurve(m, w, 250, opt.seed+uint64(i))
 		minIPC, _ := curve.MinIPCFor(w.SLAp99Ms)
 		p := trace.DefaultPattern(w.MaxQPS * 0.6)
 		p.PhaseShift = float64(i) * 7200
 		services = append(services, platform.LSService{W: w, Pattern: p, SLA: sched.SLA{MinIPC: minIPC}})
 	}
 
-	log.Infof("running %.0fh trace-driven simulation under %s...", *hours, scheduler.Name())
+	log.Infof("running %.0fh trace-driven simulation under %s...", opt.hours, scheduler.Name())
 	t0 := time.Now()
-	st, err := platform.Run(platform.Config{
+	st, err := platform.Run(ctx, platform.Config{
 		Model:     perfmodel.New(m.Testbed),
 		Scheduler: scheduler,
 		Services:  services,
@@ -149,13 +207,14 @@ func main() {
 			workload.IoTCollector(), workload.Monitor(),
 		},
 		SCMeanIntervalS: 150,
-		DurationS:       *hours * 3600,
+		DurationS:       durationS,
 		StepS:           30,
-		Seed:            *seed,
+		Seed:            opt.seed,
 		Telemetry:       sink,
+		Faults:          schedule,
 	})
 	if err != nil {
-		log.Fatalf("simulation: %v", err)
+		return fmt.Errorf("simulation: %w", err)
 	}
 	log.Infof("simulated in %v (%d steps)", time.Since(t0).Round(time.Millisecond), st.Steps)
 
@@ -183,29 +242,53 @@ func main() {
 		totalJobs += len(jcts)
 	}
 	fmt.Printf("batch jobs completed: %d\n", totalJobs)
+	if st.FaultEvents > 0 || len(st.Degraded) > 0 {
+		fmt.Printf("\nfaults: %d events, %d services displaced, %d jobs displaced\n",
+			st.FaultEvents, st.DisplacedServices, st.DisplacedJobs)
+		fmt.Printf("degraded: %d placements via fallback, %d/%d steps in degraded mode, %d retries\n",
+			st.DegradedPlacements, st.DegradedSteps, st.Steps, st.PlacementRetries)
+		for _, d := range st.Degraded {
+			fmt.Printf("degraded window [%.0fs, %.0fs): %s\n", d.StartS, d.EndS, d.Reason)
+		}
+	}
 
-	if *reportPath != "" {
+	if opt.reportPath != "" {
+		degraded := make([]map[string]interface{}, 0, len(st.Degraded))
+		for _, d := range st.Degraded {
+			degraded = append(degraded, map[string]interface{}{
+				"start_s": d.StartS, "end_s": d.EndS, "reason": d.Reason,
+			})
+		}
 		rep := sink.Report("gsight-sim",
 			map[string]interface{}{
 				"scheduler": scheduler.Name(),
-				"hours":     *hours,
-				"train":     *trainScen,
-				"seed":      *seed,
+				"hours":     opt.hours,
+				"train":     opt.trainScen,
+				"seed":      opt.seed,
+				"faults":    opt.faults,
 			},
 			map[string]interface{}{
-				"steps":          st.Steps,
-				"mean_density":   stats.Mean(st.Density),
-				"mean_cpu_util":  stats.Mean(st.CPUUtil),
-				"cold_starts":    st.ColdStarts,
-				"migrations":     st.Migrations,
-				"reschedules":    st.Reschedules,
-				"rejected_jobs":  st.RejectedJobs,
-				"placements":     st.Placements,
-				"jobs_completed": totalJobs,
+				"steps":               st.Steps,
+				"mean_density":        stats.Mean(st.Density),
+				"mean_cpu_util":       stats.Mean(st.CPUUtil),
+				"cold_starts":         st.ColdStarts,
+				"migrations":          st.Migrations,
+				"reschedules":         st.Reschedules,
+				"rejected_jobs":       st.RejectedJobs,
+				"placements":          st.Placements,
+				"jobs_completed":      totalJobs,
+				"fault_events":        st.FaultEvents,
+				"displaced_services":  st.DisplacedServices,
+				"displaced_jobs":      st.DisplacedJobs,
+				"degraded_placements": st.DegradedPlacements,
+				"degraded_steps":      st.DegradedSteps,
+				"placement_retries":   st.PlacementRetries,
+				"degraded_intervals":  degraded,
 			})
-		if err := telemetry.WriteRunReport(*reportPath, rep); err != nil {
-			log.Fatalf("run report: %v", err)
+		if err := telemetry.WriteRunReport(opt.reportPath, rep); err != nil {
+			return fmt.Errorf("run report: %w", err)
 		}
-		log.Infof("run report written to %s", *reportPath)
+		log.Infof("run report written to %s", opt.reportPath)
 	}
+	return nil
 }

@@ -180,9 +180,9 @@ func main() {
 				"seed":       *seed,
 			},
 			map[string]interface{}{
-				"observations":  len(obs),
-				"train_samples": len(train),
-				"test_samples":  len(test),
+				"observations":        len(obs),
+				"train_samples":       len(train),
+				"test_samples":        len(test),
 				"final_error_percent": finalErr,
 			})
 		if err := telemetry.WriteRunReport(*reportPath, rep); err != nil {

@@ -2,22 +2,22 @@
 // serverless platform for a few simulated hours under the Gsight
 // binary-search scheduler, Pythia's Best Fit and Worst Fit, comparing
 // function density, utilization and SLA compliance (the paper's §6.3
-// case study in miniature).
+// case study in miniature). A final run repeats the Gsight case under
+// the "chaos" fault scenario to show graceful degradation. Everything
+// here uses only the root gsight package.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"sort"
 
 	"gsight"
-	"gsight/internal/perfmodel"
-	"gsight/internal/platform"
-	"gsight/internal/sched"
-	"gsight/internal/stats"
-	"gsight/internal/trace"
 )
 
 func main() {
+	ctx := context.Background()
 	model := gsight.NewTestbedModel()
 	gen := gsight.NewGenerator(model, 42)
 	cat := gsight.Catalog()
@@ -41,58 +41,95 @@ func main() {
 			}
 		}
 	}
-	gsightPred := gsight.NewPredictor(gsight.PredictorConfig{Seed: 42})
+	gsightPred := gsight.NewPredictor(gsight.PredictorConfig{}, gsight.WithSeed(42))
 	must(gsightPred.TrainObservations(gsight.IPCQoS, ipcObs))
 	must(gsightPred.TrainObservations(gsight.JCTQoS, jctObs))
 	pythiaPred := gsight.NewPythia(43)
 	must(pythiaPred.TrainObservations(gsight.IPCQoS, ipcObs))
 
 	// SLAs via the latency->IPC transform (Figure 7).
-	services := func() []platform.LSService {
-		var out []platform.LSService
+	services := func() []gsight.PlatformService {
+		var out []gsight.PlatformService
 		for i, name := range []string{"social-network", "e-commerce"} {
 			w := cat[name]
 			curve := gsight.BuildCurve(model, w, 200, uint64(50+i))
 			minIPC, _ := curve.MinIPCFor(w.SLAp99Ms)
-			p := trace.DefaultPattern(w.MaxQPS * 0.55)
+			p := gsight.DefaultTracePattern(w.MaxQPS * 0.55)
 			p.PhaseShift = float64(i) * 7200
-			out = append(out, platform.LSService{W: w, Pattern: p, SLA: sched.SLA{MinIPC: minIPC}})
+			out = append(out, gsight.PlatformService{W: w, Pattern: p, SLA: gsight.SLA{MinIPC: minIPC}})
 		}
 		return out
 	}
 
+	const durationS = 4 * 3600
+	chaos, err := gsight.FaultScenario("chaos", 42, durationS, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	for _, entry := range []struct {
-		name string
-		s    sched.Scheduler
+		name   string
+		s      gsight.Scheduler
+		faults *gsight.FaultSchedule
 	}{
-		{"Gsight (binary-search)", gsight.NewScheduler(gsightPred)},
-		{"Pythia (best fit)", gsight.NewBestFit(pythiaPred)},
-		{"Worst Fit (spread)", gsight.NewWorstFit()},
+		{"Gsight (binary-search)", gsight.NewScheduler(gsightPred), nil},
+		{"Pythia (best fit)", gsight.NewBestFit(pythiaPred), nil},
+		{"Worst Fit (spread)", gsight.NewWorstFit(), nil},
+		{"Gsight under chaos faults", gsight.NewScheduler(gsightPred), chaos},
 	} {
-		st, err := platform.Run(platform.Config{
-			Model:     perfmodel.New(model.Testbed),
+		st, err := gsight.RunPlatform(ctx, gsight.PlatformConfig{
+			Model:     gsight.NewTestbedModel(),
 			Scheduler: entry.s,
 			Services:  services(),
 			SCPool: []*gsight.Workload{
 				cat["matmul"], cat["dd"], cat["video-processing"], cat["float-op"],
 			},
 			SCMeanIntervalS: 180,
-			DurationS:       4 * 3600,
+			DurationS:       durationS,
 			StepS:           30,
 			Seed:            42,
+			Faults:          entry.faults,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("\n== %s ==\n", entry.name)
 		fmt.Printf("  density  mean %.3f inst/core (p90 %.3f)\n",
-			stats.Mean(st.Density), stats.Percentile(st.Density, 90))
+			mean(st.Density), percentile(st.Density, 90))
 		fmt.Printf("  CPU util mean %.3f, memory util mean %.3f\n",
-			stats.Mean(st.CPUUtil), stats.Mean(st.MemUtil))
+			mean(st.CPUUtil), mean(st.MemUtil))
 		fmt.Printf("  SLA: social-network %.1f%%, e-commerce %.1f%%\n",
 			100*st.SLARatio("social-network"), 100*st.SLARatio("e-commerce"))
 		fmt.Printf("  cold starts %d, reactive migrations %d\n", st.ColdStarts, st.Migrations)
+		if entry.faults != nil {
+			fmt.Printf("  faults: %d events, %d services + %d jobs displaced, %d degraded placements\n",
+				st.FaultEvents, st.DisplacedServices, st.DisplacedJobs, st.DegradedPlacements)
+			for _, d := range st.Degraded {
+				fmt.Printf("  degraded [%.0fs, %.0fs): %s\n", d.StartS, d.EndS, d.Reason)
+			}
+		}
 	}
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+func percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	idx := int(p / 100 * float64(len(sorted)-1))
+	return sorted[idx]
 }
 
 func must(err error) {

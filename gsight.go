@@ -23,16 +23,59 @@
 package gsight
 
 import (
+	"context"
+
 	"gsight/internal/baselines"
 	"gsight/internal/core"
 	"gsight/internal/experiments"
+	"gsight/internal/faults"
 	"gsight/internal/perfmodel"
+	"gsight/internal/platform"
 	"gsight/internal/resources"
 	"gsight/internal/scenario"
 	"gsight/internal/sched"
 	"gsight/internal/telemetry"
+	"gsight/internal/trace"
 	"gsight/internal/workload"
 )
+
+// Option configures a constructor. Options compose left to right; an
+// option that does not apply to the component being built is ignored,
+// so a shared option list can configure a predictor and a scheduler
+// alike.
+type Option func(*options)
+
+type options struct {
+	seed     *uint64
+	sink     *telemetry.Sink
+	fallback sched.Scheduler
+}
+
+func buildOptions(opts []Option) options {
+	var o options
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
+}
+
+// WithSeed overrides the component's RNG seed (predictors).
+func WithSeed(seed uint64) Option {
+	return func(o *options) { o.seed = &seed }
+}
+
+// WithTelemetry instruments the component with the sink (predictors and
+// schedulers). TelemetryNop (nil) keeps it uninstrumented.
+func WithTelemetry(s *TelemetrySink) Option {
+	return func(o *options) { o.sink = s }
+}
+
+// WithFallback sets the scheduler's degraded-mode policy: placements
+// the predictor cannot vet (untrained, erroring) are served by s
+// instead of being rejected (schedulers).
+func WithFallback(s Scheduler) Option {
+	return func(o *options) { o.fallback = s }
+}
 
 // Core predictor types (§3).
 type (
@@ -71,7 +114,19 @@ const (
 )
 
 // NewPredictor returns an untrained Gsight predictor (IRFR by default).
-func NewPredictor(cfg PredictorConfig) *Predictor { return core.NewPredictor(cfg) }
+// Options refine the struct config: WithSeed overrides cfg.Seed,
+// WithTelemetry instruments the predictor.
+func NewPredictor(cfg PredictorConfig, opts ...Option) *Predictor {
+	o := buildOptions(opts)
+	if o.seed != nil {
+		cfg.Seed = *o.seed
+	}
+	p := core.NewPredictor(cfg)
+	if o.sink != nil {
+		p.Instrument(o.sink)
+	}
+	return p
+}
 
 // DefaultCoder returns the paper's 8-server, 10-workload code layout.
 func DefaultCoder() Coder { return core.DefaultCoder() }
@@ -160,8 +215,26 @@ type (
 )
 
 // NewScheduler returns the Gsight binary-search scheduler around a
-// trained predictor.
-func NewScheduler(p QoSPredictor) *sched.Gsight { return sched.NewGsight(p) }
+// trained predictor. Options: WithTelemetry instruments it,
+// WithFallback serves predictor-errored placements through a backup
+// policy (outcome "degraded") instead of rejecting them.
+func NewScheduler(p QoSPredictor, opts ...Option) *sched.Gsight {
+	o := buildOptions(opts)
+	g := sched.NewGsight(p)
+	if o.fallback != nil {
+		g.Fallback = o.fallback
+	}
+	if o.sink != nil {
+		g.Instrument(o.sink)
+	}
+	return g
+}
+
+// NewSchedulerState returns an empty scheduler cluster view sized to
+// the model's testbed.
+func NewSchedulerState(m *Model) *SchedulerState {
+	return sched.StateFromProfiles(m.Testbed.Servers[0], m.Testbed.NumServers())
+}
 
 // NewBestFit returns Pythia's Best Fit policy.
 func NewBestFit(p QoSPredictor) *sched.BestFit { return sched.NewBestFit(p) }
@@ -202,9 +275,11 @@ type (
 )
 
 // RunExperiment regenerates the table/figure with the given id
-// ("table1", "fig3a", ..., "fig14").
-func RunExperiment(id string, opt ExperimentOptions) (*ExperimentReport, error) {
-	return experiments.Run(id, opt)
+// ("table1", "fig3a", ..., "fig14", "ext-resilience"). A nil ctx means
+// context.Background(); cancellation stops the experiment between
+// units of work.
+func RunExperiment(ctx context.Context, id string, opt ExperimentOptions) (*ExperimentReport, error) {
+	return experiments.Run(ctx, id, opt)
 }
 
 // ExperimentIDs lists every reproducible table and figure.
@@ -212,3 +287,55 @@ func ExperimentIDs() []string { return experiments.IDs() }
 
 // DefaultExperimentOptions returns full-scale, seed-42 options.
 func DefaultExperimentOptions() ExperimentOptions { return experiments.DefaultOptions() }
+
+// Platform: the trace-driven serverless platform simulation (§6.3).
+type (
+	// PlatformConfig parameterizes RunPlatform.
+	PlatformConfig = platform.Config
+	// PlatformStats aggregates a platform run's outcomes.
+	PlatformStats = platform.Stats
+	// PlatformService is one resident latency-sensitive service.
+	PlatformService = platform.LSService
+	// PlatformRetryPolicy bounds placement retries on transient errors.
+	PlatformRetryPolicy = platform.RetryPolicy
+	// DegradedInterval is a window of simulation time spent placing
+	// through the fallback policy.
+	DegradedInterval = platform.DegradedInterval
+	// TracePattern shapes a service's request-rate trace.
+	TracePattern = trace.Pattern
+)
+
+// DefaultTracePattern returns the Azure-like diurnal + bursts + noise
+// pattern around a base request rate.
+var DefaultTracePattern = trace.DefaultPattern
+
+// RunPlatform executes a trace-driven platform simulation: resident
+// autoscaled LS services, arriving batch jobs, a pluggable scheduler,
+// SLA monitoring with reactive control — and, when cfg.Faults is set,
+// deterministic fault injection with graceful degradation. A nil ctx
+// means context.Background().
+func RunPlatform(ctx context.Context, cfg PlatformConfig) (*PlatformStats, error) {
+	return platform.Run(ctx, cfg)
+}
+
+// Fault injection (DESIGN.md §11).
+type (
+	// FaultSchedule is a deterministic timeline of fault events.
+	FaultSchedule = faults.Schedule
+	// FaultEvent is one scheduled fault.
+	FaultEvent = faults.Event
+	// FaultKind names a fault event type ("node-crash", "slow-node",
+	// "cold-start-storm", "predictor-down", ...).
+	FaultKind = faults.Kind
+)
+
+// FaultScenario builds a named seeded scenario ("node-crash",
+// "rolling-crashes", "stragglers", "cold-start-storm",
+// "predictor-outage", "chaos") sized to a run's duration and cluster.
+var FaultScenario = faults.Scenario
+
+// FaultScenarioNames lists the named fault scenarios.
+var FaultScenarioNames = faults.Names
+
+// LoadFaultSchedule reads a JSON fault schedule from a file.
+var LoadFaultSchedule = faults.LoadFile

@@ -46,7 +46,7 @@ func (p *Predictor) PredictBatch(kind QoSKind, queries []Query) ([]float64, erro
 // their own scratch.
 func (p *Predictor) PredictBatchInto(kind QoSKind, queries []Query, out []float64) error {
 	if !p.trained[kind] {
-		return fmt.Errorf("core: %v model not trained", kind)
+		return fmt.Errorf("%w: %v", ErrNotTrained, kind)
 	}
 	if len(out) != len(queries) {
 		return fmt.Errorf("core: PredictBatchInto out length %d != %d queries", len(out), len(queries))

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -239,12 +240,22 @@ func (p *Predictor) TrainObservations(kind QoSKind, obs []Observation) error {
 	return nil
 }
 
+// ErrNotTrained marks predictions requested from a model that has not
+// been fitted for the QoS kind. Schedulers and the platform treat it
+// as a signal to degrade to a capacity-based policy, not to retry.
+var ErrNotTrained = errors.New("core: model not trained")
+
+// ErrUnavailable marks a predictor that is temporarily unreachable
+// (fault injection, a remote inference service being down). Like
+// ErrNotTrained it calls for graceful degradation by the caller.
+var ErrUnavailable = errors.New("core: predictor unavailable")
+
 // Predict estimates ws[target]'s QoS under the colocation. Calling it
-// for an untrained kind returns an error: the paper never predicts
-// before the initial dataset exists.
+// for an untrained kind returns an error wrapping ErrNotTrained: the
+// paper never predicts before the initial dataset exists.
 func (p *Predictor) Predict(kind QoSKind, target int, ws []WorkloadInput) (float64, error) {
 	if !p.trained[kind] {
-		return 0, fmt.Errorf("core: %v model not trained", kind)
+		return 0, fmt.Errorf("%w: %v", ErrNotTrained, kind)
 	}
 	// Clock reads are gated on Enabled so the uninstrumented hot path
 	// never touches the time source.

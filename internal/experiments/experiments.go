@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -134,8 +135,9 @@ func min(a, b int) int {
 	return b
 }
 
-// Runner is one experiment entry point.
-type Runner func(Options) (*Report, error)
+// Runner is one experiment entry point. Cancelling ctx stops the
+// experiment between units of work and surfaces ctx.Err().
+type Runner func(ctx context.Context, opt Options) (*Report, error)
 
 // Registry maps experiment ids (table1, fig3a, ...) to runners, in the
 // paper's order.
@@ -170,14 +172,19 @@ func Registry() []struct {
 		{"ext-hierarchy", ExtHierarchy},
 		{"ext-coldstart", ExtColdStart},
 		{"ext-isolation", ExtIsolation},
+		{"ext-resilience", ExtResilience},
 	}
 }
 
-// Run executes the experiment with the given id.
-func Run(id string, opt Options) (*Report, error) {
+// Run executes the experiment with the given id. A nil ctx means
+// context.Background().
+func Run(ctx context.Context, id string, opt Options) (*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	for _, e := range Registry() {
 		if e.ID == id {
-			return e.Run(opt)
+			return e.Run(ctx, opt)
 		}
 	}
 	return nil, fmt.Errorf("experiments: unknown experiment %q", id)
@@ -304,7 +311,7 @@ func errsOf(p core.QoSPredictor, kind core.QoSKind, obs []core.Observation) ([]f
 // testbed evaluations then fan out over the worker pool and results are
 // assembled in draw order, so the observation list is byte-identical to
 // a sequential run.
-func collectObs(g *scenario.Generator, colocation core.ColocationKind, kind core.QoSKind, scenarios, maxWorkloads int) ([]core.Observation, error) {
+func collectObs(ctx context.Context, g *scenario.Generator, colocation core.ColocationKind, kind core.QoSKind, scenarios, maxWorkloads int) ([]core.Observation, error) {
 	type draw struct {
 		sc    *perfmodel.Scenario
 		noise *rng.Rand
@@ -318,7 +325,7 @@ func collectObs(g *scenario.Generator, colocation core.ColocationKind, kind core
 		draws[i] = draw{g.Colocation(colocation, k), g.NoiseSplit()}
 	}
 	perScenario := make([][]core.Observation, scenarios)
-	err := forEach(scenarios, func(i int) error {
+	err := forEach(ctx, scenarios, func(i int) error {
 		samples, err := g.LabelWith(draws[i].sc, draws[i].noise)
 		if err != nil {
 			return err

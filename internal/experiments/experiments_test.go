@@ -15,6 +15,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig3a", "fig3b", "fig4", "fig5", "fig7", "fig8", "fig9",
 		"fig10a", "fig10b", "fig10c", "fig11", "fig12", "fig13", "fig14",
 		"ext-pca", "ext-hierarchy", "ext-coldstart", "ext-isolation",
+		"ext-resilience",
 	}
 	got := IDs()
 	if len(got) != len(want) {
@@ -32,7 +33,7 @@ func TestRegistryComplete(t *testing.T) {
 }
 
 func TestRunUnknown(t *testing.T) {
-	if _, err := Run("fig99", tiny()); err == nil {
+	if _, err := Run(nil, "fig99", tiny()); err == nil {
 		t.Fatal("unknown experiment must error")
 	}
 }
@@ -51,7 +52,7 @@ func TestReportString(t *testing.T) {
 
 func TestStaticExperiments(t *testing.T) {
 	for _, id := range []string{"table1", "table4"} {
-		rep, err := Run(id, tiny())
+		rep, err := Run(nil, id, tiny())
 		if err != nil {
 			t.Fatalf("%s: %v", id, err)
 		}
@@ -62,7 +63,7 @@ func TestStaticExperiments(t *testing.T) {
 }
 
 func TestTable1CoversAllClasses(t *testing.T) {
-	rep, err := Table1Survey(tiny())
+	rep, err := Table1Survey(nil, tiny())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +73,7 @@ func TestTable1CoversAllClasses(t *testing.T) {
 }
 
 func TestFig3bShape(t *testing.T) {
-	rep, err := Fig3bTemporal(tiny())
+	rep, err := Fig3bTemporal(nil, tiny())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +83,7 @@ func TestFig3bShape(t *testing.T) {
 }
 
 func TestFig4Shape(t *testing.T) {
-	rep, err := Fig4Propagation(tiny())
+	rep, err := Fig4Propagation(nil, tiny())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +93,7 @@ func TestFig4Shape(t *testing.T) {
 }
 
 func TestFig3aShape(t *testing.T) {
-	rep, err := Fig3aVolatility(tiny())
+	rep, err := Fig3aVolatility(nil, tiny())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +104,7 @@ func TestFig3aShape(t *testing.T) {
 }
 
 func TestTable3Shape(t *testing.T) {
-	rep, err := Table3Correlations(tiny())
+	rep, err := Table3Correlations(nil, tiny())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +123,7 @@ func TestTable3Shape(t *testing.T) {
 }
 
 func TestFig7Runs(t *testing.T) {
-	rep, err := Fig7Knee(tiny())
+	rep, err := Fig7Knee(nil, tiny())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +133,7 @@ func TestFig7Runs(t *testing.T) {
 }
 
 func TestFig8Shape(t *testing.T) {
-	rep, err := Fig8Importance(tiny())
+	rep, err := Fig8Importance(nil, tiny())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +143,7 @@ func TestFig8Shape(t *testing.T) {
 }
 
 func TestFig13Recovers(t *testing.T) {
-	rep, err := Fig13Recovery(tiny())
+	rep, err := Fig13Recovery(nil, tiny())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +173,7 @@ func fmtSscanf(s string, v *float64) (int, error) {
 }
 
 func TestFig14Runs(t *testing.T) {
-	rep, err := Fig14Overhead(tiny())
+	rep, err := Fig14Overhead(nil, tiny())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,14 +186,14 @@ func TestSchedulingStudySmall(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs three platform simulations")
 	}
-	rep, err := Fig11Scheduling(tiny())
+	rep, err := Fig11Scheduling(nil, tiny())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(rep.Rows) != 12 {
 		t.Fatalf("rows = %d, want 12 (3 schedulers x 4 metrics)", len(rep.Rows))
 	}
-	rep12, err := Fig12SLA(tiny())
+	rep12, err := Fig12SLA(nil, tiny())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,7 +207,7 @@ func sscanf(s string, v *float64) (int, error) {
 }
 
 func TestExtColdStartAwareWins(t *testing.T) {
-	rep, err := ExtColdStart(tiny())
+	rep, err := ExtColdStart(nil, tiny())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,7 +222,7 @@ func TestExtColdStartAwareWins(t *testing.T) {
 }
 
 func TestExtIsolationReactiveWins(t *testing.T) {
-	rep, err := ExtIsolation(tiny())
+	rep, err := ExtIsolation(nil, tiny())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,7 +237,7 @@ func TestExtIsolationReactiveWins(t *testing.T) {
 }
 
 func TestExtHierarchyRuns(t *testing.T) {
-	rep, err := ExtHierarchy(tiny())
+	rep, err := ExtHierarchy(nil, tiny())
 	if err != nil {
 		t.Fatal(err)
 	}

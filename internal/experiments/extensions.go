@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -22,9 +23,9 @@ import (
 // ExtPCA quantifies the §6.4 dimensionality-reduction proposal: IRFR on
 // the raw 32nS+2n code vs IRFR behind PCA projections of decreasing
 // rank — error and inference latency per configuration.
-func ExtPCA(opt Options) (*Report, error) {
+func ExtPCA(ctx context.Context, opt Options) (*Report, error) {
 	_, g := newLab(opt)
-	obs, err := collectObs(g, core.LSSC, core.IPCQoS, opt.n(1200, 200), 3)
+	obs, err := collectObs(ctx, g, core.LSSC, core.IPCQoS, opt.n(1200, 200), 3)
 	if err != nil {
 		return nil, err
 	}
@@ -75,9 +76,9 @@ func ExtPCA(opt Options) (*Report, error) {
 // ExtHierarchy quantifies the §6.4 hierarchy-scheduling proposal:
 // placement decision latency of the flat binary-search scheduler vs the
 // zone-hierarchical wrapper as the cluster grows.
-func ExtHierarchy(opt Options) (*Report, error) {
+func ExtHierarchy(ctx context.Context, opt Options) (*Report, error) {
 	_, g := newLab(opt)
-	obs, err := collectObs(g, core.LSSC, core.IPCQoS, opt.n(400, 100), 2)
+	obs, err := collectObs(ctx, g, core.LSSC, core.IPCQoS, opt.n(400, 100), 2)
 	if err != nil {
 		return nil, err
 	}
@@ -136,7 +137,7 @@ func ExtHierarchy(opt Options) (*Report, error) {
 
 // ExtColdStart quantifies §5.2: predicting under cold starts with
 // startup-inclusive profiles vs naively reusing warm profiles.
-func ExtColdStart(opt Options) (*Report, error) {
+func ExtColdStart(ctx context.Context, opt Options) (*Report, error) {
 	m, g := newLab(opt)
 	nScen := opt.n(900, 200)
 
@@ -232,7 +233,7 @@ func ExtColdStart(opt Options) (*Report, error) {
 // ExtIsolation quantifies §6.3's orthogonality claim: Gsight prediction
 // plus reactive CAT/MBA-style partitioning yields a stronger SLA than
 // either alone, at a measured cost to best-effort corunners.
-func ExtIsolation(opt Options) (*Report, error) {
+func ExtIsolation(ctx context.Context, opt Options) (*Report, error) {
 	m, _ := newLab(opt)
 	sn := workload.SocialNetwork()
 	trials := opt.n(60, 20)

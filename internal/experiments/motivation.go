@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"gsight/internal/perfmodel"
@@ -12,7 +13,7 @@ import (
 
 // Table1Survey regenerates Table 1: the serverless workload taxonomy
 // with the catalog's representatives per class.
-func Table1Survey(opt Options) (*Report, error) {
+func Table1Survey(ctx context.Context, opt Options) (*Report, error) {
 	r := &Report{
 		ID:      "table1",
 		Title:   "Serverless workload survey (BG / SC / LS)",
@@ -36,7 +37,7 @@ func Table1Survey(opt Options) (*Report, error) {
 
 // Table4Testbed regenerates Table 4: the simulated testbed
 // configuration.
-func Table4Testbed(Options) (*Report, error) {
+func Table4Testbed(ctx context.Context, _ Options) (*Report, error) {
 	tb := resources.DefaultTestbed()
 	s := tb.Servers[0]
 	r := &Report{
@@ -61,7 +62,7 @@ func Table4Testbed(Options) (*Report, error) {
 // latency CoV and IPC of the social-network message-posting workflow
 // under the 36 partial-interference scenarios (4 micro-benchmarks x 9
 // functions).
-func Fig3aVolatility(opt Options) (*Report, error) {
+func Fig3aVolatility(ctx context.Context, opt Options) (*Report, error) {
 	m, _ := newLab(opt)
 	sn := workload.SocialNetwork()
 	trials := opt.n(20, 6)
@@ -99,7 +100,7 @@ func Fig3aVolatility(opt Options) (*Report, error) {
 	nFn := sn.NumFunctions()
 	type cell struct{ p99, cov, ipc float64 }
 	cells := make([]cell, len(micros)*nFn)
-	if err := forEach(len(cells), func(idx int) error {
+	if err := forEach(ctx, len(cells), func(idx int) error {
 		mi, f := idx/nFn, idx%nFn
 		p99, cov, ipc := evalRepeated(func() []*perfmodel.Deployment {
 			d := perfmodel.SpreadDeployment(sn, m.Testbed)
@@ -145,7 +146,7 @@ func Fig3aVolatility(opt Options) (*Report, error) {
 // Fig3bTemporal regenerates Figure 3(b): LR and KMeans JCTs when KMeans
 // starts with delays g1..g7 = 0..360 s in 60 s steps, both bound to one
 // server socket.
-func Fig3bTemporal(opt Options) (*Report, error) {
+func Fig3bTemporal(ctx context.Context, opt Options) (*Report, error) {
 	m, _ := newLab(opt)
 	m.Cfg.StepS = 2 // fine-grained phases matter here
 	r := &Report{
@@ -181,7 +182,7 @@ func Fig3bTemporal(opt Options) (*Report, error) {
 // Fig4Propagation regenerates Figure 4: per-function p99 under
 // interference at fn1 (compose-post) and fn6 (compose-and-upload), and
 // after local control moves the corunner to another socket.
-func Fig4Propagation(opt Options) (*Report, error) {
+func Fig4Propagation(ctx context.Context, opt Options) (*Report, error) {
 	m, _ := newLab(opt)
 	sn := workload.SocialNetwork()
 	qps := sn.MaxQPS / 2

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -27,7 +28,9 @@ func SetTelemetry(s *telemetry.Sink) {
 
 // forEach runs fn(0) … fn(n-1) on a bounded worker pool (GOMAXPROCS
 // wide) and returns the lowest-index error, matching what a sequential
-// loop would have surfaced.
+// loop would have surfaced. Cancelling ctx stops dispatching new
+// indices; tasks already running finish (they are pure computations),
+// and the call returns ctx.Err() when no task error outranks it.
 //
 // Determinism contract: fn(i) must write only to index i of pre-sized
 // result slices, and any randomness it consumes must come from streams
@@ -35,9 +38,12 @@ func SetTelemetry(s *telemetry.Sink) {
 // rng.Split). Under that contract a parallel run is byte-identical to
 // the sequential one — assembly order is the index order, and each
 // stream's draw sequence is fixed at split time.
-func forEach(n int, fn func(i int) error) error {
+func forEach(ctx context.Context, n int, fn func(i int) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if n <= 0 {
-		return nil
+		return ctx.Err()
 	}
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
@@ -61,7 +67,7 @@ func forEach(n int, fn func(i int) error) error {
 			return err
 		}
 	}
-	err := forEachOn(workers, n, run)
+	err := forEachOn(ctx, workers, n, run)
 	if ins != nil {
 		if wall := time.Since(t0).Seconds(); wall > 0 {
 			ins.Utilization.Observe(time.Duration(busy.Load()).Seconds() / (float64(workers) * wall))
@@ -71,14 +77,17 @@ func forEach(n int, fn func(i int) error) error {
 }
 
 // forEachOn is forEach's scheduling core over a fixed worker count.
-func forEachOn(workers, n int, fn func(i int) error) error {
+func forEachOn(ctx context.Context, workers, n int, fn func(i int) error) error {
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
 		}
-		return nil
+		return ctx.Err()
 	}
 	errs := make([]error, n)
 	var wg sync.WaitGroup
@@ -92,15 +101,22 @@ func forEachOn(workers, n int, fn func(i int) error) error {
 			}
 		}()
 	}
+dispatch:
 	for i := 0; i < n; i++ {
-		next <- i
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(next)
 	wg.Wait()
+	// Lowest-index error first — the sequential contract — then the
+	// cancellation itself.
 	for _, err := range errs {
 		if err != nil {
 			return err
 		}
 	}
-	return nil
+	return ctx.Err()
 }

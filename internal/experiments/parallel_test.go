@@ -11,7 +11,7 @@ import (
 func TestForEachRunsAll(t *testing.T) {
 	const n = 100
 	var hits [n]int32
-	if err := forEach(n, func(i int) error {
+	if err := forEach(nil, n, func(i int) error {
 		atomic.AddInt32(&hits[i], 1)
 		return nil
 	}); err != nil {
@@ -22,14 +22,14 @@ func TestForEachRunsAll(t *testing.T) {
 			t.Fatalf("index %d ran %d times", i, h)
 		}
 	}
-	if err := forEach(0, func(int) error { t.Fatal("fn called for n=0"); return nil }); err != nil {
+	if err := forEach(nil, 0, func(int) error { t.Fatal("fn called for n=0"); return nil }); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestForEachReturnsLowestIndexError(t *testing.T) {
 	errA, errB := errors.New("a"), errors.New("b")
-	err := forEach(50, func(i int) error {
+	err := forEach(nil, 50, func(i int) error {
 		switch i {
 		case 7:
 			return errA
@@ -51,11 +51,11 @@ func TestFig3aDeterministic(t *testing.T) {
 		t.Skip("repeated fig3a run is slow")
 	}
 	opt := Options{Seed: 42, Scale: 0.02}
-	a, err := Fig3aVolatility(opt)
+	a, err := Fig3aVolatility(nil, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Fig3aVolatility(opt)
+	b, err := Fig3aVolatility(nil, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +69,7 @@ func TestFig3aDeterministic(t *testing.T) {
 func TestCollectObsDeterministic(t *testing.T) {
 	run := func() []float64 {
 		_, g := newLab(Options{Seed: 7, Scale: 0.02})
-		obs, err := collectObs(g, core.LSSC, core.IPCQoS, 12, 3)
+		obs, err := collectObs(nil, g, core.LSSC, core.IPCQoS, 12, 3)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"gsight/internal/baselines"
@@ -19,7 +20,7 @@ import (
 // correlations between each candidate metric (collected under
 // colocation) and the workload's performance, which drive the
 // 16-metric feature screening of §3.2.
-func Table3Correlations(opt Options) (*Report, error) {
+func Table3Correlations(ctx context.Context, opt Options) (*Report, error) {
 	m, g := newLab(opt)
 	nScen := opt.n(400, 80)
 
@@ -116,7 +117,7 @@ func trainVariants(seed uint64) []core.QoSPredictor {
 // trained on the multi-function feature-generation and e-commerce
 // workloads and evaluated on the social network, across five learning
 // models.
-func Fig5ProfilingLevel(opt Options) (*Report, error) {
+func Fig5ProfilingLevel(ctx context.Context, opt Options) (*Report, error) {
 	_, g := newLab(opt)
 	// Restrict the generator's LS pool so training never sees the
 	// social network.
@@ -249,7 +250,7 @@ func Fig5ProfilingLevel(opt Options) (*Report, error) {
 
 // Fig7Knee regenerates Figure 7: the latency-IPC correlation curve of
 // an LS service, with its knee.
-func Fig7Knee(opt Options) (*Report, error) {
+func Fig7Knee(ctx context.Context, opt Options) (*Report, error) {
 	m, _ := newLab(opt)
 	sn := workload.SocialNetwork()
 	curve := sched.BuildCurve(m, sn, opt.n(400, 80), opt.Seed)
@@ -298,9 +299,9 @@ func Fig7Knee(opt Options) (*Report, error) {
 
 // Fig8Importance regenerates Figure 8: the impurity-based importance of
 // the 16 input metrics in the trained IRFR model.
-func Fig8Importance(opt Options) (*Report, error) {
+func Fig8Importance(ctx context.Context, opt Options) (*Report, error) {
 	_, g := newLab(opt)
-	all, err := collectObs(g, core.LSSC, core.IPCQoS, opt.n(700, 120), 3)
+	all, err := collectObs(ctx, g, core.LSSC, core.IPCQoS, opt.n(700, 120), 3)
 	if err != nil {
 		return nil, err
 	}
@@ -338,7 +339,7 @@ func Fig8Importance(opt Options) (*Report, error) {
 // Fig9PredictionError regenerates Figure 9: IPC and tail-latency (JCT
 // for SC+SC/BG) prediction errors of the five Gsight model variants and
 // the Pythia/ESP baselines across the three colocation forms.
-func Fig9PredictionError(opt Options) (*Report, error) {
+func Fig9PredictionError(ctx context.Context, opt Options) (*Report, error) {
 	_, g := newLab(opt)
 	r := &Report{
 		ID:      "fig9",
@@ -357,7 +358,7 @@ func Fig9PredictionError(opt Options) (*Report, error) {
 	var irfrLSSC float64
 	for _, k := range kinds {
 		for _, qos := range k.qos {
-			obs, err := collectObs(g, k.colo, qos, nScen, 3)
+			obs, err := collectObs(ctx, g, k.colo, qos, nScen, 3)
 			if err != nil {
 				return nil, err
 			}
@@ -439,7 +440,7 @@ func convergenceTrack(p core.QoSPredictor, train, test []core.Observation, check
 // Fig10aConvergence regenerates Figure 10(a): incremental-learning
 // convergence with serverless (function-level) vs serverful
 // (workload-level) samples.
-func Fig10aConvergence(opt Options) (*Report, error) {
+func Fig10aConvergence(ctx context.Context, opt Options) (*Report, error) {
 	m, g := newLab(opt)
 	nScen := opt.n(2500, 260)
 	checkFracs := []float64{1. / 8, 2. / 8, 3. / 8, 4. / 8, 5. / 8, 6. / 8, 7. / 8, 1}
@@ -505,9 +506,9 @@ func Fig10aConvergence(opt Options) (*Report, error) {
 
 // Fig10bStability regenerates Figure 10(b): error stability of IRFR as
 // samples accumulate.
-func Fig10bStability(opt Options) (*Report, error) {
+func Fig10bStability(ctx context.Context, opt Options) (*Report, error) {
 	_, g := newLab(opt)
-	obs, err := collectObs(g, core.LSSC, core.IPCQoS, opt.n(3600, 350), 2)
+	obs, err := collectObs(ctx, g, core.LSSC, core.IPCQoS, opt.n(3600, 350), 2)
 	if err != nil {
 		return nil, err
 	}
@@ -538,7 +539,7 @@ func Fig10bStability(opt Options) (*Report, error) {
 
 // Fig10cMultiWorkload regenerates Figure 10(c): prediction error vs the
 // number of colocated workloads.
-func Fig10cMultiWorkload(opt Options) (*Report, error) {
+func Fig10cMultiWorkload(ctx context.Context, opt Options) (*Report, error) {
 	_, g := newLab(opt)
 	nScen := opt.n(1800, 150)
 
@@ -596,7 +597,7 @@ func Fig10cMultiWorkload(opt Options) (*Report, error) {
 // Fig13Recovery regenerates Figure 13: the predictor trained only on
 // I/O-intensive workloads mispredicts CPU-intensive ones badly, then
 // recovers after ~1k incremental samples.
-func Fig13Recovery(opt Options) (*Report, error) {
+func Fig13Recovery(ctx context.Context, opt Options) (*Report, error) {
 	m, _ := newLab(opt)
 	ioGen := scenario.NewGenerator(m, opt.Seed)
 	ioGen.LSPool = []*workload.Workload{workload.SocialNetwork(), workload.ECommerce()}
@@ -605,11 +606,11 @@ func Fig13Recovery(opt Options) (*Report, error) {
 	cpuGen.LSPool = []*workload.Workload{workload.MLServing()}
 	cpuGen.SCPool = []*workload.Workload{workload.MatMul(), workload.FloatOp(), workload.VideoProcessing()}
 
-	ioObs, err := collectObs(ioGen, core.LSSC, core.IPCQoS, opt.n(900, 150), 2)
+	ioObs, err := collectObs(ctx, ioGen, core.LSSC, core.IPCQoS, opt.n(900, 150), 2)
 	if err != nil {
 		return nil, err
 	}
-	cpuObs, err := collectObs(cpuGen, core.LSSC, core.IPCQoS, opt.n(900, 200), 2)
+	cpuObs, err := collectObs(ctx, cpuGen, core.LSSC, core.IPCQoS, opt.n(900, 200), 2)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -20,15 +21,15 @@ import (
 // schedulers of §6.3 — Gsight (binary-search, Gsight predictor), Best
 // Fit (Pythia's policy and predictor), and Worst Fit — and returns the
 // per-scheduler stats.
-func scheduleStudy(opt Options) (map[string]*platform.Stats, error) {
+func scheduleStudy(ctx context.Context, opt Options) (map[string]*platform.Stats, error) {
 	m, g := newLab(opt)
 
 	// Train the two predictors on the same bootstrap dataset.
-	obs, err := collectObs(g, core.LSSC, core.IPCQoS, opt.n(1200, 180), 3)
+	obs, err := collectObs(ctx, g, core.LSSC, core.IPCQoS, opt.n(1200, 180), 3)
 	if err != nil {
 		return nil, err
 	}
-	jctObs, err := collectObs(g, core.SCSC, core.JCTQoS, opt.n(500, 80), 2)
+	jctObs, err := collectObs(ctx, g, core.SCSC, core.JCTQoS, opt.n(500, 80), 2)
 	if err != nil {
 		return nil, err
 	}
@@ -103,8 +104,8 @@ func scheduleStudy(opt Options) (map[string]*platform.Stats, error) {
 		svcSets[i] = services()
 	}
 	results := make([]*platform.Stats, len(entries))
-	err = forEach(len(entries), func(i int) error {
-		st, err := platform.Run(platform.Config{
+	err = forEach(ctx, len(entries), func(i int) error {
+		st, err := platform.Run(ctx, platform.Config{
 			Model:           perfmodel.New(m.Testbed),
 			Scheduler:       entries[i].s,
 			Services:        svcSets[i],
@@ -142,8 +143,8 @@ func cdfRow(name string, xs []float64) []string {
 
 // Fig11Scheduling regenerates Figure 11: function density, CPU
 // utilization and memory utilization under the three schedulers.
-func Fig11Scheduling(opt Options) (*Report, error) {
-	runs, err := scheduleStudy(opt)
+func Fig11Scheduling(ctx context.Context, opt Options) (*Report, error) {
+	runs, err := scheduleStudy(ctx, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -191,8 +192,8 @@ func Fig11Scheduling(opt Options) (*Report, error) {
 
 // Fig12SLA regenerates Figure 12: the fraction of time each LS service
 // stays within its SLA under Gsight scheduling.
-func Fig12SLA(opt Options) (*Report, error) {
-	runs, err := scheduleStudy(opt)
+func Fig12SLA(ctx context.Context, opt Options) (*Report, error) {
+	runs, err := scheduleStudy(ctx, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -220,10 +221,10 @@ func Fig12SLA(opt Options) (*Report, error) {
 // Fig14Overhead regenerates Figure 14: the online running cost —
 // inference and incremental-update wall-clock, and the per-component
 // breakdown of scheduling operations as the instance count grows.
-func Fig14Overhead(opt Options) (*Report, error) {
+func Fig14Overhead(ctx context.Context, opt Options) (*Report, error) {
 	m, g := newLab(opt)
 
-	obs, err := collectObs(g, core.LSSC, core.IPCQoS, opt.n(600, 120), 3)
+	obs, err := collectObs(ctx, g, core.LSSC, core.IPCQoS, opt.n(600, 120), 3)
 	if err != nil {
 		return nil, err
 	}

@@ -306,6 +306,34 @@ type Model struct {
 	// fully shared, the default the paper's characterization uses:
 	// "functions must share limited cores, memory bandwidth and LLC").
 	Partitions map[int]Partition
+	// capScale holds per-server capacity multipliers (fault injection:
+	// a straggler node contends as if every resource were
+	// proportionally smaller). Absent means nominal capacity.
+	capScale map[int]float64
+}
+
+// SetCapacityScale multiplies server s's effective capacity by f in
+// every contention domain; f == 1 (or f <= 0) clears the override.
+// Like a partition, the scale applies to contention, not to the
+// solo-run reference — so a workload on a straggler slows down even
+// when it runs alone there.
+func (m *Model) SetCapacityScale(s int, f float64) {
+	if f == 1 || f <= 0 {
+		delete(m.capScale, s)
+		return
+	}
+	if m.capScale == nil {
+		m.capScale = make(map[int]float64)
+	}
+	m.capScale[s] = f
+}
+
+// CapacityScale returns server s's current capacity multiplier.
+func (m *Model) CapacityScale(s int) float64 {
+	if f, ok := m.capScale[s]; ok {
+		return f
+	}
+	return 1
 }
 
 // New returns a model of the given testbed with default calibration.
@@ -453,6 +481,12 @@ func (m *Model) slowdown(server, socket int, prot bool, total demandMap, own res
 					cap *= 1 - f
 				}
 			}
+		}
+		// Straggler nodes (fault injection) shrink the contended
+		// capacity the same way a partition does: uo above stays
+		// relative to the full-capacity solo reference.
+		if f, ok := m.capScale[server]; ok {
+			cap *= f
 		}
 		u := demand / cap
 		p := m.Cfg.pressure(kind, u) - m.Cfg.pressure(kind, uo)

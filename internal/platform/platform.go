@@ -6,14 +6,25 @@
 // persistent violations. It produces the density/utilization series of
 // Figure 11, the SLA guarantee ratios of Figure 12 and the operational
 // counters behind Figure 14.
+//
+// The platform is resilient by construction (DESIGN.md §11): an
+// optional fault schedule injects node crashes, stragglers, cold-start
+// storms and predictor outages; placement calls get bounded retries
+// with capped backoff; services displaced by a crash are re-placed
+// through the scheduler; and when the predictor is unavailable or
+// untrained the platform degrades to a capacity-based fallback policy
+// and records the degraded interval instead of failing the run.
 package platform
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"time"
 
 	"gsight/internal/core"
+	"gsight/internal/faults"
 	"gsight/internal/perfmodel"
 	"gsight/internal/profile"
 	"gsight/internal/resources"
@@ -32,6 +43,41 @@ type LSService struct {
 	// SLA is the admission contract (IPC floor from the Figure 7
 	// transform); the runtime check still uses the raw p99 target.
 	SLA sched.SLA
+}
+
+// RetryPolicy bounds the platform's placement retries on transient
+// scheduler errors. Deterministic rejections (sched.ErrNoPlacement)
+// and predictor-degradation signals (core.ErrNotTrained,
+// core.ErrUnavailable) are never retried — the former cannot change,
+// the latter route to the fallback policy. Backoff is wall clock only
+// and never enters the decision log, so retries cannot break same-seed
+// byte-identity.
+type RetryPolicy struct {
+	// MaxAttempts per placement call; <= 0 means 3.
+	MaxAttempts int
+	// BaseBackoff doubles per failed attempt up to MaxBackoff;
+	// <= 0 means 1ms base and 16ms cap.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Timeout caps one placement call's total wall clock including
+	// retries; <= 0 means 500ms.
+	Timeout time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 3
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 16 * time.Millisecond
+	}
+	if p.Timeout <= 0 {
+		p.Timeout = 500 * time.Millisecond
+	}
+	return p
 }
 
 // Config parameterizes a platform run.
@@ -59,6 +105,24 @@ type Config struct {
 	// Telemetry, when set, receives runtime metrics and reactive-control
 	// decision events. telemetry.Nop (nil) leaves the run bit-identical.
 	Telemetry *telemetry.Sink
+	// Faults injects a deterministic fault schedule (crashes,
+	// stragglers, cold-start storms, predictor outages); nil runs a
+	// healthy cluster.
+	Faults *faults.Schedule
+	// Fallback serves placements while degraded (predictor unavailable
+	// or untrained, or persistent scheduler failure); nil means
+	// sched.NewWorstFit().
+	Fallback sched.Scheduler
+	// Retry bounds placement retries on transient scheduler errors.
+	Retry RetryPolicy
+}
+
+// DegradedInterval is a [StartS, EndS) window of simulation time the
+// platform spent placing through the fallback policy.
+type DegradedInterval struct {
+	StartS float64 `json:"start_s"`
+	EndS   float64 `json:"end_s"`
+	Reason string  `json:"reason"`
 }
 
 // Stats aggregates a run's outcomes.
@@ -88,6 +152,15 @@ type Stats struct {
 	RejectedJobs   int
 	SchedulingTime time.Duration // wall-clock spent in Place()
 	Steps          int
+	// Resilience counters (zero on healthy runs).
+	FaultEvents        int // injected fault transitions applied
+	DisplacedServices  int // services re-placed off crashed nodes
+	DisplacedJobs      int // batch jobs moved off crashed nodes
+	DegradedPlacements int // placements served by the fallback policy
+	DegradedSteps      int // steps spent in degraded mode
+	PlacementRetries   int // placement attempts retried
+	// Degraded lists the degraded-mode windows of the run.
+	Degraded []DegradedInterval
 }
 
 // SLARatio returns the fraction of steps within SLA for a service.
@@ -120,8 +193,52 @@ type serviceState struct {
 	cooldown int
 }
 
-// Run executes the simulation and returns its stats.
-func Run(cfg Config) (*Stats, error) {
+// Degradation reasons recorded on intervals and transition events.
+const (
+	reasonUnavailable = "predictor-unavailable"
+	reasonUntrained   = "predictor-untrained"
+)
+
+// runner is the mutable state of one platform run. Run builds it,
+// drives the step loop, and returns its stats.
+type runner struct {
+	cfg      Config
+	ctx      context.Context
+	m        *perfmodel.Model
+	stepper  *perfmodel.Stepper
+	state    *sched.State
+	baseCaps []resources.Vector
+	spec     resources.ServerSpec
+	noise    *rng.Rand
+	rnd      *rng.Rand
+
+	services   []*serviceState
+	activeSC   map[int]*scActive
+	scProfiles map[string][]profile.Profile
+
+	engine   sim.Engine
+	inj      *faults.Injector
+	fallback sched.Scheduler
+	retry    RetryPolicy
+
+	degraded       bool
+	degradedReason string
+	degradedSince  float64
+
+	stats *Stats
+	ins   telemetry.PlatformInstruments
+	rev   telemetry.ReactiveAction     // reusable reactive decision event
+	fev   telemetry.FaultEvent         // reusable fault decision event
+	dev   telemetry.DegradedTransition // reusable degraded decision event
+}
+
+// Run executes the simulation and returns its stats. A nil ctx means
+// context.Background(); cancellation returns the context's error with
+// the run's partial state discarded.
+func Run(ctx context.Context, cfg Config) (*Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if cfg.StepS <= 0 {
 		cfg.StepS = 30
 	}
@@ -134,26 +251,54 @@ func Run(cfg Config) (*Stats, error) {
 	if cfg.ObserveEvery <= 0 {
 		cfg.ObserveEvery = 10
 	}
-	ins := cfg.Telemetry.Platform()
-	var rev telemetry.ReactiveAction // reusable reactive decision event
-	m := cfg.Model
-	stepper := m.NewStepper()
-	noise := rng.Stream(cfg.Seed, "platform-noise")
-	rnd := rng.Stream(cfg.Seed, "platform")
-	spec := m.Testbed.Servers[0]
-
-	stats := &Stats{
-		SchedulerName: cfg.Scheduler.Name(),
-		SLAOK:         make(map[string][]bool),
-		JCTs:          make(map[string][]float64),
+	fallback := cfg.Fallback
+	if fallback == nil {
+		fallback = sched.NewWorstFit()
 	}
+	m := cfg.Model
+	inj, err := faults.NewInjector(cfg.Faults, m.Testbed.NumServers())
+	if err != nil {
+		return nil, err
+	}
+	state := sched.StateFromProfiles(m.Testbed.Servers[0], m.Testbed.NumServers())
+	r := &runner{
+		cfg:      cfg,
+		ctx:      ctx,
+		m:        m,
+		stepper:  m.NewStepper(),
+		state:    state,
+		baseCaps: append([]resources.Vector(nil), state.Caps...),
+		spec:     m.Testbed.Servers[0],
+		noise:    rng.Stream(cfg.Seed, "platform-noise"),
+		rnd:      rng.Stream(cfg.Seed, "platform"),
+		activeSC: map[int]*scActive{},
+		inj:      inj,
+		fallback: fallback,
+		retry:    cfg.Retry.withDefaults(),
+		stats: &Stats{
+			SchedulerName: cfg.Scheduler.Name(),
+			SLAOK:         make(map[string][]bool),
+			JCTs:          make(map[string][]float64),
+		},
+		ins: cfg.Telemetry.Platform(),
+	}
+	r.engine.Instrument(cfg.Telemetry)
+	if err := r.deployServices(); err != nil {
+		return nil, err
+	}
+	r.scheduleFaults()
+	r.scheduleArrivals()
+	if err := r.loop(); err != nil {
+		return nil, err
+	}
+	return r.stats, nil
+}
 
-	state := sched.StateFromProfiles(spec, m.Testbed.NumServers())
-
-	// Deploy the resident services through the scheduler.
-	services := make([]*serviceState, 0, len(cfg.Services))
-	for _, svc := range cfg.Services {
-		ps := profile.WorkloadProfiles(svc.W, spec, rnd.Split())
+// deployServices places the resident services through the scheduler.
+func (r *runner) deployServices() error {
+	r.services = make([]*serviceState, 0, len(r.cfg.Services))
+	for _, svc := range r.cfg.Services {
+		ps := profile.WorkloadProfiles(svc.W, r.spec, r.rnd.Split())
 		dep := perfmodel.NewDeployment(svc.W)
 		for f := range dep.Socket {
 			dep.Socket[f] = -1
@@ -164,90 +309,376 @@ func Run(cfg Config) (*Stats, error) {
 		}
 		in := inputFor(svc.W, dep, ps)
 		req := &sched.Request{Input: in, SLA: svc.SLA}
-		t0 := time.Now()
-		placement, err := cfg.Scheduler.Place(state, req)
-		stats.SchedulingTime += time.Since(t0)
-		stats.Placements++
+		placement, err := r.place(req)
 		if err != nil {
-			return nil, fmt.Errorf("platform: deploying %s: %w", svc.W.Name, err)
+			return fmt.Errorf("platform: deploying %s: %w", svc.W.Name, err)
 		}
 		copy(dep.Placement, placement)
 		in.Placement = placement
-		state.Commit(in, svc.SLA)
-		if err := stepper.AddLS(dep); err != nil {
-			return nil, err
+		r.state.Commit(in, svc.SLA)
+		if err := r.stepper.AddLS(dep); err != nil {
+			return err
 		}
-		for _, r := range dep.Replicas {
-			stats.ColdStarts += r
+		for _, rep := range dep.Replicas {
+			r.stats.ColdStarts += rep
 		}
-		services = append(services, &serviceState{svc: svc, dep: dep, profiles: ps})
+		r.services = append(r.services, &serviceState{svc: svc, dep: dep, profiles: ps})
 	}
+	return nil
+}
 
-	// Batch job arrival schedule on the event engine.
-	var engine sim.Engine
-	engine.Instrument(cfg.Telemetry)
-	activeSC := map[int]*scActive{}
-	scProfiles := map[string][]profile.Profile{}
-	submitJob := func() {
-		w := cfg.SCPool[rnd.Intn(len(cfg.SCPool))].Clone()
-		ps, ok := scProfiles[w.Name]
-		if !ok {
-			ps = profile.WorkloadProfiles(w, spec, rnd.Split())
-			scProfiles[w.Name] = ps
-		}
-		dep := perfmodel.NewDeployment(w)
-		for f := range dep.Socket {
-			dep.Socket[f] = -1
-		}
-		in := inputFor(w, dep, ps)
-		sla := sched.SLA{}
-		if w.Class == workload.SC {
-			sla.MaxJCTFactor = 2.0
-		}
-		req := &sched.Request{Input: in, SLA: sla, SoloDurationS: w.SoloDurationS}
-		t0 := time.Now()
-		placement, err := cfg.Scheduler.Place(state, req)
-		stats.SchedulingTime += time.Since(t0)
-		stats.Placements++
-		if err != nil {
-			stats.RejectedJobs++
-			return
-		}
-		copy(dep.Placement, placement)
-		in.Placement = placement
-		// unique run name for release bookkeeping
-		in.Name = fmt.Sprintf("%s#%d", w.Name, stats.Placements)
-		state.Commit(in, sla)
-		id, err := stepper.AddSC(dep)
-		if err != nil {
-			state.Release(in.Name)
-			stats.RejectedJobs++
-			return
-		}
-		for _, r := range dep.Replicas {
-			stats.ColdStarts += r
-		}
-		activeSC[id] = &scActive{id: id, input: in, sla: sla, dep: dep}
+// scheduleFaults registers the fault timeline on the event engine,
+// before job arrivals so a fault and an arrival at the same instant
+// resolve in a fixed order.
+func (r *runner) scheduleFaults() {
+	for _, c := range r.inj.Changes() {
+		c := c
+		r.engine.At(c.AtS, func() { r.applyFault(c) })
 	}
-	if len(cfg.SCPool) > 0 && cfg.SCMeanIntervalS > 0 {
-		for _, t := range trace.JobArrivals(cfg.SCMeanIntervalS, 0, cfg.DurationS, rnd.Split()) {
-			engine.At(t, submitJob)
-		}
-	}
+}
 
-	coresPerServer := spec.Capacity[resources.CPU]
+// scheduleArrivals registers the batch-job submission times.
+func (r *runner) scheduleArrivals() {
+	if len(r.cfg.SCPool) == 0 || r.cfg.SCMeanIntervalS <= 0 {
+		return
+	}
+	for _, t := range trace.JobArrivals(r.cfg.SCMeanIntervalS, 0, r.cfg.DurationS, r.rnd.Split()) {
+		r.engine.At(t, r.submitJob)
+	}
+}
+
+// submitJob admits one batch job through the scheduler.
+func (r *runner) submitJob() {
+	cfg := &r.cfg
+	w := cfg.SCPool[r.rnd.Intn(len(cfg.SCPool))].Clone()
+	ps, ok := r.scProfiles[w.Name]
+	if !ok {
+		if r.scProfiles == nil {
+			r.scProfiles = map[string][]profile.Profile{}
+		}
+		ps = profile.WorkloadProfiles(w, r.spec, r.rnd.Split())
+		r.scProfiles[w.Name] = ps
+	}
+	dep := perfmodel.NewDeployment(w)
+	for f := range dep.Socket {
+		dep.Socket[f] = -1
+	}
+	dep.ColdStartFrac = r.inj.ColdStartFrac() // active storm hits new jobs
+	in := inputFor(w, dep, ps)
+	sla := sched.SLA{}
+	if w.Class == workload.SC {
+		sla.MaxJCTFactor = 2.0
+	}
+	req := &sched.Request{Input: in, SLA: sla, SoloDurationS: w.SoloDurationS}
+	placement, err := r.place(req)
+	if err != nil {
+		r.stats.RejectedJobs++
+		return
+	}
+	copy(dep.Placement, placement)
+	in.Placement = placement
+	// unique run name for release bookkeeping
+	in.Name = fmt.Sprintf("%s#%d", w.Name, r.stats.Placements)
+	r.state.Commit(in, sla)
+	id, err := r.stepper.AddSC(dep)
+	if err != nil {
+		r.state.Release(in.Name)
+		r.stats.RejectedJobs++
+		return
+	}
+	for _, rep := range dep.Replicas {
+		r.stats.ColdStarts += rep
+	}
+	r.activeSC[id] = &scActive{id: id, input: in, sla: sla, dep: dep}
+}
+
+// predictorOut reports whether an injected outage makes the predictor
+// unreachable right now.
+func (r *runner) predictorOut() bool { return !r.inj.PredictorAvailable() }
+
+// placeWith times one Place call against the given policy.
+func (r *runner) placeWith(s sched.Scheduler, req *sched.Request) ([]int, error) {
+	t0 := time.Now()
+	placement, err := s.Place(r.state, req)
+	r.stats.SchedulingTime += time.Since(t0)
+	r.stats.Placements++
+	return placement, err
+}
+
+// placeFallback serves one request through the fallback policy,
+// counting it as a degraded placement.
+func (r *runner) placeFallback(req *sched.Request) ([]int, error) {
+	placement, err := r.placeWith(r.fallback, req)
+	if err != nil {
+		return nil, err
+	}
+	r.stats.DegradedPlacements++
+	r.ins.DegradedPlacements.Inc()
+	return placement, nil
+}
+
+// place is the platform's single placement entry point: primary
+// scheduler with bounded retry on transient errors, immediate
+// degradation to the fallback policy on predictor errors (or during an
+// injected predictor outage), and no retry on deterministic
+// rejections.
+func (r *runner) place(req *sched.Request) ([]int, error) {
+	if r.predictorOut() {
+		// The predictor (and with it the primary scheduler's SLA
+		// vetting) is unreachable: serve capacity-based placements
+		// until the outage ends.
+		return r.placeFallback(req)
+	}
+	backoff := r.retry.BaseBackoff
+	deadline := time.Now().Add(r.retry.Timeout)
+	var placement []int
+	var err error
+	for attempt := 1; ; attempt++ {
+		placement, err = r.placeWith(r.cfg.Scheduler, req)
+		if err == nil {
+			if r.degraded && r.degradedReason == reasonUntrained {
+				// The predictor has caught up (trained or recovered):
+				// leave degraded mode.
+				r.exitDegraded()
+			}
+			return placement, nil
+		}
+		if errors.Is(err, sched.ErrNoPlacement) {
+			return nil, err // deterministic: retrying cannot help
+		}
+		if errors.Is(err, core.ErrNotTrained) {
+			r.enterDegraded(reasonUntrained)
+			return r.placeFallback(req)
+		}
+		if errors.Is(err, core.ErrUnavailable) {
+			r.enterDegraded(reasonUnavailable)
+			return r.placeFallback(req)
+		}
+		if attempt >= r.retry.MaxAttempts || r.ctx.Err() != nil || !time.Now().Before(deadline) {
+			break
+		}
+		r.stats.PlacementRetries++
+		r.ins.PlacementRetries.Inc()
+		sleepCtx(r.ctx, backoff)
+		backoff *= 2
+		if backoff > r.retry.MaxBackoff {
+			backoff = r.retry.MaxBackoff
+		}
+	}
+	// Persistent unexpected failure: degrade rather than fail the run.
+	if out, ferr := r.placeFallback(req); ferr == nil {
+		return out, nil
+	}
+	return nil, err
+}
+
+// sleepCtx sleeps for d or until ctx is done, whichever is first.
+func sleepCtx(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}
+
+// enterDegraded opens a degraded interval (idempotent while open).
+func (r *runner) enterDegraded(reason string) {
+	if r.degraded {
+		return
+	}
+	r.degraded = true
+	r.degradedReason = reason
+	r.degradedSince = r.engine.Now()
+	if r.ins.Decisions != nil {
+		r.dev = telemetry.DegradedTransition{SimTimeS: r.engine.Now(), Entered: true, Reason: reason, Fallback: r.fallback.Name()}
+		r.ins.Decisions.Degraded(&r.dev)
+	}
+}
+
+// exitDegraded closes the open degraded interval at the current time.
+func (r *runner) exitDegraded() { r.closeDegraded(r.engine.Now()) }
+
+// closeDegraded closes the open degraded interval at endS.
+func (r *runner) closeDegraded(endS float64) {
+	if !r.degraded {
+		return
+	}
+	r.stats.Degraded = append(r.stats.Degraded, DegradedInterval{
+		StartS: r.degradedSince, EndS: endS, Reason: r.degradedReason,
+	})
+	if r.ins.Decisions != nil {
+		r.dev = telemetry.DegradedTransition{SimTimeS: endS, Entered: false, Reason: r.degradedReason, Fallback: r.fallback.Name()}
+		r.ins.Decisions.Degraded(&r.dev)
+	}
+	r.degraded = false
+	r.degradedReason = ""
+}
+
+// applyFault transitions the injector state and makes the platform
+// react: crashed nodes are cordoned and evacuated, stragglers lose
+// schedulable and modeled capacity, storms force cold starts, outages
+// flip degraded mode.
+func (r *runner) applyFault(c faults.Change) {
+	r.inj.Apply(c)
+	r.stats.FaultEvents++
+	r.ins.FaultEvents.Inc()
+	displacedSvc, displacedJobs := 0, 0
+	switch c.Op {
+	case faults.OpNodeDown:
+		r.state.SetOffline(c.Node, true)
+		displacedSvc, displacedJobs = r.evacuate(c.Node)
+		r.stats.DisplacedServices += displacedSvc
+		r.stats.DisplacedJobs += displacedJobs
+		r.ins.DisplacedServices.Add(uint64(displacedSvc))
+		r.ins.DisplacedJobs.Add(uint64(displacedJobs))
+	case faults.OpNodeUp:
+		r.state.SetOffline(c.Node, false)
+	case faults.OpSlowSet:
+		r.state.Caps[c.Node] = r.baseCaps[c.Node].Scale(c.Factor)
+		r.m.SetCapacityScale(c.Node, c.Factor)
+		r.stepper.MarkDirty()
+	case faults.OpSlowClear:
+		r.state.Caps[c.Node] = r.baseCaps[c.Node]
+		r.m.SetCapacityScale(c.Node, 1)
+		r.stepper.MarkDirty()
+	case faults.OpStormStart, faults.OpStormEnd:
+		frac := r.inj.ColdStartFrac()
+		for _, ss := range r.services {
+			ss.dep.ColdStartFrac = frac
+		}
+		for _, a := range r.activeSC {
+			a.dep.ColdStartFrac = frac
+		}
+		r.stepper.MarkDirty()
+	case faults.OpPredictorDown:
+		r.enterDegraded(reasonUnavailable)
+	case faults.OpPredictorUp:
+		if r.inj.PredictorAvailable() {
+			r.exitDegraded()
+		}
+	}
+	if r.ins.Decisions != nil {
+		r.fev = telemetry.FaultEvent{
+			SimTimeS:          r.engine.Now(),
+			Kind:              c.Op.String(),
+			Node:              c.Node,
+			Factor:            c.Factor,
+			DisplacedServices: displacedSvc,
+			DisplacedJobs:     displacedJobs,
+		}
+		r.ins.Decisions.Fault(&r.fev)
+	}
+}
+
+// placedOn reports whether any function sits on the node.
+func placedOn(placement []int, node int) bool {
+	for _, s := range placement {
+		if s == node {
+			return true
+		}
+	}
+	return false
+}
+
+// emptiestOnline returns the online server (never `not`) with the most
+// free CPU, or -1 when every other server is offline.
+func emptiestOnline(state *sched.State, not int) int {
+	best, bestFree := -1, -1.0
+	for s := range state.Caps {
+		if s == not || !state.Online(s) {
+			continue
+		}
+		if free := state.Free(s)[resources.CPU]; free > bestFree {
+			best, bestFree = s, free
+		}
+	}
+	return best
+}
+
+// evacuate re-places every workload with functions on a crashed node.
+// Services go back through the scheduler (full re-placement, so the
+// survivors land SLA-vetted); if even the fallback cannot host one,
+// its stranded functions are force-moved to the emptiest online server
+// — liveness over placement quality. Batch jobs keep their surviving
+// functions and only the stranded ones move.
+func (r *runner) evacuate(node int) (displacedSvc, displacedJobs int) {
+	for _, ss := range r.services {
+		if !placedOn(ss.dep.Placement, node) {
+			continue
+		}
+		displacedSvc++
+		r.state.Release(ss.svc.W.Name)
+		in := inputFor(ss.svc.W, ss.dep, ss.profiles)
+		req := &sched.Request{Input: in, SLA: ss.svc.SLA}
+		if placement, err := r.place(req); err == nil {
+			for f := range placement {
+				if placement[f] != ss.dep.Placement[f] {
+					r.stats.ColdStarts += ss.dep.Replicas[f]
+				}
+			}
+			copy(ss.dep.Placement, placement)
+		} else if alt := emptiestOnline(r.state, node); alt != -1 {
+			for f, s := range ss.dep.Placement {
+				if s == node {
+					ss.dep.Placement[f] = alt
+					r.stats.ColdStarts += ss.dep.Replicas[f]
+				}
+			}
+		}
+		// Re-commit immediately so the next displaced workload sees a
+		// consistent cluster view.
+		refreshState(r.state, r.services, r.activeSC)
+	}
+	for _, a := range sortedSC(r.activeSC) {
+		if !placedOn(a.dep.Placement, node) {
+			continue
+		}
+		displacedJobs++
+		alt := emptiestOnline(r.state, node)
+		if alt == -1 {
+			continue // whole cluster down; nowhere to go
+		}
+		for f, s := range a.dep.Placement {
+			if s == node {
+				a.dep.Placement[f] = alt
+				a.input.Placement[f] = alt
+			}
+		}
+		refreshState(r.state, r.services, r.activeSC)
+	}
+	r.stepper.MarkDirty()
+	refreshState(r.state, r.services, r.activeSC)
+	return displacedSvc, displacedJobs
+}
+
+// loop drives the step loop to the configured horizon.
+func (r *runner) loop() error {
+	cfg := &r.cfg
+	stats := r.stats
+	ins := r.ins
+	coresPerServer := r.spec.Capacity[resources.CPU]
 	step := 0
 	for now := 0.0; now < cfg.DurationS; now += cfg.StepS {
 		span := telemetry.StartSpan(ins.StepSeconds)
-		engine.RunUntil(now) // fire job submissions due by now
+		// Fire job submissions and fault transitions due by now;
+		// cancellation is checked between events so SIGINT lands
+		// between decisions, never inside one.
+		if err := r.engine.RunUntilCtx(r.ctx, now); err != nil {
+			return err
+		}
 		step++
+		if r.degraded {
+			stats.DegradedSteps++
+			ins.DegradedSteps.Inc()
+		}
 
 		// Autoscaling: track the trace. Scale-out re-places the
 		// workload through the scheduler — the paper's trigger
 		// ("whenever ... a previously submitted workload scales
 		// beyond the current function instances").
-		for _, ss := range services {
-			qps := ss.svc.Pattern.Sample(now, rnd)
+		for _, ss := range r.services {
+			qps := ss.svc.Pattern.Sample(now, r.rnd)
 			if qps > ss.svc.W.MaxQPS {
 				qps = ss.svc.W.MaxQPS
 			}
@@ -274,13 +705,10 @@ func Run(cfg Config) (*Stats, error) {
 			if changed && ss.cooldown == 0 {
 				// Release our own allocation before asking for a
 				// placement so the scheduler sees the true headroom.
-				state.Release(ss.svc.W.Name)
+				r.state.Release(ss.svc.W.Name)
 				in := inputFor(ss.svc.W, ss.dep, ss.profiles)
 				req := &sched.Request{Input: in, SLA: ss.svc.SLA}
-				t0 := time.Now()
-				placement, err := cfg.Scheduler.Place(state, req)
-				stats.SchedulingTime += time.Since(t0)
-				stats.Placements++
+				placement, err := r.place(req)
 				if err == nil {
 					for f := range placement {
 						if placement[f] != ss.dep.Placement[f] {
@@ -292,24 +720,24 @@ func Run(cfg Config) (*Stats, error) {
 				}
 			}
 			if changed {
-				stepper.MarkDirty()
-				refreshState(state, services, activeSC)
+				r.stepper.MarkDirty()
+				refreshState(r.state, r.services, r.activeSC)
 			}
 		}
 
-		rep := stepper.Step(cfg.StepS, noise.Split())
+		rep := r.stepper.Step(cfg.StepS, r.noise.Split())
 
 		// SLA monitoring + reactive spreading.
-		for i, ss := range services {
-			r := rep.LS[i]
-			ok := ss.svc.W.SLAp99Ms <= 0 || r.E2EP99Ms <= ss.svc.W.SLAp99Ms
+		for i, ss := range r.services {
+			lr := rep.LS[i]
+			ok := ss.svc.W.SLAp99Ms <= 0 || lr.E2EP99Ms <= ss.svc.W.SLAp99Ms
 			stats.SLAOK[ss.svc.W.Name] = append(stats.SLAOK[ss.svc.W.Name], ok)
 			if !ok {
 				ins.SLAViolations.Inc()
 			}
 			// The reactive controller tolerates a 5% band over the SLA
 			// so measurement noise cannot trigger spreads by itself.
-			controlOK := ss.svc.W.SLAp99Ms <= 0 || r.E2EP99Ms <= ss.svc.W.SLAp99Ms*1.05
+			controlOK := ss.svc.W.SLAp99Ms <= 0 || lr.E2EP99Ms <= ss.svc.W.SLAp99Ms*1.05
 			if controlOK {
 				ss.violations = 0
 			} else {
@@ -322,68 +750,69 @@ func Run(cfg Config) (*Stats, error) {
 					// corunner is to blame. Either way the move is
 					// the density price of crossing the SLA, paid
 					// most often by inaccurate predictors.
-					hot := ss.dep.Placement[worstFuncs(r, 1)[0]]
-					if evictSC(state, activeSC, hot) {
+					hot := ss.dep.Placement[worstFuncs(lr, 1)[0]]
+					if evictSC(r.state, r.activeSC, hot) {
 						stats.Migrations++
 						moved := 1
-						if n := migrateWorst(m, state, ss, r, 1); n > 0 {
+						if n := migrateWorst(r.m, r.state, ss, lr, 1); n > 0 {
 							stats.Migrations += n
 							stats.ColdStarts += n
 							moved += n
 						}
 						ss.cooldown = 20
-						stepper.MarkDirty()
-						refreshState(state, services, activeSC)
+						r.stepper.MarkDirty()
+						refreshState(r.state, r.services, r.activeSC)
 						if ins.Decisions != nil {
-							rev = telemetry.ReactiveAction{SimTimeS: now, Action: "evict-corunner", Service: ss.svc.W.Name, Moved: moved}
-							ins.Decisions.Reactive(&rev)
+							r.rev = telemetry.ReactiveAction{SimTimeS: now, Action: "evict-corunner", Service: ss.svc.W.Name, Moved: moved}
+							ins.Decisions.Reactive(&r.rev)
 						}
-					} else if n := migrateWorst(m, state, ss, r, 3); n > 0 {
+					} else if n := migrateWorst(r.m, r.state, ss, lr, 3); n > 0 {
 						stats.Migrations += n
 						stats.ColdStarts += n
 						ss.cooldown = 40
-						stepper.MarkDirty()
-						refreshState(state, services, activeSC)
+						r.stepper.MarkDirty()
+						refreshState(r.state, r.services, r.activeSC)
 						if ins.Decisions != nil {
-							rev = telemetry.ReactiveAction{SimTimeS: now, Action: "spread-service", Service: ss.svc.W.Name, Moved: n}
-							ins.Decisions.Reactive(&rev)
+							r.rev = telemetry.ReactiveAction{SimTimeS: now, Action: "spread-service", Service: ss.svc.W.Name, Moved: n}
+							ins.Decisions.Reactive(&r.rev)
 						}
 					}
 					ss.violations = 0
 				}
 			}
-			// Online learning feedback.
-			if cfg.Predictor != nil && step%cfg.ObserveEvery == 0 {
-				inputs := snapshotInputs(services, activeSC)
-				_ = cfg.Predictor.Observe(core.IPCQoS, i, inputs, r.IPC)
+			// Online learning feedback — paused while an injected
+			// outage makes the predictor unreachable.
+			if cfg.Predictor != nil && step%cfg.ObserveEvery == 0 && !r.predictorOut() {
+				inputs := snapshotInputs(r.services, r.activeSC)
+				_ = cfg.Predictor.Observe(core.IPCQoS, i, inputs, lr.IPC)
 			}
 		}
 
 		// Completed jobs leave the cluster.
 		for _, done := range rep.Completed {
-			if a, ok := activeSC[done.ID]; ok {
-				state.Release(a.input.Name)
-				delete(activeSC, done.ID)
+			if a, ok := r.activeSC[done.ID]; ok {
+				r.state.Release(a.input.Name)
+				delete(r.activeSC, done.ID)
 			}
 			stats.JCTs[done.Name] = append(stats.JCTs[done.Name], done.JCTS)
 		}
 
 		// Metrics.
 		instances := 0
-		for _, ss := range services {
-			for _, r := range ss.dep.Replicas {
-				instances += r
+		for _, ss := range r.services {
+			for _, rep := range ss.dep.Replicas {
+				instances += rep
 			}
 		}
-		instances += countSCInstances(activeSC)
+		instances += countSCInstances(r.activeSC)
 		activeServers, cpuDem, memAlloc := 0, 0.0, 0.0
 		for s, d := range rep.ServerDemand {
-			if d.IsZero() && state.Used[s].IsZero() {
+			if d.IsZero() && r.state.Used[s].IsZero() {
 				continue
 			}
 			activeServers++
 			cpuDem += d[resources.CPU]
-			memAlloc += state.Used[s][resources.Memory]
+			memAlloc += r.state.Used[s][resources.Memory]
 		}
 		if activeServers > 0 {
 			activeCores := float64(activeServers) * coresPerServer
@@ -391,9 +820,9 @@ func Run(cfg Config) (*Stats, error) {
 			stats.Density = append(stats.Density, density)
 			stats.CPUUtil = append(stats.CPUUtil, cpuDem/activeCores)
 			stats.MemUtil = append(stats.MemUtil,
-				memAlloc/(float64(activeServers)*spec.Capacity[resources.Memory]))
+				memAlloc/(float64(activeServers)*r.spec.Capacity[resources.Memory]))
 			okFrac, nSLA := 0.0, 0
-			for i, ss := range services {
+			for i, ss := range r.services {
 				if ss.svc.W.SLAp99Ms <= 0 {
 					continue
 				}
@@ -415,13 +844,16 @@ func Run(cfg Config) (*Stats, error) {
 		span.End()
 	}
 	stats.Steps = step
+	// A degraded window still open at the horizon closes there so the
+	// run report always shows complete intervals.
+	r.closeDegraded(cfg.DurationS)
 	// Operational totals mirror the Stats counters so an exported
 	// snapshot is self-contained.
 	ins.Migrations.Add(uint64(stats.Migrations))
 	ins.Reschedules.Add(uint64(stats.Reschedules))
 	ins.ColdStarts.Add(uint64(stats.ColdStarts))
 	ins.RejectedJobs.Add(uint64(stats.RejectedJobs))
-	return stats, nil
+	return nil
 }
 
 // inputFor builds the scheduler-visible input of a deployment.
@@ -520,8 +952,8 @@ func worstFuncs(r perfmodel.LSResult, n int) []int {
 }
 
 // migrateWorst spreads the n worst functions of a violating service to
-// the emptiest servers — the platform's reactive control. It returns
-// how many functions moved.
+// the emptiest online servers — the platform's reactive control. It
+// returns how many functions moved.
 func migrateWorst(m *perfmodel.Model, state *sched.State, ss *serviceState, r perfmodel.LSResult, n int) int {
 	moved := 0
 	taken := map[int]bool{}
@@ -531,7 +963,7 @@ func migrateWorst(m *perfmodel.Model, state *sched.State, ss *serviceState, r pe
 	pick := func(activeOnly bool) int {
 		best, bestFree := -1, -1.0
 		for s := range state.Caps {
-			if taken[s] {
+			if taken[s] || !state.Online(s) {
 				continue
 			}
 			if activeOnly && state.Used[s].IsZero() {
@@ -565,8 +997,9 @@ func migrateWorst(m *perfmodel.Model, state *sched.State, ss *serviceState, r pe
 }
 
 // evictSC moves one batch job off the hot server onto the emptiest
-// other server — the paper's "move the corunner to another socket"
-// control at cluster granularity. It reports whether a job moved.
+// other online server — the paper's "move the corunner to another
+// socket" control at cluster granularity. It reports whether a job
+// moved.
 func evictSC(state *sched.State, activeSC map[int]*scActive, hot int) bool {
 	// Pick the largest co-located batch job (by CPU allocation).
 	var victim *scActive
@@ -587,16 +1020,7 @@ func evictSC(state *sched.State, activeSC map[int]*scActive, hot int) bool {
 	if victim == nil {
 		return false
 	}
-	best, bestFree := -1, -1.0
-	for s := range state.Caps {
-		if s == hot {
-			continue
-		}
-		free := state.Free(s)[resources.CPU]
-		if free > bestFree {
-			best, bestFree = s, free
-		}
-	}
+	best := emptiestOnline(state, hot)
 	if best == -1 {
 		return false
 	}

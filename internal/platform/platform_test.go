@@ -48,7 +48,7 @@ func shortConfig(s sched.Scheduler, seed uint64) Config {
 }
 
 func TestRunProducesSeries(t *testing.T) {
-	st, err := Run(shortConfig(sched.NewWorstFit(), 1))
+	st, err := Run(nil, shortConfig(sched.NewWorstFit(), 1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,11 +80,11 @@ func TestRunProducesSeries(t *testing.T) {
 }
 
 func TestRunDeterminism(t *testing.T) {
-	a, err := Run(shortConfig(sched.NewWorstFit(), 7))
+	a, err := Run(nil, shortConfig(sched.NewWorstFit(), 7))
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(shortConfig(sched.NewWorstFit(), 7))
+	b, err := Run(nil, shortConfig(sched.NewWorstFit(), 7))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,11 +102,11 @@ func TestRunDeterminism(t *testing.T) {
 }
 
 func TestPackingBeatsSpreadingOnDensity(t *testing.T) {
-	packed, err := Run(shortConfig(sched.NewGsight(&fixedPredictor{ipc: 99}), 3))
+	packed, err := Run(nil, shortConfig(sched.NewGsight(&fixedPredictor{ipc: 99}), 3))
 	if err != nil {
 		t.Fatal(err)
 	}
-	spread, err := Run(shortConfig(sched.NewWorstFit(), 3))
+	spread, err := Run(nil, shortConfig(sched.NewWorstFit(), 3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +137,7 @@ func TestJCTsRecorded(t *testing.T) {
 	cfg := shortConfig(sched.NewWorstFit(), 5)
 	cfg.DurationS = 3600
 	cfg.SCMeanIntervalS = 120
-	st, err := Run(cfg)
+	st, err := Run(nil, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -111,6 +111,12 @@ func (h *Hierarchical) placeInZone(st *State, req *Request, servers []int) ([]in
 		sub.Used[i] = st.Used[srv]
 		toLocal[srv] = i
 	}
+	if st.Offline != nil {
+		sub.Offline = make([]bool, len(servers))
+		for i, srv := range servers {
+			sub.Offline[i] = st.Offline[srv]
+		}
+	}
 	// Project the running workloads whose functions live in this zone:
 	// the inner scheduler's SLA checks must still see them.
 	for _, d := range st.Running {

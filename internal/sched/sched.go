@@ -47,10 +47,50 @@ type State struct {
 	Used []resources.Vector
 	// Running workloads with their placements and SLAs.
 	Running []Deployed
+	// Offline[s] excludes server s from placement (crashed or
+	// cordoned); nil means every server is schedulable.
+	Offline []bool
 }
 
 // NumServers returns the cluster size.
 func (st *State) NumServers() int { return len(st.Caps) }
+
+// SetOffline marks server s as excluded from (or restored to)
+// placement. Existing allocations on an offline server are untouched —
+// evacuating them is the platform's job, not the scheduler's.
+func (st *State) SetOffline(s int, down bool) {
+	if st.Offline == nil {
+		if !down {
+			return
+		}
+		st.Offline = make([]bool, len(st.Caps))
+	}
+	st.Offline[s] = down
+}
+
+// Online reports whether server s accepts placements.
+func (st *State) Online(s int) bool {
+	return st.Offline == nil || !st.Offline[s]
+}
+
+// OnlineServers counts the servers accepting placements.
+func (st *State) OnlineServers() int {
+	if st.Offline == nil {
+		return len(st.Caps)
+	}
+	n := 0
+	for s := range st.Caps {
+		if !st.Offline[s] {
+			n++
+		}
+	}
+	return n
+}
+
+// ErrNoPlacement marks deterministic rejections: the cluster cannot
+// host the request (no fit, or every feasible spread violates an SLA).
+// Callers must not retry these — the same state yields the same answer.
+var ErrNoPlacement = errors.New("sched: no feasible placement")
 
 // Free returns server s's unallocated resources.
 func (st *State) Free(s int) resources.Vector {
@@ -110,7 +150,11 @@ type Scheduler interface {
 
 // memFits checks the incompressible resource: memory must fit; CPU may
 // oversubscribe (interference absorbs it) up to the given factor.
+// Offline servers never fit.
 func fits(st *State, s int, add resources.Vector, cpuOversub float64) bool {
+	if !st.Online(s) {
+		return false
+	}
 	used := st.Used[s].Add(add)
 	if used[resources.Memory] > st.Caps[s][resources.Memory] {
 		return false
@@ -179,6 +223,11 @@ type Gsight struct {
 	Predictor core.QoSPredictor
 	// CPUOversub bounds how far CPU allocation may exceed capacity.
 	CPUOversub float64
+	// Fallback, when set, serves requests the predictor cannot vet:
+	// if the SLA checks fail with a predictor error (untrained model,
+	// unavailable predictor), Place delegates to Fallback instead of
+	// failing, recording the decision with outcome "degraded".
+	Fallback Scheduler
 
 	scratch placeScratch
 	ins     telemetry.SchedulerInstruments
@@ -256,13 +305,19 @@ func (g *Gsight) Place(st *State, req *Request) ([]int, error) {
 		return nil, fmt.Errorf("sched: empty cluster")
 	}
 	span := telemetry.StartSpan(g.ins.PlaceSeconds)
-	// Candidate server order: busiest (least free CPU) first but only
-	// servers that can hold at least the smallest function — packing
-	// onto already-active servers minimizes active-server count.
+	// Candidate server order: online servers only, busiest (least free
+	// CPU) first — packing onto already-active servers minimizes
+	// active-server count.
 	sc := &g.scratch
-	sc.order = resizeInts(sc.order, s)
-	for i := range sc.order {
-		sc.order[i] = i
+	sc.order = sc.order[:0]
+	for i := 0; i < s; i++ {
+		if st.Online(i) {
+			sc.order = append(sc.order, i)
+		}
+	}
+	if len(sc.order) == 0 {
+		g.finish(span, st, req, nil, 0, 0, "rejected", "no-fit")
+		return nil, fmt.Errorf("%w: no online servers", ErrNoPlacement)
 	}
 	insertionSort(sc.order, func(a, b int) bool {
 		ua, ub := st.Used[a], st.Used[b]
@@ -273,12 +328,13 @@ func (g *Gsight) Place(st *State, req *Request) ([]int, error) {
 		return st.Free(a)[resources.CPU] < st.Free(b)[resources.CPU]
 	})
 
+	online := len(sc.order)
 	var lastErr error
 	iters, checks := 0, 0
 	reason := ""
 	for k := 1; ; k *= 2 {
-		if k > s {
-			k = s
+		if k > online {
+			k = online
 		}
 		iters++
 		placement, err := g.candidate(st, req, sc.order[:k])
@@ -286,6 +342,18 @@ func (g *Gsight) Place(st *State, req *Request) ([]int, error) {
 			ok, n, err := g.satisfies(st, req, placement)
 			checks += n
 			if err != nil {
+				// The predictor cannot vet the candidate. With a
+				// fallback policy the request is still served —
+				// degraded, capacity-based — instead of failing the
+				// caller's run.
+				if g.Fallback != nil {
+					out, ferr := g.Fallback.Place(st, req)
+					if ferr == nil {
+						g.ins.Fallbacks.Inc()
+						g.finish(span, st, req, out, iters, checks, "degraded", "predictor-error")
+						return out, nil
+					}
+				}
 				g.finish(span, st, req, nil, iters, checks, "error", "predictor-error")
 				return nil, err
 			}
@@ -296,20 +364,21 @@ func (g *Gsight) Place(st *State, req *Request) ([]int, error) {
 			}
 			g.ins.SLARejections.Inc()
 			reason = "sla-violated"
-			lastErr = fmt.Errorf("sched: SLA violated at spread %d", k)
+			lastErr = fmt.Errorf("SLA violated at spread %d", k)
 		} else {
 			reason = "no-fit"
 			lastErr = err
 		}
-		if k == s {
+		if k == online {
 			break
 		}
 	}
-	// Full spread as last resort: one more candidate over all servers.
+	// Full spread as last resort: one more candidate over all online
+	// servers.
 	placement, err := g.candidate(st, req, sc.order)
 	if err != nil {
 		g.finish(span, st, req, nil, iters, checks, "rejected", reason)
-		return nil, fmt.Errorf("sched: no feasible placement: %w", lastErr)
+		return nil, fmt.Errorf("%w: %v", ErrNoPlacement, lastErr)
 	}
 	out := append([]int(nil), placement...)
 	g.finish(span, st, req, out, iters, checks, "fallback", reason)
@@ -591,6 +660,9 @@ func (b *BestFit) Place(st *State, req *Request) ([]int, error) {
 		alloc := AllocOf(in, f)
 		best, bestFree := -1, math.MaxFloat64
 		for s := range b.free {
+			if !st.Online(s) {
+				continue
+			}
 			used := st.Caps[s].Sub(b.free[s]).Add(alloc)
 			if used[resources.Memory] > st.Caps[s][resources.Memory] {
 				continue
@@ -604,7 +676,7 @@ func (b *BestFit) Place(st *State, req *Request) ([]int, error) {
 		}
 		if best == -1 {
 			b.finish(span, st, req, nil, 0, "rejected", "no-fit")
-			return nil, fmt.Errorf("sched: best fit found no server for function %d", f)
+			return nil, fmt.Errorf("%w: best fit found no server for function %d", ErrNoPlacement, f)
 		}
 		placement[f] = best
 		b.free[best] = b.free[best].Sub(alloc).Clamped()
@@ -709,6 +781,9 @@ func (w *WorstFit) Place(st *State, req *Request) ([]int, error) {
 		alloc := AllocOf(in, f)
 		best, bestFree := -1, -1.0
 		for s := range w.free {
+			if !st.Online(s) {
+				continue
+			}
 			used := st.Caps[s].Sub(w.free[s]).Add(alloc)
 			if used[resources.Memory] > st.Caps[s][resources.Memory] {
 				continue
@@ -722,7 +797,7 @@ func (w *WorstFit) Place(st *State, req *Request) ([]int, error) {
 		}
 		if best == -1 {
 			w.finish(span, st, req, nil, "rejected", "no-fit")
-			return nil, fmt.Errorf("sched: worst fit found no server for function %d", f)
+			return nil, fmt.Errorf("%w: worst fit found no server for function %d", ErrNoPlacement, f)
 		}
 		placement[f] = best
 		w.free[best] = w.free[best].Sub(alloc).Clamped()

@@ -6,6 +6,7 @@ package sim
 
 import (
 	"container/heap"
+	"context"
 
 	"gsight/internal/telemetry"
 )
@@ -100,6 +101,22 @@ func (e *Engine) RunUntil(t float64) {
 	if e.now < t {
 		e.now = t
 	}
+}
+
+// RunUntilCtx is RunUntil with cancellation: it checks ctx between
+// events and returns ctx.Err() when the context is done, leaving the
+// clock wherever the last executed event put it.
+func (e *Engine) RunUntilCtx(ctx context.Context, t float64) error {
+	for len(e.events) > 0 && e.events[0].time <= t {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+	return ctx.Err()
 }
 
 // Pending returns the number of queued events.

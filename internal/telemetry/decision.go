@@ -91,6 +91,13 @@ func appendFloat(b []byte, key string, v float64) []byte {
 	return strconv.AppendFloat(b, v, 'g', -1, 64)
 }
 
+func appendBool(b []byte, key string, v bool) []byte {
+	b = append(b, ',', '"')
+	b = append(b, key...)
+	b = append(b, '"', ':')
+	return strconv.AppendBool(b, v)
+}
+
 func appendInts(b []byte, key string, vs []int) []byte {
 	b = append(b, ',', '"')
 	b = append(b, key...)
@@ -119,7 +126,8 @@ type PlacementDecision struct {
 	// candidates (batched checks count each query).
 	SLAChecks int
 	// Outcome is "placed", "fallback" (placed by the full-spread last
-	// resort after SLA rejections), "rejected" or "error".
+	// resort after SLA rejections), "degraded" (placed by the fallback
+	// policy after a predictor error), "rejected" or "error".
 	Outcome string
 	// Reason qualifies non-"placed" outcomes: "sla-violated", "no-fit"
 	// or "predictor-error".
@@ -206,6 +214,64 @@ func (l *DecisionLog) Reactive(e *ReactiveAction) {
 	b = appendStr(b, "action", e.Action)
 	b = appendStr(b, "service", e.Service)
 	b = appendInt(b, "moved", e.Moved)
+	l.emit(b)
+	l.mu.Unlock()
+}
+
+// FaultEvent records one injected fault transition and what the
+// platform displaced in response. Times are simulation time only —
+// never wall clock — so same-seed faulty runs stay byte-identical.
+type FaultEvent struct {
+	SimTimeS float64
+	Kind     string // "node-down", "node-up", "slow-set", "storm-start", ...
+	Node     int    // -1 for cluster-wide faults
+	Factor   float64
+	// DisplacedServices/DisplacedJobs count the workloads the platform
+	// re-placed off a crashed node while handling this transition.
+	DisplacedServices int
+	DisplacedJobs     int
+}
+
+// Fault emits a fault-injection event.
+func (l *DecisionLog) Fault(e *FaultEvent) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	b := l.begin("fault")
+	b = appendFloat(b, "sim_time_s", e.SimTimeS)
+	b = appendStr(b, "kind", e.Kind)
+	b = appendInt(b, "node", e.Node)
+	if e.Factor != 0 {
+		b = appendFloat(b, "factor", e.Factor)
+	}
+	b = appendInt(b, "displaced_services", e.DisplacedServices)
+	b = appendInt(b, "displaced_jobs", e.DisplacedJobs)
+	l.emit(b)
+	l.mu.Unlock()
+}
+
+// DegradedTransition records the platform entering or leaving degraded
+// placement mode (predictor unavailable or untrained; placements go to
+// the fallback policy).
+type DegradedTransition struct {
+	SimTimeS float64
+	Entered  bool   // true on entry, false on exit
+	Reason   string // "predictor-unavailable" or "predictor-untrained"
+	Fallback string // the policy serving placements while degraded
+}
+
+// Degraded emits a degraded-mode transition event.
+func (l *DecisionLog) Degraded(e *DegradedTransition) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	b := l.begin("degraded")
+	b = appendFloat(b, "sim_time_s", e.SimTimeS)
+	b = appendBool(b, "entered", e.Entered)
+	b = appendStr(b, "reason", e.Reason)
+	b = appendStr(b, "fallback", e.Fallback)
 	l.emit(b)
 	l.mu.Unlock()
 }

@@ -182,22 +182,35 @@ type PlatformInstruments struct {
 	ColdStarts    *Counter
 	RejectedJobs  *Counter
 	ActiveServers *Gauge
-	Decisions     *DecisionLog
+	// Resilience counters (fault injection and graceful degradation).
+	FaultEvents        *Counter // injected fault transitions applied
+	DisplacedServices  *Counter // services re-placed off crashed nodes
+	DisplacedJobs      *Counter // batch jobs moved off crashed nodes
+	DegradedPlacements *Counter // placements served by the fallback policy
+	DegradedSteps      *Counter // steps spent in degraded mode
+	PlacementRetries   *Counter // placement attempts retried after transient errors
+	Decisions          *DecisionLog
 }
 
 // Platform registers the platform instrument set (platform_*).
 func (s *Sink) Platform() PlatformInstruments {
 	r := s.reg()
 	return PlatformInstruments{
-		Steps:         r.Counter("platform_steps_total", "simulation steps executed"),
-		StepSeconds:   r.Histogram("platform_step_seconds", "wall-clock seconds per simulation step", DurationBuckets()),
-		SLAViolations: r.Counter("platform_sla_violation_steps_total", "service-steps with measured p99 over SLA"),
-		Migrations:    r.Counter("platform_migrations_total", "reactive migrations"),
-		Reschedules:   r.Counter("platform_reschedules_total", "scale-out placement changes"),
-		ColdStarts:    r.Counter("platform_cold_starts_total", "instances cold-started"),
-		RejectedJobs:  r.Counter("platform_rejected_jobs_total", "batch jobs rejected"),
-		ActiveServers: r.Gauge("platform_active_servers", "servers with any load after the last step"),
-		Decisions:     s.dec(),
+		Steps:              r.Counter("platform_steps_total", "simulation steps executed"),
+		StepSeconds:        r.Histogram("platform_step_seconds", "wall-clock seconds per simulation step", DurationBuckets()),
+		SLAViolations:      r.Counter("platform_sla_violation_steps_total", "service-steps with measured p99 over SLA"),
+		Migrations:         r.Counter("platform_migrations_total", "reactive migrations"),
+		Reschedules:        r.Counter("platform_reschedules_total", "scale-out placement changes"),
+		ColdStarts:         r.Counter("platform_cold_starts_total", "instances cold-started"),
+		RejectedJobs:       r.Counter("platform_rejected_jobs_total", "batch jobs rejected"),
+		ActiveServers:      r.Gauge("platform_active_servers", "servers with any load after the last step"),
+		FaultEvents:        r.Counter("platform_fault_events_total", "injected fault transitions applied"),
+		DisplacedServices:  r.Counter("platform_displaced_services_total", "services re-placed off crashed nodes"),
+		DisplacedJobs:      r.Counter("platform_displaced_jobs_total", "batch jobs moved off crashed nodes"),
+		DegradedPlacements: r.Counter("platform_degraded_placements_total", "placements served by the fallback policy"),
+		DegradedSteps:      r.Counter("platform_degraded_steps_total", "steps spent in degraded mode"),
+		PlacementRetries:   r.Counter("platform_placement_retries_total", "placement attempts retried after transient errors"),
+		Decisions:          s.dec(),
 	}
 }
 

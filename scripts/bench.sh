@@ -13,7 +13,7 @@ cd "$(dirname "$0")/.."
 BENCHTIME="${1:-200x}"
 OUT="${2:-BENCH_gsight.json}"
 
-BENCHES='BenchmarkInference$|BenchmarkInferenceBatch$|BenchmarkIncrementalUpdate$|BenchmarkEncode$|BenchmarkForestTraining$|BenchmarkBinarySearchScheduling$|BenchmarkSchedulingInstrumented$'
+BENCHES='BenchmarkInference$|BenchmarkInferenceBatch$|BenchmarkIncrementalUpdate$|BenchmarkEncode$|BenchmarkForestTraining$|BenchmarkBinarySearchScheduling$|BenchmarkSchedulingInstrumented$|BenchmarkFaultyPlatform$'
 
 RAW="$(go test -run '^$' -bench "$BENCHES" -benchmem -benchtime "$BENCHTIME" .)"
 echo "$RAW"
