@@ -225,9 +225,10 @@ func BenchmarkScenarioEvaluation(b *testing.B) {
 	}
 }
 
-// BenchmarkForestTraining measures IRFR training on a paper-shaped
-// dataset (2580-dimensional codes).
-func BenchmarkForestTraining(b *testing.B) {
+// benchForestDataset encodes the observation set once into a
+// paper-shaped design matrix (2580-dimensional codes).
+func benchForestDataset(b *testing.B) ml.Dataset {
+	b.Helper()
 	_, obs := trainedPredictor(b)
 	coder := core.DefaultCoder()
 	var ds ml.Dataset
@@ -238,6 +239,29 @@ func BenchmarkForestTraining(b *testing.B) {
 		}
 		ds.Append(x, o.Label)
 	}
+	return ds
+}
+
+// BenchmarkForestTraining measures IRFR training on a paper-shaped
+// dataset with a single worker — the raw single-thread kernel, pinned
+// to Workers:1 so the number is comparable across machines.
+func BenchmarkForestTraining(b *testing.B) {
+	ds := benchForestDataset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := ml.NewForest(ml.ForestConfig{Trees: 8, Seed: uint64(i), Workers: 1, Tree: ml.TreeConfig{MTry: 96}})
+		if err := f.Fit(ds.X, ds.Y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkForestTrainingParallel is the same training load with the
+// default worker pool (GOMAXPROCS-wide), measuring the parallel-growth
+// speedup over BenchmarkForestTraining. The grown forest is
+// byte-identical to the serial one (TestForestParallelFitByteIdentical).
+func BenchmarkForestTrainingParallel(b *testing.B) {
+	ds := benchForestDataset(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		f := ml.NewForest(ml.ForestConfig{Trees: 8, Seed: uint64(i), Tree: ml.TreeConfig{MTry: 96}})

@@ -321,7 +321,10 @@ func (p *Predictor) Flush(kind QoSKind) error {
 		return err
 	}
 	p.seen[kind] += batch
-	*ds = ml.Dataset{}
+	// Keep the pending buffer's capacity: the update cadence makes this
+	// a steady-state hot path, and the rows themselves were handed to
+	// the model (never reused here).
+	ds.Reset()
 	if p.ins.Enabled() {
 		p.trainEvent(kind, phase, batch)
 	}

@@ -21,6 +21,12 @@ type ForestConfig struct {
 	UpdateTrees int // <=0 means max(4, Trees/8)
 	MaxTrees    int // <=0 means 2*Trees
 	Window      int // samples kept for incremental training; <=0 means 12000
+	// Workers bounds the tree-growing worker pool; <=0 means
+	// GOMAXPROCS. Same-seed forests are byte-identical for every value:
+	// each tree's bootstrap and split-RNG stream are drawn sequentially
+	// before the fan-out. Excluded from serialization — it describes the
+	// machine, not the model.
+	Workers int `json:"-"`
 }
 
 func (c ForestConfig) withDefaults() ForestConfig {
@@ -52,10 +58,23 @@ type Forest struct {
 	cfg    ForestConfig
 	trees  []*Tree
 	rnd    *rng.Rand
-	buf    Dataset // retained window for incremental updates
+	buf    window // ring of retained samples for incremental updates
+	boot   []int  // reusable bootstrap index arena (k trees × window)
 	dim    int
 	fitted bool
 	ins    telemetry.ForestInstruments
+
+	// prune scratch, reused across updates.
+	sse   []float64
+	pred  []float64
+	order []int
+	drop  []bool
+
+	// shared window transpose, rebuilt once per growTrees call and read
+	// concurrently by the tree-growing workers.
+	wc     windowColumns
+	wcVary []bool
+	wcUnd  []int
 }
 
 // Instrument attaches the shared forest instrument set. The zero value
@@ -65,7 +84,9 @@ func (f *Forest) Instrument(ins telemetry.ForestInstruments) { f.ins = ins }
 // NewForest returns an untrained forest.
 func NewForest(cfg ForestConfig) *Forest {
 	cfg = cfg.withDefaults()
-	return &Forest{cfg: cfg, rnd: rng.New(cfg.Seed ^ 0x5eed0f0e57)}
+	f := &Forest{cfg: cfg, rnd: rng.New(cfg.Seed ^ 0x5eed0f0e57)}
+	f.buf.reset(cfg.Window)
+	return f
 }
 
 // Fit trains cfg.Trees trees on bootstrap resamples of (X, y).
@@ -76,7 +97,7 @@ func (f *Forest) Fit(X [][]float64, y []float64) error {
 	span := telemetry.StartSpan(f.ins.FitSeconds)
 	f.dim = len(X[0])
 	f.trees = f.trees[:0]
-	f.buf = Dataset{}
+	f.buf.reset(f.cfg.Window)
 	f.absorb(X, y)
 	trees, err := f.growTrees(f.cfg.Trees)
 	if err != nil {
@@ -122,78 +143,157 @@ func (f *Forest) Update(X [][]float64, y []float64) error {
 	return nil
 }
 
+// sseOrder stably sorts tree indices by descending SSE. Stability
+// breaks score ties by tree age, exactly like the repeated worst-scan
+// this replaced, so the surviving set is unchanged.
+type sseOrder struct {
+	order []int
+	sse   []float64
+}
+
+func (s *sseOrder) Len() int           { return len(s.order) }
+func (s *sseOrder) Less(a, b int) bool { return s.sse[s.order[a]] > s.sse[s.order[b]] }
+func (s *sseOrder) Swap(a, b int)      { s.order[a], s.order[b] = s.order[b], s.order[a] }
+
 // prune keeps the forest at MaxTrees by discarding the trees that score
 // worst on the freshest batch. Under stationary workloads the scores
 // are statistically indistinguishable, so pruning is harmless; after a
 // concept shift (Figure 13) the stale-regime trees score terribly and
 // are culled within a few updates.
 //
-// Each tree is scored once and the scores are sorted once; survivors
-// keep their original order. A stable descending sort breaks SSE ties
-// by tree age exactly like the previous repeated worst-scan did, so the
-// surviving set is unchanged — just O(T log T) instead of O(excess*T).
+// Scoring runs through the batched traversal kernel (one pass per tree
+// over the batch, predictInto) and all score/order/drop buffers are
+// reused across updates, so pruning allocates nothing in steady state.
 func (f *Forest) prune(X [][]float64, y []float64) {
 	excess := len(f.trees) - f.cfg.MaxTrees
 	if excess <= 0 {
 		return
 	}
-	sse := make([]float64, len(f.trees))
+	nt := len(f.trees)
+	f.sse = grabFloats(f.sse, nt)
+	f.pred = grabFloats(f.pred, len(X))
 	for i, t := range f.trees {
+		t.predictInto(X, f.pred)
 		s := 0.0
-		for j, x := range X {
-			d := t.Predict(x) - y[j]
+		for j, p := range f.pred {
+			d := p - y[j]
 			s += d * d
 		}
-		sse[i] = s
+		f.sse[i] = s
 	}
-	order := make([]int, len(f.trees))
-	for i := range order {
-		order[i] = i
+	f.order = grabInts(f.order, nt)
+	for i := range f.order {
+		f.order[i] = i
 	}
-	sort.SliceStable(order, func(a, b int) bool { return sse[order[a]] > sse[order[b]] })
-	drop := make([]bool, len(f.trees))
-	for _, i := range order[:excess] {
-		drop[i] = true
+	sort.Stable(&sseOrder{order: f.order, sse: f.sse})
+	if cap(f.drop) < nt {
+		f.drop = make([]bool, nt)
+	}
+	f.drop = f.drop[:nt]
+	for i := range f.drop {
+		f.drop[i] = false
+	}
+	for _, i := range f.order[:excess] {
+		f.drop[i] = true
 	}
 	kept := f.trees[:0]
 	for i, t := range f.trees {
-		if !drop[i] {
+		if !f.drop[i] {
 			kept = append(kept, t)
 		}
 	}
 	f.trees = kept
 }
 
+// absorb pushes the batch into the ring window: O(batch), regardless of
+// how much history is retained.
 func (f *Forest) absorb(X [][]float64, y []float64) {
 	for i := range y {
-		f.buf.Append(X[i], y[i])
-	}
-	if f.buf.Len() > f.cfg.Window {
-		tail := f.buf.Tail(f.cfg.Window)
-		f.buf = Dataset{
-			X: append([][]float64(nil), tail.X...),
-			Y: append([]float64(nil), tail.Y...),
-		}
+		f.buf.push(X[i], y[i])
 	}
 }
 
+// prepWindow rebuilds the shared window transpose: one candidate scan
+// and one column gather per update, amortized over every tree grown on
+// it. Candidates are the features with any variance across the window —
+// an exact superset of any bootstrap's active set, since a bootstrap
+// only ever sees window rows — so per-tree active scans probe just
+// these columns. Rows are visited in logical (oldest-first) order, so
+// the transpose is independent of where the ring's seam currently sits.
+func (f *Forest) prepWindow() {
+	w := f.buf.Len()
+	d := f.dim
+	if d == 0 && w > 0 {
+		d = len(f.buf.x[f.buf.phys(0)])
+	}
+	if cap(f.wcVary) < d {
+		f.wcVary = make([]bool, d)
+	}
+	f.wcVary = f.wcVary[:d]
+	for j := range f.wcVary {
+		f.wcVary[j] = false
+	}
+	f.wcUnd = grabInts(f.wcUnd, d)
+	und := f.wcUnd
+	for j := range und {
+		und[j] = j
+	}
+	base := f.buf.x[f.buf.phys(0)]
+	for i := 1; i < w && len(und) > 0; i++ {
+		row := f.buf.x[f.buf.phys(i)]
+		kept := und[:0]
+		for _, j := range und {
+			if row[j] != base[j] {
+				f.wcVary[j] = true
+			} else {
+				kept = append(kept, j)
+			}
+		}
+		und = kept
+	}
+	f.wc.feats = f.wc.feats[:0]
+	for j := 0; j < d; j++ {
+		if f.wcVary[j] {
+			f.wc.feats = append(f.wc.feats, j)
+		}
+	}
+	nc := len(f.wc.feats)
+	f.wc.cols = grabFloats(f.wc.cols, nc*w)
+	f.wc.y = grabFloats(f.wc.y, w)
+	for i := 0; i < w; i++ {
+		p := f.buf.phys(i)
+		row := f.buf.x[p]
+		f.wc.y[i] = f.buf.y[p]
+		for c, j := range f.wc.feats {
+			f.wc.cols[c*w+i] = row[j]
+		}
+	}
+	f.wc.w = w
+	f.wc.dim = d
+}
+
 // growTrees grows k trees, drawing each tree's bootstrap and split RNG
-// sequentially from the forest's stream (determinism) and then fitting
-// all trees concurrently across the available cores. Bootstraps are
-// index lists into the shared window (FitIndexed) rather than
-// materialized row copies.
+// sequentially from the forest's stream and then fitting the trees
+// across a bounded worker pool (cfg.Workers wide, the pattern of the
+// experiments harness). Because all randomness is fixed before the
+// fan-out, the shared window transpose is read-only during it, and each
+// worker writes only its own tree slot, the grown forest is
+// byte-identical for every pool size. Bootstraps are logical index
+// draws over the transposed window (fitFromWindow), never materialized
+// row copies; the index arena is reused across updates.
 func (f *Forest) growTrees(k int) ([]*Tree, error) {
 	n := f.buf.Len()
 	if n == 0 {
 		return nil, ErrNoData
 	}
-	type job struct {
-		idx []int
-		rnd *rng.Rand
+	f.prepWindow()
+	if cap(f.boot) < k*n {
+		f.boot = make([]int, k*n)
 	}
-	jobs := make([]job, k)
+	f.boot = f.boot[:k*n]
+	rnds := make([]*rng.Rand, k)
 	for t := 0; t < k; t++ {
-		idx := make([]int, n)
+		idx := f.boot[t*n : (t+1)*n]
 		for i := 0; i < n; i++ {
 			// Recency-biased bootstrap: u^1.5 skews index draws
 			// toward the newest window entries, so fresh trees track
@@ -205,15 +305,28 @@ func (f *Forest) growTrees(k int) ([]*Tree, error) {
 			}
 			idx[i] = j
 		}
-		jobs[t] = job{idx, f.rnd.Split()}
+		rnds[t] = f.rnd.Split()
 	}
 
 	trees := make([]*Tree, k)
-	errs := make([]error, k)
-	workers := runtime.GOMAXPROCS(0)
+	workers := f.cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > k {
 		workers = k
 	}
+	if workers <= 1 {
+		for t := 0; t < k; t++ {
+			tree := NewTree(f.cfg.Tree)
+			if err := tree.fitFromWindow(&f.wc, f.boot[t*n:(t+1)*n], rnds[t]); err != nil {
+				return nil, err
+			}
+			trees[t] = tree
+		}
+		return trees, nil
+	}
+	errs := make([]error, k)
 	var wg sync.WaitGroup
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
@@ -222,7 +335,7 @@ func (f *Forest) growTrees(k int) ([]*Tree, error) {
 			defer wg.Done()
 			for t := range next {
 				tree := NewTree(f.cfg.Tree)
-				errs[t] = tree.FitIndexed(f.buf.X, f.buf.Y, jobs[t].idx, jobs[t].rnd)
+				errs[t] = tree.fitFromWindow(&f.wc, f.boot[t*n:(t+1)*n], rnds[t])
 				trees[t] = tree
 			}
 		}()
@@ -311,9 +424,7 @@ func (f *Forest) predictRange(X [][]float64, out []float64, lo, hi int) {
 		out[i] = 0
 	}
 	for _, t := range f.trees {
-		for i := lo; i < hi; i++ {
-			out[i] += t.Predict(X[i])
-		}
+		t.accumulateInto(X, out, lo, hi)
 	}
 	n := float64(len(f.trees))
 	for i := lo; i < hi; i++ {

@@ -93,10 +93,19 @@ func (g *GBRT) Update(X [][]float64, y []float64) error {
 }
 
 // boost grows n stages against the current residuals of (X, y).
+// Stages are inherently sequential (each fits the previous residuals),
+// but every per-stage step is batched: residual seeding and the
+// post-fit residual refresh run tree-outer through the batched
+// traversal kernel, and each FitSeeded uses the shared scratch-buffer
+// training kernel. Per-sample accumulation order is unchanged (base,
+// then stages in order), so residuals — and the grown stages — are
+// bit-identical to the scalar loop.
 func (g *GBRT) boost(X [][]float64, y []float64, n int) error {
 	resid := make([]float64, len(y))
+	pred := make([]float64, len(y))
+	g.predictBatchInto(X, resid)
 	for i := range y {
-		resid[i] = y[i] - g.Predict(X[i])
+		resid[i] = y[i] - resid[i]
 	}
 	for s := 0; s < n; s++ {
 		t := NewTree(g.Tree)
@@ -104,11 +113,26 @@ func (g *GBRT) boost(X [][]float64, y []float64, n int) error {
 			return err
 		}
 		g.stages = append(g.stages, t)
+		t.predictInto(X, pred)
 		for i := range resid {
-			resid[i] -= g.LearnRate * t.Predict(X[i])
+			resid[i] -= g.LearnRate * pred[i]
 		}
 	}
 	return nil
+}
+
+// predictBatchInto fills out[i] with the ensemble prediction for X[i],
+// tree-outer so each stage's nodes stay cache-hot across the batch.
+// Bit-identical to calling Predict per sample.
+func (g *GBRT) predictBatchInto(X [][]float64, out []float64) {
+	for i := range out {
+		out[i] = g.base
+	}
+	for _, t := range g.stages {
+		for i, x := range X {
+			out[i] += g.LearnRate * t.Predict(x)
+		}
+	}
 }
 
 // Predict sums the shrunken stage outputs.

@@ -86,6 +86,17 @@ func (d *Dataset) Append(x []float64, y float64) {
 // Len returns the number of samples.
 func (d *Dataset) Len() int { return len(d.Y) }
 
+// Reset empties the dataset, keeping its backing capacity for reuse.
+// Stored feature slices are released to their consumers — callers that
+// handed rows to a model must not mutate them afterwards.
+func (d *Dataset) Reset() {
+	for i := range d.X {
+		d.X[i] = nil
+	}
+	d.X = d.X[:0]
+	d.Y = d.Y[:0]
+}
+
 // Split shuffles and splits the dataset into train and test parts with
 // the given training fraction.
 func (d *Dataset) Split(trainFrac float64, rnd *rng.Rand) (train, test Dataset) {

@@ -1,0 +1,92 @@
+package ml
+
+import "sync"
+
+// fitScratch is the reusable working state of one tree fit. Everything
+// the old kernel allocated per node — the (value, target) pairs of the
+// split search, the sort closure, the left/right index lists, the
+// feature-subsample copy — lives here instead, sized once per fit and
+// recycled across fits through fitPool. The kernel is therefore
+// allocation-free per node; the only per-tree allocations left are the
+// structures the tree retains after fitting (nodes, importance).
+//
+// Ownership rule: a fitScratch belongs to exactly one Tree fit at a
+// time. Trees never retain scratch state; FitIndexed returns it to the
+// pool before returning. Concurrent tree growth (Forest.growTrees) is
+// safe because each worker draws its own scratch from the pool.
+type fitScratch struct {
+	// arena holds the bootstrap positions 0..n-1 of the samples reaching
+	// the current subtree, stably partitioned in place as the recursion
+	// descends: a node owns arena[lo:hi].
+	arena []int
+	// spill is the right-half buffer of the stable partition.
+	spill []int
+	// cols is the column-major feature cache: column c (the c-th active
+	// feature) occupies cols[c*n : (c+1)*n], indexed by bootstrap
+	// position, so split scans read contiguous memory instead of
+	// striding row pointers.
+	cols []float64
+	// colOf maps a feature id to its column index in cols (-1 when the
+	// feature is inactive and has no column).
+	colOf []int32
+	// ty holds the targets gathered into bootstrap-position order.
+	ty []float64
+	// sv/st are the per-(node, feature) sort scratch: values and targets
+	// of the node's samples, sorted together by sortPairs.
+	sv, st []float64
+	// active lists the features with any variance in the bootstrap,
+	// ascending; feat is the per-node partial-shuffle buffer of
+	// sampleFeatures.
+	active, feat []int
+	// srcCol maps each active feature to its column in a shared window
+	// transpose (fitFromWindow only).
+	srcCol []int32
+	// vary and undecided are the active-feature scan's scratch: vary[j]
+	// flags features seen to vary, undecided the features still matching
+	// the base row.
+	vary      []bool
+	undecided []int
+}
+
+var fitPool = sync.Pool{New: func() interface{} { return new(fitScratch) }}
+
+// grabInts returns s[:n] reusing capacity.
+func grabInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+// grabFloats returns s[:n] reusing capacity.
+func grabFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// prepare sizes the scratch for a fit over n bootstrap samples of
+// dimension d. Column and feature buffers are sized later, once the
+// active set is known.
+func (s *fitScratch) prepare(n, d int) {
+	s.arena = grabInts(s.arena, n)
+	for i := range s.arena {
+		s.arena[i] = i
+	}
+	s.ty = grabFloats(s.ty, n)
+	s.sv = grabFloats(s.sv, n)
+	s.st = grabFloats(s.st, n)
+	s.undecided = grabInts(s.undecided, d)
+	if cap(s.vary) < d {
+		s.vary = make([]bool, d)
+	}
+	s.vary = s.vary[:d]
+	for i := range s.vary {
+		s.vary[i] = false
+	}
+	if cap(s.colOf) < d {
+		s.colOf = make([]int32, d)
+	}
+	s.colOf = s.colOf[:d]
+}

@@ -1,0 +1,222 @@
+package ml
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+
+	"gsight/internal/rng"
+)
+
+// forestBytes serializes f, failing the test on error.
+func forestBytes(t *testing.T, f *Forest) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteForest(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestForestParallelFitByteIdentical pins the central determinism claim
+// of the parallel training path: because every tree's bootstrap and
+// split-RNG stream are drawn sequentially before the worker fan-out,
+// the serialized forest must be byte-for-byte identical for every pool
+// size — through the initial Fit and incremental Updates alike. Under
+// `make race` this test also exercises concurrent growth over the
+// shared window transpose.
+func TestForestParallelFitByteIdentical(t *testing.T) {
+	X, y := synth(300, 8, 17, 0.2)
+	build := func(workers int) *Forest {
+		f := NewForest(ForestConfig{Trees: 12, Seed: 7, UpdateTrees: 4, Workers: workers})
+		if err := f.Fit(X[:220], y[:220]); err != nil {
+			t.Fatal(err)
+		}
+		for lo := 220; lo < 300; lo += 40 {
+			if err := f.Update(X[lo:lo+40], y[lo:lo+40]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return f
+	}
+	serial := forestBytes(t, build(1))
+	for _, workers := range []int{2, 4} {
+		if got := forestBytes(t, build(workers)); !bytes.Equal(got, serial) {
+			t.Fatalf("workers=%d forest differs from serial (%d vs %d bytes)",
+				workers, len(got), len(serial))
+		}
+	}
+}
+
+// sortPairsCases enumerates the value shapes that drive pdqsort through
+// its distinct strategies: random, heavy duplicates (partitionEqual),
+// already sorted and reversed (partialInsertionSort), sawtooth
+// (breakPatterns) and constant.
+func sortPairsCases(n int, r *rng.Rand) [][]float64 {
+	random := make([]float64, n)
+	dups := make([]float64, n)
+	asc := make([]float64, n)
+	desc := make([]float64, n)
+	saw := make([]float64, n)
+	flat := make([]float64, n)
+	for i := 0; i < n; i++ {
+		random[i] = r.Range(-100, 100)
+		dups[i] = float64(int(r.Range(0, 4)))
+		asc[i] = float64(i)
+		desc[i] = float64(n - i)
+		saw[i] = float64(i % 7)
+		flat[i] = 1.5
+	}
+	return [][]float64{random, dups, asc, desc, saw, flat}
+}
+
+// TestSortPairsMatchesSortSlice proves the pdqsort port produces the
+// EXACT permutation of the sort.Slice call it replaced — not merely a
+// sorted order. Equal values must land in the same relative positions,
+// which the paired target array exposes: any permutation difference
+// within a run of ties shows up as a target mismatch and would perturb
+// the split scan's prefix sums.
+func TestSortPairsMatchesSortSlice(t *testing.T) {
+	r := rng.New(99)
+	for _, n := range []int{0, 1, 2, 3, 7, 12, 13, 40, 100, 257, 1000, 2048} {
+		for ci, vals := range sortPairsCases(n, r) {
+			v1 := append([]float64(nil), vals...)
+			t1 := make([]float64, n)
+			for i := range t1 {
+				t1[i] = float64(i) // unique tags expose the permutation
+			}
+			v2 := append([]float64(nil), v1...)
+			t2 := append([]float64(nil), t1...)
+
+			sortPairs(v1, t1)
+			sort.Slice(t2, func(a, b int) bool { return v2[a] < v2[b] })
+			sort.Slice(v2, func(a, b int) bool { return v2[a] < v2[b] })
+			// Sorting t2 by v2's order requires re-deriving the
+			// permutation, so do it the way the old kernel did: sort
+			// (value, target) pairs together.
+			type pair struct{ v, t float64 }
+			pairs := make([]pair, n)
+			for i := range pairs {
+				pairs[i] = pair{vals[i], float64(i)}
+			}
+			sort.Slice(pairs, func(a, b int) bool { return pairs[a].v < pairs[b].v })
+
+			for i := 0; i < n; i++ {
+				if v1[i] != pairs[i].v || t1[i] != pairs[i].t {
+					t.Fatalf("n=%d case=%d pos=%d: sortPairs (%v,%v) != sort.Slice (%v,%v)",
+						n, ci, i, v1[i], t1[i], pairs[i].v, pairs[i].t)
+				}
+			}
+		}
+	}
+}
+
+// TestWindowRing covers the ring buffer the forest trains from: logical
+// order stays oldest-first across wrap, phys translates onto the seam,
+// and capacity never grows.
+func TestWindowRing(t *testing.T) {
+	var w window
+	w.reset(4)
+	push := func(v float64) { w.push([]float64{v}, v) }
+	logical := func() []float64 {
+		out := make([]float64, w.Len())
+		for i := range out {
+			out[i] = w.y[w.phys(i)]
+		}
+		return out
+	}
+	eq := func(got, want []float64) {
+		t.Helper()
+		if len(got) != len(want) {
+			t.Fatalf("len %d, want %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("logical view %v, want %v", got, want)
+			}
+		}
+	}
+
+	for v := 1.0; v <= 3; v++ {
+		push(v)
+	}
+	eq(logical(), []float64{1, 2, 3}) // filling: no eviction yet
+	push(4)
+	push(5) // evicts 1
+	push(6) // evicts 2
+	eq(logical(), []float64{3, 4, 5, 6})
+	if w.Len() != 4 {
+		t.Fatalf("Len = %d, want capacity 4", w.Len())
+	}
+	// x stays in lockstep with y through the wrap.
+	for i := 0; i < w.Len(); i++ {
+		if w.x[w.phys(i)][0] != logical()[i] {
+			t.Fatalf("x/y desync at logical %d", i)
+		}
+	}
+	// Ten more pushes wrap the head multiple times.
+	for v := 7.0; v <= 16; v++ {
+		push(v)
+	}
+	eq(logical(), []float64{13, 14, 15, 16})
+
+	w.reset(2)
+	if w.Len() != 0 {
+		t.Fatalf("reset left %d samples", w.Len())
+	}
+	push(8)
+	eq(logical(), []float64{8})
+}
+
+// TestForestWindowWrapDeterministic checks that training depends only
+// on the window's logical contents, not on where the ring seam sits:
+// growing trees from a wrapped window must match growing them from an
+// unwrapped window holding the same trailing samples.
+func TestForestWindowWrapDeterministic(t *testing.T) {
+	X, y := synth(240, 6, 41, 0.2)
+	const win = 200
+	grow := func(pushFrom int) *Forest {
+		f := NewForest(ForestConfig{Trees: 4, Seed: 13, Window: win})
+		f.dim = 6
+		for i := pushFrom; i < len(y); i++ {
+			f.buf.push(X[i], y[i])
+		}
+		trees, err := f.growTrees(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.trees = trees
+		f.fitted = true
+		return f
+	}
+	fresh := grow(40)  // exactly win samples: seam at 0
+	wrapped := grow(0) // 240 pushes into capacity 200: seam mid-buffer
+	if wrapped.buf.head == 0 || fresh.buf.head != 0 {
+		t.Fatalf("expected distinct seams, got head %d vs %d",
+			wrapped.buf.head, fresh.buf.head)
+	}
+	if got, want := forestBytes(t, wrapped), forestBytes(t, fresh); !bytes.Equal(got, want) {
+		t.Fatal("same logical window trained different forests")
+	}
+}
+
+// BenchmarkWindowAbsorb measures absorbing a 20-sample batch into an
+// already-full window — the steady-state cost of Forest.absorb. The ring
+// makes it O(batch); the Dataset-append window it replaced re-copied all
+// retained rows on every overflow.
+func BenchmarkWindowAbsorb(b *testing.B) {
+	const win, batch, dim = 12000, 20, 64
+	row := make([]float64, dim)
+	var w window
+	w.reset(win)
+	for i := 0; i < win; i++ {
+		w.push(row, 1)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < batch; j++ {
+			w.push(row, 2)
+		}
+	}
+}

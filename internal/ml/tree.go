@@ -1,8 +1,6 @@
 package ml
 
 import (
-	"sort"
-
 	"gsight/internal/rng"
 )
 
@@ -51,7 +49,6 @@ type Tree struct {
 	nodes      []treeNode
 	cfg        TreeConfig
 	dim        int
-	active     []int     // features with any variance in the training set
 	importance []float64 // accumulated impurity decrease per feature
 }
 
@@ -67,11 +64,7 @@ func (t *Tree) FitSeeded(X [][]float64, y []float64, rnd *rng.Rand) error {
 	if err := checkXY(X, y); err != nil {
 		return err
 	}
-	idx := make([]int, len(y))
-	for i := range idx {
-		idx[i] = i
-	}
-	return t.FitIndexed(X, y, idx, rnd)
+	return t.fit(X, y, nil, rnd)
 }
 
 // FitIndexed grows the tree on the samples X[idx[0]], X[idx[1]], ...
@@ -86,86 +79,236 @@ func (t *Tree) FitIndexed(X [][]float64, y []float64, idx []int, rnd *rng.Rand) 
 	if len(idx) == 0 {
 		return ErrNoData
 	}
+	return t.fit(X, y, idx, rnd)
+}
+
+// fit is the training kernel. A nil idx means the identity bootstrap
+// (every row once, in order). All per-node working state lives in a
+// pooled fitScratch, so growth allocates only what the tree retains.
+func (t *Tree) fit(X [][]float64, y []float64, idx []int, rnd *rng.Rand) error {
+	n := len(y)
+	if idx != nil {
+		n = len(idx)
+	}
 	t.dim = len(X[0])
+	s := fitPool.Get().(*fitScratch)
+	defer fitPool.Put(s)
+	s.prepare(n, t.dim)
+
 	// Sparse colocation codes zero-pad unused workload slots and
 	// servers; restricting split search to features that actually vary
-	// makes the per-split feature subsample land on signal.
-	t.active = t.active[:0]
+	// makes the per-split feature subsample land on signal. The scan
+	// walks rows (cache-linear) and retires features from the undecided
+	// set on their first mismatch against the base row — the same
+	// comparisons as a per-feature scan with early exit, without the
+	// column stride.
+	base := X[0]
+	if idx != nil {
+		base = X[idx[0]]
+	}
+	und := s.undecided[:0]
 	for j := 0; j < t.dim; j++ {
-		v0 := X[idx[0]][j]
-		for _, i := range idx[1:] {
-			if X[i][j] != v0 {
-				t.active = append(t.active, j)
+		und = append(und, j)
+	}
+	for i := 1; i < n && len(und) > 0; i++ {
+		row := X[i]
+		if idx != nil {
+			row = X[idx[i]]
+		}
+		w := 0
+		for _, j := range und {
+			if row[j] != base[j] {
+				s.vary[j] = true
+			} else {
+				und[w] = j
+				w++
+			}
+		}
+		und = und[:w]
+	}
+	s.undecided = und[:cap(und)]
+	active := s.active[:0]
+	for j := 0; j < t.dim; j++ {
+		if s.vary[j] {
+			active = append(active, j)
+		}
+	}
+	s.active = active
+	s.feat = grabInts(s.feat, len(active))
+
+	t.cfg = t.cfg.withDefaults(len(active))
+
+	// Transpose the bootstrap into contiguous columns (active features
+	// only) and gather the targets, so every split scan below reads
+	// sequential memory.
+	s.cols = grabFloats(s.cols, len(active)*n)
+	for j := range s.colOf {
+		s.colOf[j] = -1
+	}
+	for c, f := range active {
+		s.colOf[f] = int32(c)
+	}
+	for i := 0; i < n; i++ {
+		row, yv := X[i], y[i]
+		if idx != nil {
+			row, yv = X[idx[i]], y[idx[i]]
+		}
+		s.ty[i] = yv
+		for c, f := range active {
+			s.cols[c*n+i] = row[f]
+		}
+	}
+
+	t.nodes = t.nodes[:0]
+	t.importance = make([]float64, t.dim)
+	t.grow(s, n, 0, n, 0, rnd)
+	return nil
+}
+
+// windowColumns is a training window transposed into contiguous
+// columns, shared read-only by every tree grown on it: feats lists the
+// features with any variance across the window (ascending), column c
+// holds feats[c]'s values in logical (oldest-first) sample order, and y
+// the targets in the same order.
+type windowColumns struct {
+	feats []int
+	cols  []float64 // len(feats) × w
+	y     []float64
+	w     int // window length (column stride)
+	dim   int
+}
+
+// fitFromWindow grows the tree on the bootstrap lid — logical window
+// indices, duplicates allowed — over a pre-transposed window. It is the
+// forest's fast path: a feature can only vary within the bootstrap if
+// it varies within the window, so the active scan probes just the
+// window's candidate columns (already contiguous) instead of re-walking
+// every raw row, and the per-tree column cache gathers from the shared
+// transpose. The grown tree is bit-identical to FitIndexed over the
+// same samples.
+func (t *Tree) fitFromWindow(wc *windowColumns, lid []int, rnd *rng.Rand) error {
+	n := len(lid)
+	if n == 0 {
+		return ErrNoData
+	}
+	t.dim = wc.dim
+	s := fitPool.Get().(*fitScratch)
+	defer fitPool.Put(s)
+	s.prepare(n, t.dim)
+
+	w := wc.w
+	active := s.active[:0]
+	src := s.srcCol[:0]
+	for c, f := range wc.feats {
+		col := wc.cols[c*w : (c+1)*w]
+		v0 := col[lid[0]]
+		for _, li := range lid[1:] {
+			if col[li] != v0 {
+				active = append(active, f)
+				src = append(src, int32(c))
 				break
 			}
 		}
 	}
-	t.cfg = t.cfg.withDefaults(len(t.active))
+	s.active, s.srcCol = active, src
+	s.feat = grabInts(s.feat, len(active))
+
+	t.cfg = t.cfg.withDefaults(len(active))
+
+	for j := range s.colOf {
+		s.colOf[j] = -1
+	}
+	s.cols = grabFloats(s.cols, len(active)*n)
+	for cA, f := range active {
+		s.colOf[f] = int32(cA)
+		srcCol := wc.cols[int(src[cA])*w : (int(src[cA])+1)*w]
+		dst := s.cols[cA*n : cA*n+n]
+		for i, li := range lid {
+			dst[i] = srcCol[li]
+		}
+	}
+	for i, li := range lid {
+		s.ty[i] = wc.y[li]
+	}
+
 	t.nodes = t.nodes[:0]
 	t.importance = make([]float64, t.dim)
-	t.grow(X, y, idx, 0, rnd)
+	t.grow(s, n, 0, n, 0, rnd)
 	return nil
 }
 
-// grow builds the subtree over idx and returns its node index.
-func (t *Tree) grow(X [][]float64, y []float64, idx []int, depth int, rnd *rng.Rand) int32 {
+// grow builds the subtree over the samples arena[lo:hi] and returns its
+// node index. n is the bootstrap size (the column stride of s.cols).
+func (t *Tree) grow(s *fitScratch, n, lo, hi, depth int, rnd *rng.Rand) int32 {
 	node := int32(len(t.nodes))
 	t.nodes = append(t.nodes, treeNode{feature: -1})
 
+	span := s.arena[lo:hi]
 	sum := 0.0
-	for _, i := range idx {
-		sum += y[i]
+	for _, p := range span {
+		sum += s.ty[p]
 	}
-	m := sum / float64(len(idx))
+	m := sum / float64(len(span))
 	t.nodes[node].value = m
 
-	if depth >= t.cfg.MaxDepth || len(idx) < 2*t.cfg.MinLeaf {
+	if depth >= t.cfg.MaxDepth || len(span) < 2*t.cfg.MinLeaf {
 		return node
 	}
-	imp := impurity(y, idx, m)
+	imp := 0.0
+	for _, p := range span {
+		d := s.ty[p] - m
+		imp += d * d
+	}
 	if imp <= 1e-12 {
 		return node
 	}
 
 	bestFeat, bestThresh, bestGain := -1, 0.0, 0.0
-	features := t.sampleFeatures(rnd)
-	// scratch: (value, target) pairs sorted per feature
-	type vt struct{ v, t float64 }
-	pairs := make([]vt, 0, len(idx))
+	features := t.sampleFeatures(s, rnd)
+	sv, st := s.sv[:len(span)], s.st[:len(span)]
 	for _, f := range features {
-		pairs = pairs[:0]
-		for _, i := range idx {
-			pairs = append(pairs, vt{X[i][f], y[i]})
+		col := s.cols[int(s.colOf[f])*n:]
+		minv := col[span[0]]
+		maxv := minv
+		for k, p := range span {
+			v := col[p]
+			sv[k] = v
+			st[k] = s.ty[p]
+			if v < minv {
+				minv = v
+			} else if v > maxv {
+				maxv = v
+			}
 		}
-		sort.Slice(pairs, func(a, b int) bool { return pairs[a].v < pairs[b].v })
-		if pairs[0].v == pairs[len(pairs)-1].v {
+		if minv == maxv {
 			continue
 		}
+		sortPairs(sv, st)
 		// Prefix scan: total variance reduction for each cut point.
 		var lSum, lSq float64
 		var rSum, rSq float64
-		for _, p := range pairs {
-			rSum += p.t
-			rSq += p.t * p.t
+		for _, tv := range st {
+			rSum += tv
+			rSq += tv * tv
 		}
-		n := float64(len(pairs))
-		total := rSq - rSum*rSum/n
+		nf := float64(len(sv))
+		total := rSq - rSum*rSum/nf
 		step := 1
-		if t.cfg.MaxSplitVal > 0 && len(pairs) > t.cfg.MaxSplitVal {
-			step = len(pairs) / t.cfg.MaxSplitVal
+		if t.cfg.MaxSplitVal > 0 && len(sv) > t.cfg.MaxSplitVal {
+			step = len(sv) / t.cfg.MaxSplitVal
 		}
-		for i := 0; i < len(pairs)-1; i++ {
-			lSum += pairs[i].t
-			lSq += pairs[i].t * pairs[i].t
-			rSum -= pairs[i].t
-			rSq -= pairs[i].t * pairs[i].t
-			if pairs[i].v == pairs[i+1].v {
+		for i := 0; i < len(sv)-1; i++ {
+			lSum += st[i]
+			lSq += st[i] * st[i]
+			rSum -= st[i]
+			rSq -= st[i] * st[i]
+			if sv[i] == sv[i+1] {
 				continue
 			}
 			if step > 1 && i%step != 0 {
 				continue
 			}
-			nl, nr := float64(i+1), n-float64(i+1)
+			nl, nr := float64(i+1), nf-float64(i+1)
 			if int(nl) < t.cfg.MinLeaf || int(nr) < t.cfg.MinLeaf {
 				continue
 			}
@@ -174,7 +317,7 @@ func (t *Tree) grow(X [][]float64, y []float64, idx []int, depth int, rnd *rng.R
 			if gain > bestGain {
 				bestGain = gain
 				bestFeat = f
-				bestThresh = (pairs[i].v + pairs[i+1].v) / 2
+				bestThresh = (sv[i] + sv[i+1]) / 2
 			}
 		}
 	}
@@ -182,49 +325,54 @@ func (t *Tree) grow(X [][]float64, y []float64, idx []int, depth int, rnd *rng.R
 		return node
 	}
 
-	var leftIdx, rightIdx []int
-	for _, i := range idx {
-		if X[i][bestFeat] <= bestThresh {
-			leftIdx = append(leftIdx, i)
+	// Stable in-place partition of the arena: lefts compact forward in
+	// order, rights spill and are copied back behind them, so both
+	// children see their samples in the parent's order (the exact order
+	// the old per-node index lists preserved).
+	col := s.cols[int(s.colOf[bestFeat])*n:]
+	spill := s.spill[:0]
+	w := lo
+	for _, p := range span {
+		if col[p] <= bestThresh {
+			s.arena[w] = p
+			w++
 		} else {
-			rightIdx = append(rightIdx, i)
+			spill = append(spill, p)
 		}
 	}
-	if len(leftIdx) == 0 || len(rightIdx) == 0 {
+	copy(s.arena[w:hi], spill)
+	s.spill = spill[:0]
+	if w == lo || w == hi {
 		return node
 	}
 	t.importance[bestFeat] += bestGain
 	t.nodes[node].feature = bestFeat
 	t.nodes[node].thresh = bestThresh
-	t.nodes[node].left = t.grow(X, y, leftIdx, depth+1, rnd)
-	t.nodes[node].right = t.grow(X, y, rightIdx, depth+1, rnd)
+	t.nodes[node].left = t.grow(s, n, lo, w, depth+1, rnd)
+	t.nodes[node].right = t.grow(s, n, w, hi, depth+1, rnd)
 	return node
 }
 
-func (t *Tree) sampleFeatures(rnd *rng.Rand) []int {
-	n := len(t.active)
+// sampleFeatures returns the features to try at one node: the full
+// active set when no subsampling applies, otherwise an MTry-element
+// partial Fisher-Yates draw. The shuffle runs in the reusable s.feat
+// buffer, re-copied from the active set each node so the draw sequence
+// and the selected features are identical to shuffling a fresh copy.
+func (t *Tree) sampleFeatures(s *fitScratch, rnd *rng.Rand) []int {
+	n := len(s.active)
 	if n == 0 {
 		return nil
 	}
 	if rnd == nil || t.cfg.MTry >= n {
-		return t.active
+		return s.active
 	}
-	// partial Fisher-Yates over a copy of the active set
-	all := append([]int(nil), t.active...)
+	feat := s.feat[:n]
+	copy(feat, s.active)
 	for i := 0; i < t.cfg.MTry; i++ {
 		j := i + rnd.Intn(n-i)
-		all[i], all[j] = all[j], all[i]
+		feat[i], feat[j] = feat[j], feat[i]
 	}
-	return all[:t.cfg.MTry]
-}
-
-func impurity(y []float64, idx []int, mean float64) float64 {
-	s := 0.0
-	for _, i := range idx {
-		d := y[i] - mean
-		s += d * d
-	}
-	return s
+	return feat[:t.cfg.MTry]
 }
 
 // Predict returns the tree's estimate for x.
@@ -243,6 +391,42 @@ func (t *Tree) Predict(x []float64) float64 {
 		} else {
 			n = node.right
 		}
+	}
+}
+
+// predictInto fills out[i] with the tree's prediction for X[i] — the
+// batched traversal kernel: one pass per tree keeps the node slice hot
+// in cache across the whole batch. Results are bit-identical to calling
+// Predict per sample.
+func (t *Tree) predictInto(X [][]float64, out []float64) {
+	if len(t.nodes) == 0 {
+		for i := range out {
+			out[i] = 0
+		}
+		return
+	}
+	for i, x := range X {
+		n := int32(0)
+		for {
+			node := &t.nodes[n]
+			if node.feature < 0 {
+				out[i] = node.value
+				break
+			}
+			if x[node.feature] <= node.thresh {
+				n = node.left
+			} else {
+				n = node.right
+			}
+		}
+	}
+}
+
+// accumulateInto adds the tree's prediction for X[lo:hi] into out[lo:hi]
+// — the forest-averaging variant of the batched traversal kernel.
+func (t *Tree) accumulateInto(X [][]float64, out []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		out[i] += t.Predict(X[i])
 	}
 }
 

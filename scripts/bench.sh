@@ -1,51 +1,27 @@
 #!/usr/bin/env sh
 # bench.sh — run the §6.4 operational micro-benchmarks with -benchmem
-# and record ns/op + allocs/op in BENCH_gsight.json so the performance
-# trajectory is tracked across PRs.
+# and append a dated entry to the BENCH_gsight.json history, so the
+# performance trajectory accumulates across PRs instead of each run
+# overwriting the last.
 #
-# Usage: scripts/bench.sh [benchtime] [out.json]
+# Usage: scripts/bench.sh [benchtime] [out.json] [label]
 #   benchtime  go test -benchtime value (default 200x: fixed iteration
 #              count keeps incremental-update window growth bounded)
-#   out.json   output path (default BENCH_gsight.json in the repo root)
+#   out.json   history path (default BENCH_gsight.json in the repo root)
+#   label      optional label recorded on the new history entry
 set -eu
 
 cd "$(dirname "$0")/.."
 BENCHTIME="${1:-200x}"
 OUT="${2:-BENCH_gsight.json}"
+LABEL="${3:-}"
 
-BENCHES='BenchmarkInference$|BenchmarkInferenceBatch$|BenchmarkIncrementalUpdate$|BenchmarkEncode$|BenchmarkForestTraining$|BenchmarkBinarySearchScheduling$|BenchmarkSchedulingInstrumented$|BenchmarkFaultyPlatform$'
+BENCHES='BenchmarkInference$|BenchmarkInferenceBatch$|BenchmarkIncrementalUpdate$|BenchmarkEncode$|BenchmarkForestTraining$|BenchmarkForestTrainingParallel$|BenchmarkBinarySearchScheduling$|BenchmarkSchedulingInstrumented$|BenchmarkFaultyPlatform$'
+ML_BENCHES='BenchmarkWindowAbsorb$'
 
-RAW="$(go test -run '^$' -bench "$BENCHES" -benchmem -benchtime "$BENCHTIME" .)"
+RAW="$(go test -run '^$' -bench "$BENCHES" -benchmem -benchtime "$BENCHTIME" .)
+$(go test -run '^$' -bench "$ML_BENCHES" -benchmem -benchtime "$BENCHTIME" ./internal/ml)"
 echo "$RAW"
 
-echo "$RAW" | awk -v benchtime="$BENCHTIME" '
-/^Benchmark/ {
-    name = $1
-    sub(/-[0-9]+$/, "", name)         # strip -GOMAXPROCS suffix
-    ns[name] = $3
-    for (i = 4; i <= NF; i++) {
-        if ($(i) == "B/op")     bytes[name]  = $(i - 1)
-        if ($(i) == "allocs/op") allocs[name] = $(i - 1)
-    }
-    if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
-}
-/^goos:/ { goos = $2 }
-/^goarch:/ { goarch = $2 }
-/^cpu:/ { $1 = ""; sub(/^ /, ""); cpu = $0 }
-END {
-    printf "{\n"
-    printf "  \"benchtime\": \"%s\",\n", benchtime
-    printf "  \"goos\": \"%s\",\n", goos
-    printf "  \"goarch\": \"%s\",\n", goarch
-    printf "  \"cpu\": \"%s\",\n", cpu
-    printf "  \"benchmarks\": {\n"
-    for (i = 1; i <= n; i++) {
-        name = order[i]
-        printf "    \"%s\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}%s\n", \
-            name, ns[name], bytes[name], allocs[name], (i < n ? "," : "")
-    }
-    printf "  }\n"
-    printf "}\n"
-}' > "$OUT"
-
-echo "wrote $OUT"
+echo "$RAW" | go run ./scripts/benchhist \
+    -out "$OUT" -date "$(date +%F)" -benchtime "$BENCHTIME" -label "$LABEL"
