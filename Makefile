@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check race bench build vet vuln test
+.PHONY: check race bench build vet vuln test fuzzsmoke crashcheck
 
 build:
 	$(GO) build ./...
@@ -25,7 +25,18 @@ vuln:
 test:
 	$(GO) test ./...
 
-check: build vet vuln test
+# Run every fuzz target over its seed corpus (no random exploration;
+# `go test -fuzz` does that — see ci.yml's fuzz job).
+fuzzsmoke:
+	$(GO) test -run '^Fuzz' ./internal/persist ./internal/faults
+
+# Kill-and-resume equivalence on the real gsight-sim binary: a run
+# crashed twice and resumed from checkpoints must reproduce the
+# uninterrupted run byte-for-byte.
+crashcheck:
+	scripts/crashcheck.sh
+
+check: build vet vuln test fuzzsmoke crashcheck
 
 race:
 	$(GO) test -race ./internal/ml ./internal/core ./internal/sched ./internal/experiments ./internal/telemetry

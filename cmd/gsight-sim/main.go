@@ -9,14 +9,25 @@
 //	gsight-sim [-scheduler gsight|bestfit|worstfit] [-hours 24]
 //	           [-train 800] [-seed 42] [-v|-quiet]
 //	           [-faults chaos|node-crash|...|schedule.json]
+//	           [-checkpoint-dir ckpt] [-checkpoint-interval 1800] [-resume]
 //	           [-debug-addr :6060] [-report run.json] [-decision-log run.jsonl]
+//
+// With -checkpoint-dir the controller snapshots its full state
+// periodically and logs every decision to a write-ahead log between
+// snapshots. A run killed at any point (including by an injected
+// controller-crash fault, exit code 3) can be rerun with -resume and
+// the same flags: it picks up from the newest valid snapshot and the
+// final report and decision log are byte-identical to an uninterrupted
+// run.
 package main
 
 import (
 	"bufio"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"sort"
@@ -29,6 +40,7 @@ import (
 	"gsight/internal/faults"
 	"gsight/internal/logx"
 	"gsight/internal/perfmodel"
+	"gsight/internal/persist"
 	"gsight/internal/platform"
 	"gsight/internal/resources"
 	"gsight/internal/scenario"
@@ -47,6 +59,9 @@ func main() {
 	verbose := flag.Bool("v", false, "verbose progress")
 	quiet := flag.Bool("quiet", false, "errors only")
 	faultsFlag := flag.String("faults", "", "fault schedule: a named scenario ("+strings.Join(faults.Names(), ", ")+") or a JSON schedule file")
+	checkpointDir := flag.String("checkpoint-dir", "", "write crash-consistent checkpoints to this directory")
+	checkpointInterval := flag.Float64("checkpoint-interval", 1800, "seconds of simulated time between snapshots")
+	resume := flag.Bool("resume", false, "resume from the newest valid checkpoint in -checkpoint-dir (fresh start if none)")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
 	reportPath := flag.String("report", "", "write a JSON run report to this file")
 	decisionPath := flag.String("decision-log", "", "write the JSONL decision log to this file")
@@ -60,35 +75,83 @@ func main() {
 	// run (not main) owns the deferred cleanups, so a failure exits
 	// through them — buffered decision logs land on disk either way.
 	if err := run(ctx, log, options{
-		scheduler:    *schedName,
-		hours:        *hours,
-		trainScen:    *trainScen,
-		seed:         *seed,
-		faults:       *faultsFlag,
-		debugAddr:    *debugAddr,
-		reportPath:   *reportPath,
-		decisionPath: *decisionPath,
+		scheduler:     *schedName,
+		hours:         *hours,
+		trainScen:     *trainScen,
+		seed:          *seed,
+		faults:        *faultsFlag,
+		checkpointDir: *checkpointDir,
+		checkpointInt: *checkpointInterval,
+		resume:        *resume,
+		debugAddr:     *debugAddr,
+		reportPath:    *reportPath,
+		decisionPath:  *decisionPath,
 	}); err != nil {
 		log.Errorf("%v", err)
+		// A deliberate controller crash is distinguishable from real
+		// failures so retry loops can rerun with -resume.
+		if errors.Is(err, platform.ErrControllerCrashed) {
+			os.Exit(3)
+		}
 		os.Exit(1)
 	}
 }
 
 type options struct {
-	scheduler    string
-	hours        float64
-	trainScen    int
-	seed         uint64
-	faults       string
-	debugAddr    string
-	reportPath   string
-	decisionPath string
+	scheduler     string
+	hours         float64
+	trainScen     int
+	seed          uint64
+	faults        string
+	checkpointDir string
+	checkpointInt float64
+	resume        bool
+	debugAddr     string
+	reportPath    string
+	decisionPath  string
 }
 
 func run(ctx context.Context, log *logx.Logger, opt options) error {
+	// Resuming? Peek at the newest valid snapshot before touching the
+	// decision log or the predictor: it decides whether the log is
+	// truncated-and-continued and whether bootstrap training is skipped
+	// (the restored predictor state supersedes it).
+	var resumeMeta *platform.CheckpointMeta
+	if opt.resume {
+		if opt.checkpointDir == "" {
+			return fmt.Errorf("-resume requires -checkpoint-dir")
+		}
+		meta, err := platform.PeekCheckpoint(opt.checkpointDir)
+		switch {
+		case err == nil:
+			resumeMeta = meta
+			log.Infof("resuming from checkpoint seq %d (sim t=%.0fs, step %d)",
+				meta.Seq, meta.SimTimeS, meta.Step)
+		case errors.Is(err, persist.ErrNoSnapshot):
+			log.Infof("no checkpoint in %s; starting fresh", opt.checkpointDir)
+		default:
+			return fmt.Errorf("checkpoint: %w", err)
+		}
+	}
+
 	sink := telemetry.New()
+	var flushLog func() error
 	if opt.decisionPath != "" {
-		f, err := os.Create(opt.decisionPath)
+		var f *os.File
+		var err error
+		if resumeMeta != nil {
+			// Continue the interrupted log: drop everything after the
+			// snapshot's offset, then append. The platform re-emits the
+			// replayed window so the bytes line up exactly.
+			f, err = os.OpenFile(opt.decisionPath, os.O_RDWR|os.O_CREATE, 0o644)
+			if err == nil {
+				if err = f.Truncate(resumeMeta.LogBytes); err == nil {
+					_, err = f.Seek(0, io.SeekEnd)
+				}
+			}
+		} else {
+			f, err = os.Create(opt.decisionPath)
+		}
 		if err != nil {
 			return fmt.Errorf("decision log: %w", err)
 		}
@@ -97,6 +160,7 @@ func run(ctx context.Context, log *logx.Logger, opt options) error {
 			bw.Flush()
 			f.Close()
 		}()
+		flushLog = bw.Flush
 		sink.WithDecisions(bw)
 	}
 	if opt.debugAddr != "" {
@@ -133,6 +197,15 @@ func run(ctx context.Context, log *logx.Logger, opt options) error {
 	if in, ok := pred.(interface{ Instrument(*telemetry.Sink) }); ok {
 		in.Instrument(sink)
 	}
+	// Gsight learns online (§5): attach its predictor so step-boundary
+	// observations flow into the incremental forest — and so checkpoints
+	// carry the full learning state. The baselines stay offline; on
+	// resume they re-train, which is deterministic and reproduces the
+	// exact pre-crash state.
+	var onlinePred core.QoSPredictor
+	if _, ok := pred.(core.Checkpointable); ok {
+		onlinePred = pred
+	}
 
 	durationS := opt.hours * 3600
 	var schedule *faults.Schedule
@@ -149,6 +222,11 @@ func run(ctx context.Context, log *logx.Logger, opt options) error {
 		log.Infof("fault schedule %q: %d events", schedule.Name, len(schedule.Events))
 	}
 
+	if resumeMeta != nil && onlinePred != nil {
+		// The snapshot carries the predictor's full online-learning
+		// state; bootstrap training would be discarded by the restore.
+		needTraining = false
+	}
 	if needTraining {
 		log.Infof("bootstrapping %s's predictor on %d scenarios...", scheduler.Name(), opt.trainScen)
 		t0 := time.Now()
@@ -212,8 +290,18 @@ func run(ctx context.Context, log *logx.Logger, opt options) error {
 		Seed:            opt.seed,
 		Telemetry:       sink,
 		Faults:          schedule,
+		Predictor:       onlinePred,
+		Checkpoint: platform.CheckpointConfig{
+			Dir:       opt.checkpointDir,
+			IntervalS: opt.checkpointInt,
+			Resume:    opt.resume,
+			FlushLog:  flushLog,
+		},
 	})
 	if err != nil {
+		if errors.Is(err, platform.ErrControllerCrashed) {
+			return fmt.Errorf("simulation: %w (rerun with -resume to continue)", err)
+		}
 		return fmt.Errorf("simulation: %w", err)
 	}
 	log.Infof("simulated in %v (%d steps)", time.Since(t0).Round(time.Millisecond), st.Steps)

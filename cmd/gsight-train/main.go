@@ -8,7 +8,14 @@
 //	gsight-train [-model irfr|iknn|ilr|isvr|imlp|pythia|esp]
 //	             [-colocation lssc|lsls|scsc] [-qos ipc|p99|jct]
 //	             [-scenarios 1000] [-seed 42] [-v|-quiet]
+//	             [-save model.ckpt] [-load model.ckpt]
 //	             [-debug-addr :6060] [-report run.json] [-decision-log run.jsonl]
+//
+// -save writes the trained predictor's full online-learning state to a
+// checksummed checkpoint file; -load restores one (the predictor must
+// be the same model and configuration) and continues training
+// incrementally on the newly labeled data instead of fitting from
+// scratch. Only checkpointable models (irfr) support either.
 package main
 
 import (
@@ -22,6 +29,7 @@ import (
 	"gsight/internal/core"
 	"gsight/internal/logx"
 	"gsight/internal/perfmodel"
+	"gsight/internal/persist"
 	"gsight/internal/resources"
 	"gsight/internal/scenario"
 	"gsight/internal/telemetry"
@@ -33,6 +41,8 @@ func main() {
 	qosName := flag.String("qos", "ipc", "QoS target: ipc, p99, jct")
 	scenarios := flag.Int("scenarios", 1000, "number of colocation scenarios to label")
 	seed := flag.Uint64("seed", 42, "seed")
+	savePath := flag.String("save", "", "write the trained predictor's checkpoint to this file")
+	loadPath := flag.String("load", "", "restore a predictor checkpoint before training")
 	verbose := flag.Bool("v", false, "verbose progress")
 	quiet := flag.Bool("quiet", false, "errors only")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
@@ -96,6 +106,27 @@ func main() {
 		in.Instrument(sink)
 	}
 
+	ckpt, checkpointable := pred.(core.Checkpointable)
+	if (*savePath != "" || *loadPath != "") && !checkpointable {
+		log.Fatalf("model %q does not support checkpoints (-save/-load need irfr)", pred.Name())
+	}
+	loaded := false
+	if *loadPath != "" {
+		data, err := os.ReadFile(*loadPath)
+		if err != nil {
+			log.Fatalf("load checkpoint: %v", err)
+		}
+		_, payload, err := persist.DecodeSnapshot(data)
+		if err != nil {
+			log.Fatalf("load checkpoint %s: %v", *loadPath, err)
+		}
+		if err := ckpt.RestoreCheckpoint(payload); err != nil {
+			log.Fatalf("load checkpoint %s: %v", *loadPath, err)
+		}
+		loaded = true
+		log.Infof("restored predictor state from %s", *loadPath)
+	}
+
 	m := perfmodel.New(resources.DefaultTestbed())
 	scenario.FastConfig(m)
 	g := scenario.NewGenerator(m, *seed)
@@ -134,7 +165,9 @@ func main() {
 	for s := 0; s < stages; s++ {
 		lo, hi := s*len(train)/stages, (s+1)*len(train)/stages
 		t0 = time.Now()
-		if s == 0 {
+		// A restored predictor keeps learning incrementally: a batch Fit
+		// would discard the loaded state.
+		if s == 0 && !loaded {
 			if err := pred.TrainObservations(qos, train[lo:hi]); err != nil {
 				log.Fatalf("train: %v", err)
 			}
@@ -168,6 +201,21 @@ func main() {
 		finalErr = 100 * sum / float64(n)
 		fmt.Printf("  after %4d samples: error %.2f%% (stage took %v)\n",
 			hi, finalErr, trainDur.Round(time.Millisecond))
+	}
+
+	if *savePath != "" {
+		raw, err := ckpt.CheckpointState()
+		if err != nil {
+			log.Fatalf("save checkpoint: %v", err)
+		}
+		data, err := persist.EncodeSnapshot(1, raw)
+		if err != nil {
+			log.Fatalf("save checkpoint: %v", err)
+		}
+		if err := persist.WriteFileAtomic(*savePath, data, 0o644); err != nil {
+			log.Fatalf("save checkpoint %s: %v", *savePath, err)
+		}
+		log.Infof("predictor checkpoint written to %s", *savePath)
 	}
 
 	if *reportPath != "" {

@@ -303,7 +303,23 @@ type (
 	DegradedInterval = platform.DegradedInterval
 	// TracePattern shapes a service's request-rate trace.
 	TracePattern = trace.Pattern
+	// PlatformCheckpoint configures crash-consistent checkpointing of a
+	// platform run (PlatformConfig.Checkpoint, DESIGN.md §12).
+	PlatformCheckpoint = platform.CheckpointConfig
+	// CheckpointMeta summarizes the newest valid checkpoint on disk.
+	CheckpointMeta = platform.CheckpointMeta
 )
+
+// ErrControllerCrashed is returned by RunPlatform when an injected
+// "controller-crash" fault kills the run. With checkpointing enabled,
+// rerunning with PlatformCheckpoint.Resume continues from the newest
+// snapshot and reproduces the uninterrupted run byte-for-byte.
+var ErrControllerCrashed = platform.ErrControllerCrashed
+
+// PeekPlatformCheckpoint inspects a checkpoint directory without
+// restoring anything: callers use it to decide whether to resume and
+// how far to truncate an interrupted decision log.
+var PeekPlatformCheckpoint = platform.PeekCheckpoint
 
 // DefaultTracePattern returns the Azure-like diurnal + bursts + noise
 // pattern around a base request rate.

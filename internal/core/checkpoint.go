@@ -1,0 +1,135 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"gsight/internal/ml"
+)
+
+// Checkpointable is implemented by predictors whose full online-learning
+// state — models, training windows, pending observation buffers — can be
+// snapshotted and restored for crash recovery. The platform requires it
+// when checkpointing is enabled with an attached predictor: resuming
+// without the learner's state would silently fork the learning stream.
+type Checkpointable interface {
+	// CheckpointState serializes the predictor's live state.
+	CheckpointState() (json.RawMessage, error)
+	// RestoreCheckpoint replaces the predictor's live state with a
+	// snapshot produced by CheckpointState on an identically-configured
+	// predictor.
+	RestoreCheckpoint(json.RawMessage) error
+}
+
+// predictorState is the Gsight predictor's checkpoint schema.
+type predictorState struct {
+	Version int                  `json:"version"`
+	Kinds   []predictorKindState `json:"kinds"`
+}
+
+type predictorKindState struct {
+	Trained  bool           `json:"trained"`
+	Seen     int            `json:"seen"`
+	Forest   ml.ForestState `json:"forest"`
+	PendingX [][]float64    `json:"pending_x,omitempty"`
+	PendingY []float64      `json:"pending_y,omitempty"`
+}
+
+// forestOf unwraps a QoS model to its forest, the only model family the
+// checkpoint schema covers (the paper's IRFR and its log-space wrap).
+func forestOf(m ml.Incremental) (*ml.Forest, error) {
+	if lt, ok := m.(*ml.LogTarget); ok {
+		m = lt.Inner
+	}
+	f, ok := m.(*ml.Forest)
+	if !ok {
+		return nil, fmt.Errorf("core: model %T does not support checkpointing", m)
+	}
+	return f, nil
+}
+
+// CheckpointState snapshots the predictor: per-QoS forest state (trees,
+// window, RNG cursor) plus the pending observation buffer and training
+// counters. The log-space wrapping of tail-latency and JCT models is
+// structural (rebuilt by NewPredictor), so only the inner forests are
+// serialized.
+func (p *Predictor) CheckpointState() (json.RawMessage, error) {
+	st := predictorState{Version: 1}
+	for k := range p.models {
+		f, err := forestOf(p.models[k])
+		if err != nil {
+			return nil, fmt.Errorf("%v kind: %w", QoSKind(k), err)
+		}
+		ks := predictorKindState{
+			Trained: p.trained[k],
+			Seen:    p.seen[k],
+			Forest:  f.ExportState(),
+		}
+		if n := p.pending[k].Len(); n > 0 {
+			ks.PendingX = p.pending[k].X
+			ks.PendingY = p.pending[k].Y
+		}
+		st.Kinds = append(st.Kinds, ks)
+	}
+	return json.Marshal(st)
+}
+
+// RestoreCheckpoint restores a CheckpointState snapshot into this
+// predictor's existing models, validating dimensions and values so a
+// corrupt snapshot is rejected with an error instead of applied.
+func (p *Predictor) RestoreCheckpoint(raw json.RawMessage) error {
+	var st predictorState
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return fmt.Errorf("core: predictor checkpoint: %w", err)
+	}
+	if st.Version != 1 {
+		return fmt.Errorf("core: unsupported predictor checkpoint version %d", st.Version)
+	}
+	if len(st.Kinds) != int(numQoSKinds) {
+		return fmt.Errorf("core: predictor checkpoint has %d kinds, want %d", len(st.Kinds), int(numQoSKinds))
+	}
+	dim := p.coder.Dim()
+	for k, ks := range st.Kinds {
+		if len(ks.PendingX) != len(ks.PendingY) {
+			return fmt.Errorf("core: %v pending X/Y length mismatch (%d vs %d)", QoSKind(k), len(ks.PendingX), len(ks.PendingY))
+		}
+		if ks.Seen < 0 {
+			return fmt.Errorf("core: %v negative sample count %d", QoSKind(k), ks.Seen)
+		}
+		for i, row := range ks.PendingX {
+			if len(row) != dim {
+				return fmt.Errorf("core: %v pending row %d has %d features, coder dim is %d", QoSKind(k), i, len(row), dim)
+			}
+			for _, v := range row {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					return fmt.Errorf("core: %v pending row %d has non-finite features", QoSKind(k), i)
+				}
+			}
+			if math.IsNaN(ks.PendingY[i]) || math.IsInf(ks.PendingY[i], 0) {
+				return fmt.Errorf("core: %v pending label %d non-finite", QoSKind(k), i)
+			}
+		}
+	}
+	// Pending buffers validated up front; forest states validate inside
+	// RestoreState before mutating. A restore error aborts the caller's
+	// resume, so a partially-applied predictor is never used.
+	for k, ks := range st.Kinds {
+		f, err := forestOf(p.models[k])
+		if err != nil {
+			return fmt.Errorf("%v kind: %w", QoSKind(k), err)
+		}
+		if err := f.RestoreState(ks.Forest); err != nil {
+			return fmt.Errorf("core: %v kind: %w", QoSKind(k), err)
+		}
+		p.trained[k] = ks.Trained
+		p.seen[k] = ks.Seen
+		p.pending[k].Reset()
+		for i := range ks.PendingY {
+			p.pending[k].Append(ks.PendingX[i], ks.PendingY[i])
+		}
+	}
+	return nil
+}
+
+var _ Checkpointable = (*Predictor)(nil)

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"testing"
+
+	"gsight/internal/ml"
+	"gsight/internal/workload"
+)
+
+func ckptPredictor(seed uint64) *Predictor {
+	return NewPredictor(Config{
+		Coder:       Coder{NumServers: 4, MaxWorkloads: 3},
+		Factory:     func(s uint64) ml.Incremental { return ml.NewForest(ml.ForestConfig{Trees: 6, Seed: s, Window: 64}) },
+		UpdateEvery: 10,
+		Seed:        seed,
+	})
+}
+
+// TestPredictorCheckpointRoundTrip: restoring a checkpoint into a fresh
+// same-configured predictor must continue the learning stream exactly —
+// same predictions before and after further observations on both.
+func TestPredictorCheckpointRoundTrip(t *testing.T) {
+	a := ckptPredictor(5)
+	mm := scInput(workload.MatMul(), 0, 0)
+	obsAt := func(p *Predictor, i int) {
+		dd := scInput(workload.DD(), i%2, float64(i%7)*10)
+		if err := p.Observe(IPCQoS, 0, []WorkloadInput{mm, dd}, 1.9-0.01*float64(i%5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Past the first flush (trained) with a part-filled pending buffer.
+	for i := 0; i < 24; i++ {
+		obsAt(a, i)
+	}
+	raw, err := a.CheckpointState()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	b := ckptPredictor(5)
+	if err := b.RestoreCheckpoint(raw); err != nil {
+		t.Fatal(err)
+	}
+	if a.SamplesSeen(IPCQoS) != b.SamplesSeen(IPCQoS) {
+		t.Fatalf("samples seen: %d vs %d", a.SamplesSeen(IPCQoS), b.SamplesSeen(IPCQoS))
+	}
+	// Drive both through more observations (crossing another flush) and
+	// compare predictions bit-for-bit.
+	for i := 24; i < 40; i++ {
+		obsAt(a, i)
+		obsAt(b, i)
+	}
+	dd := scInput(workload.DD(), 1, 30)
+	pa, errA := a.Predict(IPCQoS, 0, []WorkloadInput{mm, dd})
+	pb, errB := b.Predict(IPCQoS, 0, []WorkloadInput{mm, dd})
+	if errA != nil || errB != nil {
+		t.Fatalf("predict errors: %v, %v", errA, errB)
+	}
+	if pa != pb {
+		t.Fatalf("restored predictor diverged: %v != %v", pb, pa)
+	}
+}
+
+// TestPredictorRestoreRejectsCorruptState: malformed checkpoints must
+// not be applied.
+func TestPredictorRestoreRejectsCorruptState(t *testing.T) {
+	for _, raw := range []string{
+		`not json`,
+		`{"version":2,"kinds":[]}`,
+		`{"version":1,"kinds":[]}`, // wrong kind count
+		`{"version":1,"kinds":[{"seen":-1},{},{}]}`,
+		`{"version":1,"kinds":[{"pending_x":[[1]],"pending_y":[1]},{},{}]}`, // dim mismatch
+	} {
+		if err := ckptPredictor(7).RestoreCheckpoint([]byte(raw)); err == nil {
+			t.Errorf("corrupt checkpoint %q accepted", raw)
+		}
+	}
+}

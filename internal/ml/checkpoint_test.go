@@ -1,0 +1,98 @@
+package ml
+
+import (
+	"math"
+	"testing"
+
+	"gsight/internal/rng"
+)
+
+func ckptForestData(seed uint64, n int) ([][]float64, []float64) {
+	r := rng.New(seed)
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		x := []float64{r.Range(0, 10), r.Range(0, 5), r.Range(-1, 1)}
+		X[i] = x
+		y[i] = 2*x[0] - x[1] + 0.5*x[2] + r.Range(-0.1, 0.1)
+	}
+	return X, y
+}
+
+// TestForestStateRoundTrip: restoring an ExportState snapshot into a
+// same-configured forest must make every subsequent update and
+// prediction byte-identical to the original's — including updates that
+// draw from the restored RNG cursor and window.
+func TestForestStateRoundTrip(t *testing.T) {
+	cfg := ForestConfig{Trees: 6, Seed: 9, Window: 64}
+	a := NewForest(cfg)
+	X, y := ckptForestData(1, 120)
+	if err := a.Fit(X[:80], y[:80]); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Update(X[80:100], y[80:100]); err != nil {
+		t.Fatal(err)
+	}
+
+	b := NewForest(cfg)
+	if err := b.RestoreState(a.ExportState()); err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range X {
+		pa, pb := a.Predict(x), b.Predict(x)
+		if pa != pb {
+			t.Fatalf("restored prediction %d: %v != %v", i, pb, pa)
+		}
+	}
+	// Continue the incremental stream on both: the RNG cursor and window
+	// seam must have carried over exactly.
+	if err := a.Update(X[100:], y[100:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Update(X[100:], y[100:]); err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range X {
+		pa, pb := a.Predict(x), b.Predict(x)
+		if pa != pb {
+			t.Fatalf("post-update prediction %d: %v != %v", i, pb, pa)
+		}
+	}
+}
+
+// TestForestRestoreRejectsCorruptState: structural and numeric
+// corruption must be rejected before any state is applied.
+func TestForestRestoreRejectsCorruptState(t *testing.T) {
+	cfg := ForestConfig{Trees: 4, Seed: 3, Window: 32}
+	src := NewForest(cfg)
+	X, y := ckptForestData(2, 40)
+	if err := src.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*ForestState)
+	}{
+		{"bad version", func(s *ForestState) { s.Version = 99 }},
+		{"zero rng", func(s *ForestState) { s.Rng = [4]uint64{} }},
+		{"window overflow", func(s *ForestState) {
+			for len(s.WindowY) <= cfg.Window {
+				s.WindowX = append(s.WindowX, s.WindowX[0])
+				s.WindowY = append(s.WindowY, s.WindowY[0])
+			}
+		}},
+		{"dim mismatch row", func(s *ForestState) { s.WindowX[0] = []float64{1} }},
+		{"nan label", func(s *ForestState) { s.WindowY[0] = math.NaN() }},
+		{"nan feature", func(s *ForestState) { s.WindowX[0] = []float64{math.Inf(1), 0, 0} }},
+		{"fitted without trees", func(s *ForestState) { s.Trees = nil }},
+		{"xy length mismatch", func(s *ForestState) { s.WindowY = s.WindowY[:len(s.WindowY)-1] }},
+	}
+	for _, tc := range cases {
+		st := src.ExportState()
+		tc.mutate(&st)
+		dst := NewForest(cfg)
+		if err := dst.RestoreState(st); err == nil {
+			t.Errorf("%s: corrupt state accepted", tc.name)
+		}
+	}
+}

@@ -1,0 +1,320 @@
+package persist
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteFileAtomicReplacesWholeFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := WriteFileAtomic(path, []byte("first version, longer"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(path, []byte("second"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "second" {
+		t.Fatalf("got %q, want %q", got, "second")
+	}
+	// No temp debris left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory has %d entries, want 1", len(entries))
+	}
+}
+
+func TestSnapshotEnvelopeRoundTrip(t *testing.T) {
+	payload := []byte(`{"hello":"world","n":42}`)
+	data, err := EncodeSnapshot(7, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, got, err := DecodeSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 7 || !bytes.Equal(got, payload) {
+		t.Fatalf("round trip: seq=%d payload=%s", seq, got)
+	}
+}
+
+func TestDecodeSnapshotDetectsCorruption(t *testing.T) {
+	data, err := EncodeSnapshot(1, []byte(`{"a":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte: the checksum must catch it.
+	bad := append([]byte(nil), data...)
+	i := bytes.LastIndexByte(bad, '1')
+	bad[i] = '2'
+	if _, _, err := DecodeSnapshot(bad); err == nil {
+		t.Fatal("corrupted snapshot decoded without error")
+	}
+	if _, _, err := DecodeSnapshot(data[:len(data)/2]); err == nil {
+		t.Fatal("truncated snapshot decoded without error")
+	}
+}
+
+func TestEncodeSnapshotRejectsInvalidPayload(t *testing.T) {
+	if _, err := EncodeSnapshot(1, []byte("not json")); err == nil {
+		t.Fatal("non-JSON payload accepted")
+	}
+}
+
+func TestLatestSnapshotFallsBackOverCorruptGenerations(t *testing.T) {
+	dir := t.TempDir()
+	for seq := uint64(1); seq <= 3; seq++ {
+		payload := []byte(fmt.Sprintf(`{"gen":%d}`, seq))
+		if _, err := WriteSnapshot(dir, seq, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Give generation 3 a WAL, then corrupt its snapshot: fallback must
+	// discard both.
+	walPath := WALPath(dir, 3)
+	if err := os.WriteFile(walPath, []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	snap3 := SnapshotPath(dir, 3)
+	data, err := os.ReadFile(snap3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x10
+	if err := os.WriteFile(snap3, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Plus leftover debris a crash mid-write could leave: a temp file
+	// and a foreign name, both ignored.
+	os.WriteFile(filepath.Join(dir, "snap-000000004.ckpt.tmp123"), []byte("partial"), 0o644)
+	os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("hi"), 0o644)
+
+	payload, seq, err := LatestSnapshot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 2 || string(payload) != `{"gen":2}` {
+		t.Fatalf("fell back to seq=%d payload=%s, want generation 2", seq, payload)
+	}
+	if _, err := os.Stat(snap3); !os.IsNotExist(err) {
+		t.Fatal("corrupt snapshot generation not removed")
+	}
+	if _, err := os.Stat(walPath); !os.IsNotExist(err) {
+		t.Fatal("corrupt generation's WAL not removed")
+	}
+}
+
+func TestLatestSnapshotEmptyOrAllCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	if _, _, err := LatestSnapshot(dir); !errors.Is(err, ErrNoSnapshot) {
+		t.Fatalf("empty dir: got %v, want ErrNoSnapshot", err)
+	}
+	// A directory that was never created (run killed before the first
+	// snapshot) must look the same as an empty one, not error.
+	if _, _, err := LatestSnapshot(filepath.Join(dir, "never-created")); !errors.Is(err, ErrNoSnapshot) {
+		t.Fatalf("missing dir: got %v, want ErrNoSnapshot", err)
+	}
+	if _, err := WriteSnapshot(dir, 1, []byte(`{"gen":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(SnapshotPath(dir, 1), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LatestSnapshot(dir); !errors.Is(err, ErrNoSnapshot) {
+		t.Fatalf("all corrupt: got %v, want ErrNoSnapshot", err)
+	}
+}
+
+func TestPruneCheckpoints(t *testing.T) {
+	dir := t.TempDir()
+	for seq := uint64(1); seq <= 4; seq++ {
+		if _, err := WriteSnapshot(dir, seq, []byte(`{}`)); err != nil {
+			t.Fatal(err)
+		}
+		os.WriteFile(WALPath(dir, seq), nil, 0o644)
+	}
+	if err := PruneCheckpoints(dir, 3); err != nil {
+		t.Fatal(err)
+	}
+	snaps, err := Snapshots(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 2 || snaps[0].Seq != 3 || snaps[1].Seq != 4 {
+		t.Fatalf("snapshots after prune: %+v", snaps)
+	}
+	for seq := uint64(1); seq <= 2; seq++ {
+		if _, err := os.Stat(WALPath(dir, seq)); !os.IsNotExist(err) {
+			t.Fatalf("wal %d survived pruning", seq)
+		}
+	}
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.jsonl")
+	w, err := CreateWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]byte{[]byte(`{"t":"a"}`), []byte(`{"t":"b","n":2}`), []byte(``)}
+	for _, rec := range want {
+		if err := w.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	records, validLen, err := ReplayWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi, _ := os.Stat(path)
+	if validLen != fi.Size() {
+		t.Fatalf("validLen %d, file size %d", validLen, fi.Size())
+	}
+	if len(records) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(records), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(records[i], want[i]) {
+			t.Fatalf("record %d: %q != %q", i, records[i], want[i])
+		}
+	}
+}
+
+func TestWALTornTailAndCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.jsonl")
+	w, err := CreateWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := w.Append([]byte(fmt.Sprintf(`{"i":%d}`, i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, prefixLen, err := ReplayWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Torn tail: half a record appended without its newline.
+	full, _ := os.ReadFile(path)
+	torn := append(append([]byte(nil), full...), []byte("deadbeef {\"i\":3")...)
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	records, validLen, err := ReplayWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 3 || validLen != prefixLen {
+		t.Fatalf("torn tail: %d records, validLen %d (want 3, %d)", len(records), validLen, prefixLen)
+	}
+
+	// Bit flip inside the second record: the valid prefix ends before it.
+	flipped := append([]byte(nil), full...)
+	lines := bytes.SplitAfter(full, []byte("\n"))
+	flipped[len(lines[0])+12] ^= 0x01
+	if err := os.WriteFile(path, flipped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	records, validLen, err = ReplayWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 1 || validLen != int64(len(lines[0])) {
+		t.Fatalf("corrupt middle: %d records, validLen %d (want 1, %d)", len(records), validLen, len(lines[0]))
+	}
+
+	// Continuing after the valid prefix truncates the bad tail.
+	w, err = OpenWALAppend(path, validLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]byte(`{"i":"new"}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	records, _, err = ReplayWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 2 || string(records[1]) != `{"i":"new"}` {
+		t.Fatalf("after reopen: %q", records)
+	}
+}
+
+func TestWALRejectsNewlineInRecord(t *testing.T) {
+	w, err := CreateWAL(filepath.Join(t.TempDir(), "wal.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Append([]byte("two\nlines")); err == nil {
+		t.Fatal("newline in record accepted")
+	}
+}
+
+func TestReplayWALMissingFileIsEmpty(t *testing.T) {
+	records, validLen, err := ReplayWAL(filepath.Join(t.TempDir(), "absent.jsonl"))
+	if err != nil || len(records) != 0 || validLen != 0 {
+		t.Fatalf("missing file: %d records, len %d, err %v", len(records), validLen, err)
+	}
+}
+
+func BenchmarkCheckpointSnapshot(b *testing.B) {
+	dir := b.TempDir()
+	// A payload in the ballpark of a real platform snapshot.
+	var buf bytes.Buffer
+	buf.WriteString(`{"rows":[`)
+	for i := 0; i < 2000; i++ {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		fmt.Fprintf(&buf, `{"i":%d,"x":%g}`, i, float64(i)*1.618033988749895)
+	}
+	buf.WriteString(`]}`)
+	payload := buf.Bytes()
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := WriteSnapshot(dir, uint64(i+1), payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWALAppend(b *testing.B) {
+	w, err := CreateWAL(filepath.Join(b.TempDir(), "wal.jsonl"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	rec := []byte(`{"t":"place","sim_s":1234.5,"name":"matmul","placement":[0,3,5]}`)
+	b.SetBytes(int64(len(rec)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.Append(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

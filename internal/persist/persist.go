@@ -9,6 +9,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 
 	"gsight/internal/metrics"
@@ -17,6 +18,18 @@ import (
 	"gsight/internal/resources"
 	"gsight/internal/sched"
 )
+
+// allFinite reports whether every value is a real number. Loaders
+// reject NaN/Inf rather than letting a silently corrupt model poison
+// every downstream prediction.
+func allFinite(vs []float64) bool {
+	for _, v := range vs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
 
 // profileJSON is the stable on-disk form of a profile.
 type profileJSON struct {
@@ -45,6 +58,9 @@ func fromProfileJSON(j profileJSON) (profile.Profile, error) {
 	}
 	if len(j.Demand) != int(resources.NumKinds) || len(j.Alloc) != int(resources.NumKinds) {
 		return p, fmt.Errorf("persist: profile %s/%s has malformed resource vectors", j.Workload, j.Function)
+	}
+	if !allFinite(j.Metrics) || !allFinite(j.Demand) || !allFinite(j.Alloc) {
+		return p, fmt.Errorf("persist: profile %s/%s has non-finite values", j.Workload, j.Function)
 	}
 	p.Workload = j.Workload
 	p.Function = j.Function
@@ -103,14 +119,13 @@ func LoadStore(r io.Reader) (*profile.Store, error) {
 	return s, nil
 }
 
-// SaveStoreFile and LoadStoreFile are file-path conveniences.
+// SaveStoreFile writes a profile store to path atomically (temp file +
+// fsync + rename): a crash mid-save leaves the previous store intact,
+// never a torn file.
 func SaveStoreFile(path string, s *profile.Store, workloads []string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	return SaveStore(f, s, workloads)
+	return writeFileWith(path, func(w io.Writer) error {
+		return SaveStore(w, s, workloads)
+	})
 }
 
 // LoadStoreFile reads a profile store from a file.
@@ -120,7 +135,11 @@ func LoadStoreFile(path string) (*profile.Store, error) {
 		return nil, err
 	}
 	defer f.Close()
-	return LoadStore(f)
+	s, err := LoadStore(f)
+	if err != nil {
+		return nil, fmt.Errorf("persist: %s: %w", path, err)
+	}
+	return s, nil
 }
 
 // curveJSON is the on-disk latency-IPC curve.
@@ -144,6 +163,11 @@ func LoadCurve(r io.Reader) (*sched.Curve, error) {
 	}
 	if in.Version != 1 {
 		return nil, fmt.Errorf("persist: unsupported curve version %d", in.Version)
+	}
+	for i, p := range in.Points {
+		if math.IsNaN(p.IPC) || math.IsInf(p.IPC, 0) || math.IsNaN(p.P99Ms) || math.IsInf(p.P99Ms, 0) {
+			return nil, fmt.Errorf("persist: curve point %d has non-finite values", i)
+		}
 	}
 	return sched.NewCurve(in.Points), nil
 }
@@ -171,6 +195,17 @@ func LoadDataset(r io.Reader) (*ml.Dataset, error) {
 	}
 	if len(in.X) != len(in.Y) {
 		return nil, fmt.Errorf("persist: dataset X/Y length mismatch (%d vs %d)", len(in.X), len(in.Y))
+	}
+	if !allFinite(in.Y) {
+		return nil, fmt.Errorf("persist: dataset labels have non-finite values")
+	}
+	for i, row := range in.X {
+		if len(in.X) > 0 && len(row) != len(in.X[0]) {
+			return nil, fmt.Errorf("persist: dataset row %d has %d features, row 0 has %d", i, len(row), len(in.X[0]))
+		}
+		if !allFinite(row) {
+			return nil, fmt.Errorf("persist: dataset row %d has non-finite values", i)
+		}
 	}
 	return &ml.Dataset{X: in.X, Y: in.Y}, nil
 }

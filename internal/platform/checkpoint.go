@@ -1,0 +1,744 @@
+package platform
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+
+	"gsight/internal/core"
+	"gsight/internal/faults"
+	"gsight/internal/perfmodel"
+	"gsight/internal/persist"
+	"gsight/internal/profile"
+	"gsight/internal/resources"
+	"gsight/internal/rng"
+	"gsight/internal/sched"
+	"gsight/internal/telemetry"
+	"gsight/internal/workload"
+)
+
+// Crash-consistent checkpointing (DESIGN.md §12). The platform's whole
+// simulation is deterministic given its seed, so recovery does not need
+// to replay effects — it re-executes them. A snapshot captures the full
+// controller state at a step boundary (learned models, training
+// buffers, scheduler state, RNG cursors); the WAL records every
+// placement and observation made after it. Resume restores the
+// snapshot and re-runs the simulation from that boundary, verifying
+// each regenerated record against the WAL byte-for-byte: matching
+// records prove the resumed run walks the exact path of the crashed
+// one, and the first un-logged event switches the WAL to append mode.
+// The result is byte-identical to the uninterrupted same-seed run no
+// matter where (or how often) the controller died.
+
+// ErrControllerCrashed reports a run killed by an injected
+// controller-crash fault. When checkpointing is enabled the run can be
+// resumed from disk with Config.Checkpoint.Resume.
+var ErrControllerCrashed = errors.New("platform: controller crashed")
+
+// CheckpointConfig configures crash-consistent checkpointing of a run.
+type CheckpointConfig struct {
+	// Dir is the checkpoint directory; empty disables checkpointing.
+	Dir string
+	// IntervalS is the simulated time between snapshots; <= 0 means
+	// 1800 s. Snapshots land on step boundaries.
+	IntervalS float64
+	// Resume continues from the latest valid snapshot in Dir (replaying
+	// its WAL) instead of starting fresh. With no valid snapshot the
+	// run starts fresh — so a retry loop can pass Resume
+	// unconditionally.
+	Resume bool
+	// Keep bounds retained snapshot generations; <= 0 means 2 (the
+	// newest plus one fallback).
+	Keep int
+	// FlushLog, when set, is called right before each snapshot so the
+	// decision log's on-disk bytes cover the offset the snapshot
+	// records (the caller owns the log file and its buffering).
+	FlushLog func() error
+}
+
+func (c CheckpointConfig) withDefaults() CheckpointConfig {
+	if c.IntervalS <= 0 {
+		c.IntervalS = 1800
+	}
+	if c.Keep <= 0 {
+		c.Keep = 2
+	}
+	return c
+}
+
+// deploymentCkpt is a perfmodel.Deployment's checkpoint form; the
+// workload itself is rebuilt from config.
+type deploymentCkpt struct {
+	Placement     []int   `json:"placement"`
+	Socket        []int   `json:"socket"`
+	Replicas      []int   `json:"replicas"`
+	QPS           float64 `json:"qps,omitempty"`
+	StartDelayS   float64 `json:"start_delay_s,omitempty"`
+	ColdStartFrac float64 `json:"cold_start_frac,omitempty"`
+	Protected     bool    `json:"protected,omitempty"`
+}
+
+func deploymentState(d *perfmodel.Deployment) deploymentCkpt {
+	return deploymentCkpt{
+		Placement:     d.Placement,
+		Socket:        d.Socket,
+		Replicas:      d.Replicas,
+		QPS:           d.QPS,
+		StartDelayS:   d.StartDelayS,
+		ColdStartFrac: d.ColdStartFrac,
+		Protected:     d.Protected,
+	}
+}
+
+func (c *deploymentCkpt) restoreInto(d *perfmodel.Deployment) error {
+	n := len(d.Placement)
+	if len(c.Placement) != n || len(c.Socket) != n || len(c.Replicas) != n {
+		return fmt.Errorf("platform: checkpoint deployment for %s has wrong arity", d.W.Name)
+	}
+	copy(d.Placement, c.Placement)
+	copy(d.Socket, c.Socket)
+	copy(d.Replicas, c.Replicas)
+	d.QPS = c.QPS
+	d.StartDelayS = c.StartDelayS
+	d.ColdStartFrac = c.ColdStartFrac
+	d.Protected = c.Protected
+	return nil
+}
+
+type serviceCkpt struct {
+	Name       string            `json:"name"`
+	Dep        deploymentCkpt    `json:"dep"`
+	Violations int               `json:"violations"`
+	Cooldown   int               `json:"cooldown"`
+	Profiles   []profile.Profile `json:"profiles"`
+}
+
+type jobCkpt struct {
+	ID       int            `json:"id"`
+	Workload string         `json:"workload"` // SCPool workload name
+	Name     string         `json:"name"`     // unique run name
+	Dep      deploymentCkpt `json:"dep"`
+	SLA      sched.SLA      `json:"sla"`
+	QPSFrac  float64        `json:"qps_frac,omitempty"`
+	// InPlacement/InReplicas are the scheduler-visible input's slices:
+	// same values as the deployment's but a distinct array, preserved
+	// as such.
+	InPlacement []int `json:"in_placement"`
+	InReplicas  []int `json:"in_replicas"`
+}
+
+type runningCkpt struct {
+	Name        string    `json:"name"`
+	Class       int       `json:"class"`
+	QPSFrac     float64   `json:"qps_frac,omitempty"`
+	StartDelayS float64   `json:"start_delay_s,omitempty"`
+	LifetimeS   float64   `json:"lifetime_s,omitempty"`
+	Placement   []int     `json:"placement"`
+	Replicas    []int     `json:"replicas"`
+	SLA         sched.SLA `json:"sla"`
+}
+
+// stateCkpt serializes the scheduler state verbatim. Used is never
+// rebuilt from Running on restore: the live vectors are the result of
+// an exact sequence of adds, subtracts and clamps whose floating-point
+// outcome a fresh rebuild would not reproduce bit-for-bit.
+type stateCkpt struct {
+	Caps    []resources.Vector `json:"caps"`
+	Used    []resources.Vector `json:"used"`
+	Offline []bool             `json:"offline,omitempty"`
+	Running []runningCkpt      `json:"running"`
+}
+
+// ckptPayload is the platform's snapshot schema, carried opaquely by
+// the persist envelope.
+type ckptPayload struct {
+	Seed      uint64  `json:"seed"`
+	Scheduler string  `json:"scheduler"`
+	DurationS float64 `json:"duration_s"`
+	StepS     float64 `json:"step_s"`
+	// FiredUpToS is the sim time through which events have executed;
+	// -1 marks the pre-loop snapshot (nothing fired yet). The resumed
+	// loop starts at FiredUpToS+StepS (or 0).
+	FiredUpToS float64 `json:"fired_up_to_s"`
+	Step       int     `json:"step"`
+
+	Rnd      [4]uint64 `json:"rnd"`
+	Noise    [4]uint64 `json:"noise"`
+	Arrivals []float64 `json:"arrivals,omitempty"` // submissions still ahead
+
+	Services   []serviceCkpt                `json:"services"`
+	Jobs       []jobCkpt                    `json:"jobs,omitempty"`
+	SCProfiles map[string][]profile.Profile `json:"sc_profiles,omitempty"`
+
+	Stepper  perfmodel.StepperState `json:"stepper"`
+	State    stateCkpt              `json:"state"`
+	Injector faults.InjectorState   `json:"injector"`
+
+	Degraded       bool    `json:"degraded,omitempty"`
+	DegradedReason string  `json:"degraded_reason,omitempty"`
+	DegradedSinceS float64 `json:"degraded_since_s,omitempty"`
+
+	Stats     *Stats          `json:"stats"`
+	Predictor json.RawMessage `json:"predictor,omitempty"`
+
+	LogSeq   uint64 `json:"log_seq"`
+	LogBytes int64  `json:"log_bytes"`
+}
+
+// walRecord is one WAL entry: a placement decision, an online-learning
+// observation, or the marker a controller-crash leaves behind so the
+// resumed run knows the crash was already taken.
+type walRecord struct {
+	T         string  `json:"t"` // "place", "obs", "crash"
+	SimS      float64 `json:"sim_s"`
+	Name      string  `json:"name,omitempty"`
+	Placement []int   `json:"placement,omitempty"`
+	Rejected  bool    `json:"rejected,omitempty"`
+	Kind      string  `json:"kind,omitempty"`
+	Target    int     `json:"target,omitempty"`
+	Label     float64 `json:"label,omitempty"`
+}
+
+// checkpointer drives snapshots, the WAL, and replay verification for
+// one runner.
+type checkpointer struct {
+	r   *runner
+	cfg CheckpointConfig
+
+	seq       uint64 // generation of the newest snapshot on disk
+	lastSnapS float64
+	wal       *persist.WAL
+	// queue holds the crashed incarnation's surviving WAL records; while
+	// non-empty the run is replaying and every regenerated record is
+	// verified against the head instead of appended.
+	queue [][]byte
+}
+
+// newCheckpointer validates the configuration and prepares dir.
+func newCheckpointer(r *runner) (*checkpointer, error) {
+	cfg := r.cfg.Checkpoint.withDefaults()
+	if r.cfg.Predictor != nil {
+		if _, ok := r.cfg.Predictor.(core.Checkpointable); !ok {
+			return nil, fmt.Errorf("platform: checkpointing requires a checkpointable predictor, %T is not", r.cfg.Predictor)
+		}
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("platform: checkpoint dir: %w", err)
+	}
+	return &checkpointer{r: r, cfg: cfg}, nil
+}
+
+// close releases the WAL handle, preserving the first error.
+func (c *checkpointer) close() {
+	if c.wal != nil {
+		c.wal.Close()
+		c.wal = nil
+	}
+}
+
+// replaying reports whether crashed-incarnation records remain to be
+// verified.
+func (c *checkpointer) replaying() bool { return len(c.queue) > 0 }
+
+// fail aborts the run with a checkpoint/replay error.
+func (c *checkpointer) fail(err error) {
+	if c.r.ckErr == nil {
+		c.r.ckErr = err
+	}
+	c.r.cancel()
+}
+
+// note verifies rec against the replay queue, or appends it to the WAL
+// once the queue has drained. Any mismatch means the resumed run
+// diverged from the crashed one — a corrupt snapshot the checksum
+// missed, or changed config — and aborts rather than silently forking
+// history.
+func (c *checkpointer) note(rec *walRecord) {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		c.fail(fmt.Errorf("platform: wal record: %w", err))
+		return
+	}
+	if c.replaying() {
+		if !bytes.Equal(c.queue[0], data) {
+			c.fail(fmt.Errorf("platform: resume diverged from WAL at sim time %g: logged %s, regenerated %s",
+				rec.SimS, c.queue[0], data))
+			return
+		}
+		c.queue = c.queue[1:]
+		return
+	}
+	if c.wal == nil {
+		return // fresh run before the first snapshot: nothing to log yet
+	}
+	if err := c.wal.Append(data); err != nil {
+		c.fail(fmt.Errorf("platform: wal append: %w", err))
+		return
+	}
+	c.r.ins.WALRecords.Inc()
+}
+
+func (c *checkpointer) notePlacement(simS float64, name string, placement []int, rejected bool) {
+	c.note(&walRecord{T: "place", SimS: simS, Name: name, Placement: placement, Rejected: rejected})
+}
+
+func (c *checkpointer) noteObservation(simS float64, kind string, target int, label float64) {
+	c.note(&walRecord{T: "obs", SimS: simS, Kind: kind, Target: target, Label: label})
+}
+
+// consumeCrash handles a controller-crash fault op during replay: the
+// crashed incarnation's WAL ends with a crash marker, and popping it
+// here is what stops the resumed run from dying at the same event
+// forever. It reports whether the crash was already taken.
+func (c *checkpointer) consumeCrash(simS float64) bool {
+	if !c.replaying() {
+		return false
+	}
+	data, err := json.Marshal(&walRecord{T: "crash", SimS: simS})
+	if err != nil || !bytes.Equal(c.queue[0], data) {
+		c.fail(fmt.Errorf("platform: resume diverged from WAL at controller-crash, sim time %g", simS))
+		return true // aborting; do not crash again
+	}
+	c.queue = c.queue[1:]
+	return true
+}
+
+// recordCrash durably marks a crash being taken: the marker is the last
+// record the dying incarnation writes, fsynced before the run unwinds.
+func (c *checkpointer) recordCrash(simS float64) {
+	if c.wal == nil {
+		return
+	}
+	data, err := json.Marshal(&walRecord{T: "crash", SimS: simS})
+	if err == nil {
+		err = c.wal.Append(data)
+	}
+	if err == nil {
+		err = c.wal.Sync()
+	}
+	if err != nil {
+		c.fail(fmt.Errorf("platform: crash marker: %w", err))
+	}
+}
+
+// maybeSnapshot writes a snapshot when the interval has elapsed. It
+// never snapshots mid-replay: the WAL generation on disk still
+// describes spans the resumed run has not re-verified.
+func (c *checkpointer) maybeSnapshot(now float64, step int) error {
+	if c.replaying() || now-c.lastSnapS < c.cfg.IntervalS {
+		return nil
+	}
+	return c.snapshot(now, step)
+}
+
+// snapshot captures the runner at a boundary (firedUpTo = -1 before the
+// loop), writes generation seq+1 atomically, rotates the WAL and prunes
+// old generations.
+func (c *checkpointer) snapshot(firedUpTo float64, step int) error {
+	span := telemetry.StartSpan(c.r.ins.CheckpointSeconds)
+	if c.cfg.FlushLog != nil {
+		if err := c.cfg.FlushLog(); err != nil {
+			return fmt.Errorf("platform: checkpoint flush log: %w", err)
+		}
+	}
+	payload, err := c.r.capturePayload(firedUpTo, step)
+	if err != nil {
+		return err
+	}
+	if c.wal != nil {
+		if err := c.wal.Close(); err != nil {
+			return fmt.Errorf("platform: wal close: %w", err)
+		}
+		c.wal = nil
+	}
+	next := c.seq + 1
+	if _, err := persist.WriteSnapshot(c.cfg.Dir, next, payload); err != nil {
+		return fmt.Errorf("platform: checkpoint: %w", err)
+	}
+	wal, err := persist.CreateWAL(persist.WALPath(c.cfg.Dir, next))
+	if err != nil {
+		return fmt.Errorf("platform: checkpoint: %w", err)
+	}
+	c.wal = wal
+	c.seq = next
+	if c.seq > uint64(c.cfg.Keep) {
+		if err := persist.PruneCheckpoints(c.cfg.Dir, c.seq-uint64(c.cfg.Keep)+1); err != nil {
+			return err
+		}
+	}
+	if firedUpTo > 0 {
+		c.lastSnapS = firedUpTo
+	}
+	c.r.ins.Checkpoints.Inc()
+	span.End()
+	return nil
+}
+
+// capturePayload serializes the runner's full state at a boundary.
+func (r *runner) capturePayload(firedUpTo float64, step int) ([]byte, error) {
+	p := ckptPayload{
+		Seed:       r.cfg.Seed,
+		Scheduler:  r.cfg.Scheduler.Name(),
+		DurationS:  r.cfg.DurationS,
+		StepS:      r.cfg.StepS,
+		FiredUpToS: firedUpTo,
+		Step:       step,
+		Rnd:        r.rnd.State(),
+		Noise:      r.noise.State(),
+		Stepper:    r.stepper.ExportState(),
+		Injector:   r.inj.ExportState(),
+		SCProfiles: r.scProfiles,
+		Degraded:   r.degraded,
+		Stats:      r.stats,
+	}
+	if r.degraded {
+		p.DegradedReason = r.degradedReason
+		p.DegradedSinceS = r.degradedSince
+	}
+	for _, t := range r.arrivals {
+		if t > firedUpTo {
+			p.Arrivals = append(p.Arrivals, t)
+		}
+	}
+	for _, ss := range r.services {
+		p.Services = append(p.Services, serviceCkpt{
+			Name:       ss.svc.W.Name,
+			Dep:        deploymentState(ss.dep),
+			Violations: ss.violations,
+			Cooldown:   ss.cooldown,
+			Profiles:   ss.profiles,
+		})
+	}
+	for _, a := range sortedSC(r.activeSC) {
+		p.Jobs = append(p.Jobs, jobCkpt{
+			ID:          a.id,
+			Workload:    a.dep.W.Name,
+			Name:        a.input.Name,
+			Dep:         deploymentState(a.dep),
+			SLA:         a.sla,
+			QPSFrac:     a.input.QPSFrac,
+			InPlacement: a.input.Placement,
+			InReplicas:  a.input.Replicas,
+		})
+	}
+	p.State = stateCkpt{
+		Caps:    r.state.Caps,
+		Used:    r.state.Used,
+		Offline: r.state.Offline,
+	}
+	for _, d := range r.state.Running {
+		p.State.Running = append(p.State.Running, runningCkpt{
+			Name:        d.Input.Name,
+			Class:       int(d.Input.Class),
+			QPSFrac:     d.Input.QPSFrac,
+			StartDelayS: d.Input.StartDelayS,
+			LifetimeS:   d.Input.LifetimeS,
+			Placement:   d.Input.Placement,
+			Replicas:    d.Input.Replicas,
+			SLA:         d.SLA,
+		})
+	}
+	if r.cfg.Predictor != nil {
+		raw, err := r.cfg.Predictor.(core.Checkpointable).CheckpointState()
+		if err != nil {
+			return nil, fmt.Errorf("platform: checkpoint predictor: %w", err)
+		}
+		p.Predictor = raw
+	}
+	if r.ins.Decisions != nil {
+		p.LogSeq, p.LogBytes = r.ins.Decisions.Offset()
+	}
+	return json.Marshal(&p)
+}
+
+// resume loads the latest valid snapshot and WAL from the checkpoint
+// directory and rebuilds the runner mid-horizon. It reports
+// persist.ErrNoSnapshot when the directory has nothing to resume from.
+func (r *runner) resume() error {
+	c := r.ck
+	payload, seq, err := persist.LatestSnapshot(c.cfg.Dir)
+	if err != nil {
+		return err
+	}
+	var p ckptPayload
+	if err := json.Unmarshal(payload, &p); err != nil {
+		return fmt.Errorf("platform: checkpoint payload: %w", err)
+	}
+	if err := r.restorePayload(&p); err != nil {
+		return err
+	}
+	walPath := persist.WALPath(c.cfg.Dir, seq)
+	records, validLen, err := persist.ReplayWAL(walPath)
+	if err != nil {
+		return err
+	}
+	wal, err := persist.OpenWALAppend(walPath, validLen)
+	if err != nil {
+		return err
+	}
+	c.wal = wal
+	c.queue = records
+	c.seq = seq
+	if p.FiredUpToS > 0 {
+		c.lastSnapS = p.FiredUpToS
+	}
+	r.ins.Resumes.Inc()
+	return nil
+}
+
+// restorePayload rebuilds the runner from a snapshot payload: every
+// structure the step loop reads is either restored verbatim or
+// reconstructed deterministically, so the next step computes exactly
+// what the uninterrupted run's would have.
+func (r *runner) restorePayload(p *ckptPayload) error {
+	cfg := &r.cfg
+	if p.Seed != cfg.Seed {
+		return fmt.Errorf("platform: checkpoint seed %d, run configured with %d", p.Seed, cfg.Seed)
+	}
+	if p.Scheduler != cfg.Scheduler.Name() {
+		return fmt.Errorf("platform: checkpoint scheduler %q, run configured with %q", p.Scheduler, cfg.Scheduler.Name())
+	}
+	if p.StepS != cfg.StepS || p.DurationS != cfg.DurationS {
+		return fmt.Errorf("platform: checkpoint horizon (%g/%g s) does not match config (%g/%g s)",
+			p.StepS, p.DurationS, cfg.StepS, cfg.DurationS)
+	}
+	numServers := r.m.Testbed.NumServers()
+	if len(p.State.Caps) != numServers || len(p.State.Used) != numServers {
+		return fmt.Errorf("platform: checkpoint cluster size %d, testbed has %d servers", len(p.State.Caps), numServers)
+	}
+	if p.Stats == nil {
+		return fmt.Errorf("platform: checkpoint has no stats")
+	}
+	rnd, err := rng.FromState(p.Rnd)
+	if err != nil {
+		return fmt.Errorf("platform: checkpoint rng: %w", err)
+	}
+	noise, err := rng.FromState(p.Noise)
+	if err != nil {
+		return fmt.Errorf("platform: checkpoint noise rng: %w", err)
+	}
+	r.rnd, r.noise = rnd, noise
+
+	// Resident services: order and identity must match the config.
+	if len(p.Services) != len(cfg.Services) {
+		return fmt.Errorf("platform: checkpoint has %d services, config has %d", len(p.Services), len(cfg.Services))
+	}
+	r.services = make([]*serviceState, 0, len(cfg.Services))
+	for i := range cfg.Services {
+		svc := cfg.Services[i]
+		sc := &p.Services[i]
+		if sc.Name != svc.W.Name {
+			return fmt.Errorf("platform: checkpoint service %d is %q, config has %q", i, sc.Name, svc.W.Name)
+		}
+		if len(sc.Profiles) != len(svc.W.Functions) {
+			return fmt.Errorf("platform: checkpoint service %q has %d profiles for %d functions",
+				sc.Name, len(sc.Profiles), len(svc.W.Functions))
+		}
+		dep := perfmodel.NewDeployment(svc.W)
+		if err := sc.Dep.restoreInto(dep); err != nil {
+			return err
+		}
+		if err := r.stepper.AddLS(dep); err != nil {
+			return err
+		}
+		r.services = append(r.services, &serviceState{
+			svc: svc, dep: dep, profiles: sc.Profiles,
+			violations: sc.Violations, cooldown: sc.Cooldown,
+		})
+	}
+
+	// Batch jobs: rebuilt from the SC pool's workload definitions.
+	r.scProfiles = p.SCProfiles
+	pool := map[string]int{}
+	for i, w := range cfg.SCPool {
+		pool[w.Name] = i
+	}
+	deps := make(map[int]*perfmodel.Deployment, len(p.Jobs))
+	for i := range p.Jobs {
+		jc := &p.Jobs[i]
+		pi, ok := pool[jc.Workload]
+		if !ok {
+			return fmt.Errorf("platform: checkpoint job %q uses workload %q not in the SC pool", jc.Name, jc.Workload)
+		}
+		ps, ok := r.scProfiles[jc.Workload]
+		if !ok {
+			return fmt.Errorf("platform: checkpoint job %q has no cached profiles", jc.Name)
+		}
+		w := cfg.SCPool[pi].Clone()
+		dep := perfmodel.NewDeployment(w)
+		if err := jc.Dep.restoreInto(dep); err != nil {
+			return err
+		}
+		in := core.WorkloadInput{
+			Name:      jc.Name,
+			Class:     w.Class,
+			Profiles:  ps,
+			Placement: jc.InPlacement,
+			Replicas:  jc.InReplicas,
+			QPSFrac:   jc.QPSFrac,
+			LifetimeS: w.SoloDurationS,
+		}
+		r.activeSC[jc.ID] = &scActive{id: jc.ID, input: in, sla: jc.SLA, dep: dep}
+		deps[jc.ID] = dep
+	}
+	if err := r.stepper.RestoreState(p.Stepper, deps); err != nil {
+		return err
+	}
+
+	// Scheduler state, verbatim.
+	copy(r.state.Caps, p.State.Caps)
+	copy(r.state.Used, p.State.Used)
+	if p.State.Offline != nil {
+		if len(p.State.Offline) != numServers {
+			return fmt.Errorf("platform: checkpoint offline mask has %d entries for %d servers", len(p.State.Offline), numServers)
+		}
+		r.state.Offline = append([]bool(nil), p.State.Offline...)
+	}
+	r.state.Running = r.state.Running[:0]
+	for i := range p.State.Running {
+		rc := &p.State.Running[i]
+		var ps []profile.Profile
+		if ss := r.serviceByName(rc.Name); ss != nil {
+			ps = ss.profiles
+		} else if base, ok := jobBaseName(rc.Name); ok {
+			ps = r.scProfiles[base]
+		}
+		if ps == nil {
+			return fmt.Errorf("platform: checkpoint running workload %q has no profiles", rc.Name)
+		}
+		r.state.Running = append(r.state.Running, sched.Deployed{
+			Input: core.WorkloadInput{
+				Name:        rc.Name,
+				Class:       workload.Class(rc.Class),
+				Profiles:    ps,
+				Placement:   rc.Placement,
+				Replicas:    rc.Replicas,
+				QPSFrac:     rc.QPSFrac,
+				StartDelayS: rc.StartDelayS,
+				LifetimeS:   rc.LifetimeS,
+			},
+			SLA: rc.SLA,
+		})
+	}
+
+	// Fault state: the injector's live view, plus its side effects on
+	// the model and the (already restored) capacity vectors.
+	if err := r.inj.RestoreState(p.Injector); err != nil {
+		return err
+	}
+	for s, f := range p.Injector.Slow {
+		r.m.SetCapacityScale(s, f)
+	}
+	r.degraded = p.Degraded
+	r.degradedReason = p.DegradedReason
+	r.degradedSince = p.DegradedSinceS
+	r.stats = p.Stats
+	if r.stats.SLAOK == nil {
+		r.stats.SLAOK = make(map[string][]bool)
+	}
+	if r.stats.JCTs == nil {
+		r.stats.JCTs = make(map[string][]float64)
+	}
+
+	// Event timeline: set the clock past everything already fired, then
+	// re-register what is still ahead — faults before arrivals, exactly
+	// like the fresh path, so simultaneous events keep their order.
+	if p.FiredUpToS >= 0 {
+		r.engine.RunUntil(p.FiredUpToS)
+	}
+	r.arrivals = p.Arrivals
+	r.scheduleFaults(p.FiredUpToS)
+	r.registerArrivals(p.FiredUpToS)
+
+	if r.ins.Decisions != nil {
+		r.ins.Decisions.Rewind(p.LogSeq, p.LogBytes)
+	}
+	if cfg.Predictor != nil {
+		if len(p.Predictor) == 0 {
+			return fmt.Errorf("platform: checkpoint has no predictor state but a predictor is attached")
+		}
+		if err := cfg.Predictor.(core.Checkpointable).RestoreCheckpoint(p.Predictor); err != nil {
+			return err
+		}
+	}
+	if p.FiredUpToS >= 0 {
+		r.startS = p.FiredUpToS + cfg.StepS
+	}
+	r.startStep = p.Step
+	return nil
+}
+
+// serviceByName finds a resident service's runtime state.
+func (r *runner) serviceByName(name string) *serviceState {
+	for _, ss := range r.services {
+		if ss.svc.W.Name == name {
+			return ss
+		}
+	}
+	return nil
+}
+
+// jobBaseName splits a unique batch-job run name ("matmul#17") back to
+// its pool workload name.
+func jobBaseName(name string) (string, bool) {
+	for i := len(name) - 1; i >= 0; i-- {
+		if name[i] == '#' {
+			return name[:i], true
+		}
+	}
+	return "", false
+}
+
+// CheckpointMeta is the latest resumable position in a checkpoint
+// directory. Callers use it before a resume to decide whether to skip
+// bootstrap work and to truncate an external decision-log file to the
+// recorded offset.
+type CheckpointMeta struct {
+	Seq       uint64
+	SimTimeS  float64 // sim time through which the snapshot's events ran
+	Step      int
+	Seed      uint64
+	Scheduler string
+	LogSeq    uint64
+	LogBytes  int64
+}
+
+// PeekCheckpoint reads the latest valid snapshot's metadata.
+func PeekCheckpoint(dir string) (*CheckpointMeta, error) {
+	payload, seq, err := persist.LatestSnapshot(dir)
+	if err != nil {
+		return nil, err
+	}
+	var p ckptPayload
+	if err := json.Unmarshal(payload, &p); err != nil {
+		return nil, fmt.Errorf("platform: checkpoint payload: %w", err)
+	}
+	return &CheckpointMeta{
+		Seq:       seq,
+		SimTimeS:  p.FiredUpToS,
+		Step:      p.Step,
+		Seed:      p.Seed,
+		Scheduler: p.Scheduler,
+		LogSeq:    p.LogSeq,
+		LogBytes:  p.LogBytes,
+	}, nil
+}
+
+// controllerCrash takes (or replays) an injected controller-crash: on
+// the first encounter it durably marks the crash and kills the run with
+// ErrControllerCrashed; when the resumed run re-reaches the event, the
+// WAL marker turns it into a no-op. The op is invisible in every output
+// (no counters, no decision events, no RNG draws), so a crashed-and-
+// resumed run stays byte-identical to one that never crashed.
+func (r *runner) controllerCrash() {
+	if r.ck != nil {
+		if r.ck.consumeCrash(r.engine.Now()) {
+			return
+		}
+		r.ck.recordCrash(r.engine.Now())
+	}
+	r.crashed = true
+	r.cancel()
+}

@@ -1,0 +1,287 @@
+package platform
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"strings"
+	"testing"
+
+	"gsight/internal/core"
+	"gsight/internal/faults"
+	"gsight/internal/persist"
+	"gsight/internal/sched"
+	"gsight/internal/telemetry"
+)
+
+// ckptConfig builds a run exercising the full checkpoint surface: a
+// real (checkpointable) predictor learning online behind the Gsight
+// scheduler, batch arrivals, and dense observations so forest training
+// fires mid-horizon.
+func ckptConfig(seed uint64) Config {
+	pred := core.NewPredictor(core.Config{Seed: seed})
+	cfg := shortConfig(sched.NewGsight(pred), seed)
+	cfg.Predictor = pred
+	cfg.ObserveEvery = 1
+	return cfg
+}
+
+// statsJSON serializes stats with the one legitimately wall-clock
+// (non-deterministic) field zeroed.
+func statsJSON(t *testing.T, st *Stats) []byte {
+	t.Helper()
+	c := *st
+	c.SchedulingTime = 0
+	b, err := json.Marshal(&c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// runToCompletion drives a checkpointed run through every injected
+// controller crash, rebuilding predictor, scheduler, sink and decision
+// log per incarnation exactly like a process restart would, truncating
+// the decision log to each resumed snapshot's recorded offset. between,
+// when set, runs after each crashed incarnation (fault injection on the
+// checkpoint files themselves). It returns the final stats, the decision
+// log bytes, and how many incarnations ran.
+func runToCompletion(t *testing.T, seed uint64, dir string, schedule *faults.Schedule, intervalS float64, between func(incarnation int)) (*Stats, []byte, int) {
+	t.Helper()
+	var logBytes []byte
+	for incarnation := 1; ; incarnation++ {
+		if incarnation > 20 {
+			t.Fatal("resume loop did not converge")
+		}
+		cfg := ckptConfig(seed)
+		cfg.Faults = schedule
+		cfg.Checkpoint = CheckpointConfig{Dir: dir, IntervalS: intervalS, Resume: incarnation > 1}
+		if incarnation > 1 {
+			meta, err := PeekCheckpoint(dir)
+			if err != nil {
+				t.Fatalf("incarnation %d: %v", incarnation, err)
+			}
+			if int64(len(logBytes)) < meta.LogBytes {
+				t.Fatalf("incarnation %d: decision log has %d bytes, snapshot records %d",
+					incarnation, len(logBytes), meta.LogBytes)
+			}
+			logBytes = logBytes[:meta.LogBytes]
+		}
+		buf := bytes.NewBuffer(logBytes)
+		cfg.Telemetry = telemetry.New().WithDecisions(buf)
+		st, err := Run(context.Background(), cfg)
+		logBytes = append([]byte(nil), buf.Bytes()...)
+		if errors.Is(err, ErrControllerCrashed) {
+			if between != nil {
+				between(incarnation)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("incarnation %d: %v", incarnation, err)
+		}
+		return st, logBytes, incarnation
+	}
+}
+
+// TestCrashResumeByteIdentity is the headline guarantee: kill the
+// controller at three different points of the horizon — inside the
+// first snapshot interval, mid-run, and near the end — resume each time
+// from disk, and the final stats and decision log are byte-identical to
+// the uninterrupted same-seed run that never had a crash scheduled.
+func TestCrashResumeByteIdentity(t *testing.T) {
+	const seed = 11
+	base := ckptConfig(seed)
+	var baseLog bytes.Buffer
+	base.Telemetry = telemetry.New().WithDecisions(&baseLog)
+	baseStats, err := Run(context.Background(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	crashes := &faults.Schedule{Name: "controller-crashes", Events: []faults.Event{
+		{AtS: 95, Kind: faults.ControllerCrash},   // before the first periodic snapshot
+		{AtS: 910, Kind: faults.ControllerCrash},  // mid-horizon
+		{AtS: 1730, Kind: faults.ControllerCrash}, // near the end
+	}}
+	st, log, incarnations := runToCompletion(t, seed, t.TempDir(), crashes, 300, nil)
+	if incarnations != 4 {
+		t.Fatalf("incarnations = %d, want 4 (three crashes + final)", incarnations)
+	}
+	if a, b := statsJSON(t, baseStats), statsJSON(t, st); !bytes.Equal(a, b) {
+		t.Fatalf("stats diverged after crash-resume:\nbase    %s\nresumed %s", a, b)
+	}
+	if !bytes.Equal(baseLog.Bytes(), log) {
+		t.Fatalf("decision log diverged after crash-resume:\nbase    %d bytes\nresumed %d bytes\nbase    %q\nresumed %q",
+			baseLog.Len(), len(log), truncStr(baseLog.String()), truncStr(string(log)))
+	}
+}
+
+func truncStr(s string) string {
+	if len(s) > 600 {
+		return s[:600] + "..."
+	}
+	return s
+}
+
+// cancelAfter wraps a scheduler and cancels a context after n Place
+// calls — a hard kill landing at an arbitrary scheduling decision, not
+// at a fault event or step boundary.
+type cancelAfter struct {
+	sched.Scheduler
+	cancel context.CancelFunc
+	n      int
+}
+
+func (c *cancelAfter) Place(st *sched.State, req *sched.Request) ([]int, error) {
+	c.n--
+	if c.n == 0 {
+		c.cancel()
+	}
+	return c.Scheduler.Place(st, req)
+}
+
+// TestCancelMidRunResumesByteIdentical kills the run via context
+// cancellation mid-decision; the checkpoint directory must hold a fully
+// valid snapshot (never a partial one) and the resumed run must land
+// byte-identical to the uninterrupted baseline.
+func TestCancelMidRunResumesByteIdentical(t *testing.T) {
+	const seed = 23
+	base := ckptConfig(seed)
+	var baseLog bytes.Buffer
+	base.Telemetry = telemetry.New().WithDecisions(&baseLog)
+	baseStats, err := Run(context.Background(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	killed := ckptConfig(seed)
+	killed.Scheduler = &cancelAfter{Scheduler: killed.Scheduler, cancel: cancel, n: 25}
+	killed.Checkpoint = CheckpointConfig{Dir: dir, IntervalS: 300}
+	var killedLog bytes.Buffer
+	killed.Telemetry = telemetry.New().WithDecisions(&killedLog)
+	if _, err := Run(ctx, killed); !errors.Is(err, context.Canceled) {
+		t.Fatalf("killed run returned %v, want context.Canceled", err)
+	}
+	// Whatever the kill interrupted, a complete snapshot generation must
+	// be loadable.
+	if _, _, err := persist.LatestSnapshot(dir); err != nil {
+		t.Fatalf("no valid snapshot after mid-run kill: %v", err)
+	}
+
+	meta, err := PeekCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed := ckptConfig(seed)
+	resumed.Checkpoint = CheckpointConfig{Dir: dir, IntervalS: 300, Resume: true}
+	resLog := bytes.NewBuffer(append([]byte(nil), killedLog.Bytes()[:meta.LogBytes]...))
+	resumed.Telemetry = telemetry.New().WithDecisions(resLog)
+	st, err := Run(context.Background(), resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := statsJSON(t, baseStats), statsJSON(t, st); !bytes.Equal(a, b) {
+		t.Fatalf("stats diverged after cancel-resume:\nbase    %s\nresumed %s", a, b)
+	}
+	if !bytes.Equal(baseLog.Bytes(), resLog.Bytes()) {
+		t.Fatal("decision log diverged after cancel-resume")
+	}
+}
+
+// TestCorruptSnapshotFallsBack flips a byte in the newest snapshot after
+// a crash: resume must detect the corruption by checksum, reject that
+// generation cleanly, fall back to the previous valid snapshot, and
+// still finish byte-identical. The crash re-fires once (its durable
+// marker lived in the discarded generation's WAL) before the run gets
+// past it.
+func TestCorruptSnapshotFallsBack(t *testing.T) {
+	const seed = 13
+	base := ckptConfig(seed)
+	var baseLog bytes.Buffer
+	base.Telemetry = telemetry.New().WithDecisions(&baseLog)
+	baseStats, err := Run(context.Background(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	crashes := &faults.Schedule{Events: []faults.Event{{AtS: 1000, Kind: faults.ControllerCrash}}}
+	st, log, incarnations := runToCompletion(t, seed, dir, crashes, 300, func(incarnation int) {
+		if incarnation != 1 {
+			return
+		}
+		snaps, err := persist.Snapshots(dir)
+		if err != nil || len(snaps) == 0 {
+			t.Fatalf("no snapshots to corrupt: %v", err)
+		}
+		path := snaps[len(snaps)-1].Path
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[len(data)/2] ^= 0x40
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if incarnations != 3 {
+		t.Fatalf("incarnations = %d, want 3 (crash, re-fired crash after fallback, final)", incarnations)
+	}
+	if a, b := statsJSON(t, baseStats), statsJSON(t, st); !bytes.Equal(a, b) {
+		t.Fatalf("stats diverged after corrupt-snapshot fallback:\nbase    %s\nresumed %s", a, b)
+	}
+	if !bytes.Equal(baseLog.Bytes(), log) {
+		t.Fatal("decision log diverged after corrupt-snapshot fallback")
+	}
+}
+
+// TestResumeRejectsMismatchedConfig: a snapshot from one seed must not
+// silently resume a run configured with another.
+func TestResumeRejectsMismatchedConfig(t *testing.T) {
+	dir := t.TempDir()
+	crashes := &faults.Schedule{Events: []faults.Event{{AtS: 500, Kind: faults.ControllerCrash}}}
+	cfg := ckptConfig(29)
+	cfg.Faults = crashes
+	cfg.Checkpoint = CheckpointConfig{Dir: dir, IntervalS: 300}
+	if _, err := Run(context.Background(), cfg); !errors.Is(err, ErrControllerCrashed) {
+		t.Fatalf("got %v, want ErrControllerCrashed", err)
+	}
+	bad := ckptConfig(30) // different seed
+	bad.Checkpoint = CheckpointConfig{Dir: dir, Resume: true}
+	_, err := Run(context.Background(), bad)
+	if err == nil || !strings.Contains(err.Error(), "seed") {
+		t.Fatalf("resume with mismatched seed returned %v, want seed error", err)
+	}
+}
+
+// TestCheckpointRequiresCheckpointablePredictor: enabling checkpointing
+// with a predictor that cannot snapshot its learning state is a
+// configuration error, not a silent fork of the learning stream.
+func TestCheckpointRequiresCheckpointablePredictor(t *testing.T) {
+	cfg := shortConfig(sched.NewGsight(&fixedPredictor{ipc: 99}), 5)
+	cfg.Predictor = &fixedPredictor{ipc: 99}
+	cfg.Checkpoint = CheckpointConfig{Dir: t.TempDir()}
+	if _, err := Run(context.Background(), cfg); err == nil || !strings.Contains(err.Error(), "checkpointable") {
+		t.Fatalf("got %v, want checkpointable-predictor error", err)
+	}
+}
+
+// TestResumeEmptyDirStartsFresh: Resume against an empty directory runs
+// the horizon from scratch (so retry loops can always pass Resume).
+func TestResumeEmptyDirStartsFresh(t *testing.T) {
+	cfg := ckptConfig(31)
+	cfg.Checkpoint = CheckpointConfig{Dir: t.TempDir(), IntervalS: 600, Resume: true}
+	st, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Steps != 60 {
+		t.Fatalf("steps = %d, want 60", st.Steps)
+	}
+}

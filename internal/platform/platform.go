@@ -26,6 +26,7 @@ import (
 	"gsight/internal/core"
 	"gsight/internal/faults"
 	"gsight/internal/perfmodel"
+	"gsight/internal/persist"
 	"gsight/internal/profile"
 	"gsight/internal/resources"
 	"gsight/internal/rng"
@@ -115,6 +116,9 @@ type Config struct {
 	Fallback sched.Scheduler
 	// Retry bounds placement retries on transient scheduler errors.
 	Retry RetryPolicy
+	// Checkpoint enables crash-consistent snapshots and recovery
+	// (DESIGN.md §12); the zero value disables it.
+	Checkpoint CheckpointConfig
 }
 
 // DegradedInterval is a [StartS, EndS) window of simulation time the
@@ -221,6 +225,18 @@ type runner struct {
 	fallback sched.Scheduler
 	retry    RetryPolicy
 
+	// Checkpointing state: cancel kills the run from inside an event
+	// (controller crash, replay divergence); arrivals keeps the full
+	// submission timeline so snapshots can record what is still ahead;
+	// startS/startStep relocate the loop after a resume.
+	ck        *checkpointer
+	cancel    context.CancelFunc
+	crashed   bool
+	ckErr     error
+	arrivals  []float64
+	startS    float64
+	startStep int
+
 	degraded       bool
 	degradedReason string
 	degradedSince  float64
@@ -234,7 +250,10 @@ type runner struct {
 
 // Run executes the simulation and returns its stats. A nil ctx means
 // context.Background(); cancellation returns the context's error with
-// the run's partial state discarded.
+// the run's partial state discarded. With Config.Checkpoint enabled,
+// an injected controller-crash returns ErrControllerCrashed and a
+// subsequent Run with Checkpoint.Resume continues the horizon from
+// disk, byte-identical to the uninterrupted same-seed run.
 func Run(ctx context.Context, cfg Config) (*Stats, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -261,9 +280,12 @@ func Run(ctx context.Context, cfg Config) (*Stats, error) {
 		return nil, err
 	}
 	state := sched.StateFromProfiles(m.Testbed.Servers[0], m.Testbed.NumServers())
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	r := &runner{
 		cfg:      cfg,
-		ctx:      ctx,
+		ctx:      runCtx,
+		cancel:   cancel,
 		m:        m,
 		stepper:  m.NewStepper(),
 		state:    state,
@@ -283,11 +305,40 @@ func Run(ctx context.Context, cfg Config) (*Stats, error) {
 		ins: cfg.Telemetry.Platform(),
 	}
 	r.engine.Instrument(cfg.Telemetry)
-	if err := r.deployServices(); err != nil {
-		return nil, err
+	if cfg.Checkpoint.Dir != "" {
+		ck, err := newCheckpointer(r)
+		if err != nil {
+			return nil, err
+		}
+		r.ck = ck
+		defer ck.close()
 	}
-	r.scheduleFaults()
-	r.scheduleArrivals()
+	resumed := false
+	if r.ck != nil && cfg.Checkpoint.Resume {
+		switch err := r.resume(); {
+		case err == nil:
+			resumed = true
+		case errors.Is(err, persist.ErrNoSnapshot):
+			// Nothing to resume from yet: start fresh, so retry loops
+			// can pass Resume unconditionally.
+		default:
+			return nil, err
+		}
+	}
+	if !resumed {
+		if err := r.deployServices(); err != nil {
+			return nil, err
+		}
+		r.scheduleFaults(-1)
+		r.scheduleArrivals()
+		if r.ck != nil {
+			// The pre-loop snapshot makes even a crash in the very first
+			// interval resumable.
+			if err := r.ck.snapshot(-1, 0); err != nil {
+				return nil, err
+			}
+		}
+	}
 	if err := r.loop(); err != nil {
 		return nil, err
 	}
@@ -329,20 +380,36 @@ func (r *runner) deployServices() error {
 
 // scheduleFaults registers the fault timeline on the event engine,
 // before job arrivals so a fault and an arrival at the same instant
-// resolve in a fixed order.
-func (r *runner) scheduleFaults() {
+// resolve in a fixed order. Only transitions after `after` are
+// registered (-1 for all; a resume re-registers the remainder).
+func (r *runner) scheduleFaults(after float64) {
 	for _, c := range r.inj.Changes() {
+		if c.AtS <= after {
+			continue
+		}
 		c := c
 		r.engine.At(c.AtS, func() { r.applyFault(c) })
 	}
 }
 
-// scheduleArrivals registers the batch-job submission times.
+// scheduleArrivals draws the batch-job submission times and registers
+// them. The times are kept on the runner so snapshots can record what
+// is still ahead.
 func (r *runner) scheduleArrivals() {
 	if len(r.cfg.SCPool) == 0 || r.cfg.SCMeanIntervalS <= 0 {
 		return
 	}
-	for _, t := range trace.JobArrivals(r.cfg.SCMeanIntervalS, 0, r.cfg.DurationS, r.rnd.Split()) {
+	r.arrivals = trace.JobArrivals(r.cfg.SCMeanIntervalS, 0, r.cfg.DurationS, r.rnd.Split())
+	r.registerArrivals(-1)
+}
+
+// registerArrivals registers the submissions after `after` on the
+// engine.
+func (r *runner) registerArrivals(after float64) {
+	for _, t := range r.arrivals {
+		if t <= after {
+			continue
+		}
 		r.engine.At(t, r.submitJob)
 	}
 }
@@ -421,8 +488,17 @@ func (r *runner) placeFallback(req *sched.Request) ([]int, error) {
 // scheduler with bounded retry on transient errors, immediate
 // degradation to the fallback policy on predictor errors (or during an
 // injected predictor outage), and no retry on deterministic
-// rejections.
+// rejections. The final outcome (not the internal attempts) is
+// WAL-logged when checkpointing is on.
 func (r *runner) place(req *sched.Request) ([]int, error) {
+	placement, err := r.placeInner(req)
+	if r.ck != nil {
+		r.ck.notePlacement(r.engine.Now(), req.Input.Name, placement, err != nil)
+	}
+	return placement, err
+}
+
+func (r *runner) placeInner(req *sched.Request) ([]int, error) {
 	if r.predictorOut() {
 		// The predictor (and with it the primary scheduler's SLA
 		// vetting) is unreachable: serve capacity-based placements
@@ -520,6 +596,13 @@ func (r *runner) closeDegraded(endS float64) {
 // schedulable and modeled capacity, storms force cold starts, outages
 // flip degraded mode.
 func (r *runner) applyFault(c faults.Change) {
+	if c.Op == faults.OpControllerCrash {
+		// Handled before any counter or decision event: the crash is
+		// invisible in every output, so a crashed-and-resumed run stays
+		// byte-identical to one that never crashed.
+		r.controllerCrash()
+		return
+	}
 	r.inj.Apply(c)
 	r.stats.FaultEvents++
 	r.ins.FaultEvents.Inc()
@@ -652,20 +735,32 @@ func (r *runner) evacuate(node int) (displacedSvc, displacedJobs int) {
 	return displacedSvc, displacedJobs
 }
 
+// runErr maps an engine interruption to its cause: a checkpoint/replay
+// failure, an injected controller crash, or the caller's cancellation.
+func (r *runner) runErr(err error) error {
+	if r.ckErr != nil {
+		return r.ckErr
+	}
+	if r.crashed {
+		return ErrControllerCrashed
+	}
+	return err
+}
+
 // loop drives the step loop to the configured horizon.
 func (r *runner) loop() error {
 	cfg := &r.cfg
 	stats := r.stats
 	ins := r.ins
 	coresPerServer := r.spec.Capacity[resources.CPU]
-	step := 0
-	for now := 0.0; now < cfg.DurationS; now += cfg.StepS {
+	step := r.startStep
+	for now := r.startS; now < cfg.DurationS; now += cfg.StepS {
 		span := telemetry.StartSpan(ins.StepSeconds)
 		// Fire job submissions and fault transitions due by now;
 		// cancellation is checked between events so SIGINT lands
 		// between decisions, never inside one.
 		if err := r.engine.RunUntilCtx(r.ctx, now); err != nil {
-			return err
+			return r.runErr(err)
 		}
 		step++
 		if r.degraded {
@@ -785,6 +880,9 @@ func (r *runner) loop() error {
 			if cfg.Predictor != nil && step%cfg.ObserveEvery == 0 && !r.predictorOut() {
 				inputs := snapshotInputs(r.services, r.activeSC)
 				_ = cfg.Predictor.Observe(core.IPCQoS, i, inputs, lr.IPC)
+				if r.ck != nil {
+					r.ck.noteObservation(now, "ipc", i, lr.IPC)
+				}
 			}
 		}
 
@@ -842,6 +940,14 @@ func (r *runner) loop() error {
 		ins.Steps.Inc()
 		ins.ActiveServers.SetInt(activeServers)
 		span.End()
+		if r.ck != nil {
+			if r.ckErr != nil {
+				return r.ckErr
+			}
+			if err := r.ck.maybeSnapshot(now, step); err != nil {
+				return err
+			}
+		}
 	}
 	stats.Steps = step
 	// A degraded window still open at the horizon closes there so the

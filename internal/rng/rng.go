@@ -9,6 +9,7 @@
 package rng
 
 import (
+	"errors"
 	"hash/fnv"
 	"math"
 )
@@ -55,6 +56,21 @@ func Stream(seed uint64, name string) *Rand {
 // so successive Splits yield independent children.
 func (r *Rand) Split() *Rand {
 	return New(r.Uint64() ^ 0xd1342543de82ef95)
+}
+
+// State exposes the generator's xoshiro256** state for checkpointing:
+// a restored stream resumes exactly where the snapshot left off, which
+// is what keeps resumed runs byte-identical to uninterrupted ones.
+func (r *Rand) State() [4]uint64 { return r.s }
+
+// FromState reconstructs a generator from a State snapshot. The
+// all-zero state is rejected — xoshiro can never reach it, so it only
+// appears in corrupt or hand-forged snapshots.
+func FromState(s [4]uint64) (*Rand, error) {
+	if s[0]|s[1]|s[2]|s[3] == 0 {
+		return nil, errors.New("rng: invalid all-zero state")
+	}
+	return &Rand{s: s}, nil
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }

@@ -227,3 +227,29 @@ func TestShuffle(t *testing.T) {
 		t.Fatalf("shuffle lost elements: %v", s)
 	}
 }
+
+func TestStateRoundTrip(t *testing.T) {
+	r := Stream(42, "checkpoint")
+	for i := 0; i < 100; i++ {
+		r.Uint64()
+	}
+	restored, err := FromState(r.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if a, b := r.Uint64(), restored.Uint64(); a != b {
+			t.Fatalf("draw %d diverged: %d != %d", i, b, a)
+		}
+	}
+	// Splits from the same cursor must also agree.
+	if a, b := r.Split().Uint64(), restored.Split().Uint64(); a != b {
+		t.Fatalf("split diverged: %d != %d", b, a)
+	}
+}
+
+func TestFromStateRejectsAllZero(t *testing.T) {
+	if _, err := FromState([4]uint64{}); err == nil {
+		t.Fatal("all-zero state accepted")
+	}
+}

@@ -15,11 +15,12 @@ import (
 // Determinism: events carry no wall-clock fields (timings belong to
 // histograms), so a fixed-seed run emits a byte-identical log.
 type DecisionLog struct {
-	mu  sync.Mutex
-	w   io.Writer
-	buf []byte
-	seq uint64
-	err error
+	mu    sync.Mutex
+	w     io.Writer
+	buf   []byte
+	seq   uint64
+	bytes int64
+	err   error
 }
 
 // NewDecisionLog logs events to w. Callers own w's lifecycle (and any
@@ -49,11 +50,37 @@ func (l *DecisionLog) Err() error {
 	return l.err
 }
 
+// Offset returns the log position — events emitted and bytes written —
+// for checkpointing. A resumed run that truncates its log file to the
+// byte offset and calls Rewind continues the exact same line sequence.
+func (l *DecisionLog) Offset() (seq uint64, bytes int64) {
+	if l == nil {
+		return 0, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq, l.bytes
+}
+
+// Rewind resets the log position to a checkpointed Offset. It adjusts
+// only the counters: the caller owns the underlying writer and must
+// have truncated it to the matching byte offset.
+func (l *DecisionLog) Rewind(seq uint64, bytes int64) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.seq = seq
+	l.bytes = bytes
+	l.mu.Unlock()
+}
+
 // emit finishes the line in l.buf and writes it. Callers hold l.mu.
 func (l *DecisionLog) emit(b []byte) {
 	b = append(b, '}', '\n')
 	l.buf = b // retain grown capacity for the next event
 	l.seq++
+	l.bytes += int64(len(b))
 	if _, err := l.w.Write(b); err != nil && l.err == nil {
 		l.err = err
 	}

@@ -189,7 +189,12 @@ type PlatformInstruments struct {
 	DegradedPlacements *Counter // placements served by the fallback policy
 	DegradedSteps      *Counter // steps spent in degraded mode
 	PlacementRetries   *Counter // placement attempts retried after transient errors
-	Decisions          *DecisionLog
+	// Checkpointing (crash recovery).
+	Checkpoints       *Counter   // snapshots written
+	CheckpointSeconds *Histogram // wall-clock seconds per snapshot write
+	WALRecords        *Counter   // write-ahead-log records appended
+	Resumes           *Counter   // runs resumed from a checkpoint
+	Decisions         *DecisionLog
 }
 
 // Platform registers the platform instrument set (platform_*).
@@ -210,6 +215,10 @@ func (s *Sink) Platform() PlatformInstruments {
 		DegradedPlacements: r.Counter("platform_degraded_placements_total", "placements served by the fallback policy"),
 		DegradedSteps:      r.Counter("platform_degraded_steps_total", "steps spent in degraded mode"),
 		PlacementRetries:   r.Counter("platform_placement_retries_total", "placement attempts retried after transient errors"),
+		Checkpoints:        r.Counter("platform_checkpoints_total", "controller snapshots written"),
+		CheckpointSeconds:  r.Histogram("platform_checkpoint_seconds", "wall-clock seconds per snapshot write", DurationBuckets()),
+		WALRecords:         r.Counter("platform_wal_records_total", "write-ahead-log records appended"),
+		Resumes:            r.Counter("platform_resumes_total", "runs resumed from a checkpoint"),
 		Decisions:          s.dec(),
 	}
 }

@@ -306,3 +306,42 @@ func TestServeDebug(t *testing.T) {
 		t.Fatalf("/debug/pprof/cmdline: code %d", code)
 	}
 }
+
+func TestDecisionLogOffsetAndRewind(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewDecisionLog(&buf)
+	emit := func(n int) {
+		for i := 0; i < n; i++ {
+			l.Reactive(&ReactiveAction{SimTimeS: float64(i), Action: "evict-corunner", Service: "svc", Moved: 1})
+		}
+	}
+	emit(3)
+	seq, bytesAt := l.Offset()
+	if seq != 3 || bytesAt != int64(buf.Len()) {
+		t.Fatalf("offset = (%d, %d), want (3, %d)", seq, bytesAt, buf.Len())
+	}
+	prefix := append([]byte(nil), buf.Bytes()...)
+	emit(2)
+
+	// A resumed run truncates its log to the checkpointed offset,
+	// rewinds, and re-emits: the bytes must line up exactly.
+	var buf2 bytes.Buffer
+	buf2.Write(prefix)
+	l2 := NewDecisionLog(&buf2)
+	l2.Rewind(seq, bytesAt)
+	for i := 0; i < 2; i++ {
+		l2.Reactive(&ReactiveAction{SimTimeS: float64(i), Action: "evict-corunner", Service: "svc", Moved: 1})
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatalf("rewound log diverged:\n%q\n%q", buf.Bytes(), buf2.Bytes())
+	}
+	if s2, b2 := l2.Offset(); s2 != 5 || b2 != int64(buf2.Len()) {
+		t.Fatalf("post-rewind offset = (%d, %d)", s2, b2)
+	}
+	// Nil log is inert.
+	var nilLog *DecisionLog
+	if s, b := nilLog.Offset(); s != 0 || b != 0 {
+		t.Fatal("nil Offset not zero")
+	}
+	nilLog.Rewind(1, 1)
+}

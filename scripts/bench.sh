@@ -18,9 +18,11 @@ LABEL="${3:-}"
 
 BENCHES='BenchmarkInference$|BenchmarkInferenceBatch$|BenchmarkIncrementalUpdate$|BenchmarkEncode$|BenchmarkForestTraining$|BenchmarkForestTrainingParallel$|BenchmarkBinarySearchScheduling$|BenchmarkSchedulingInstrumented$|BenchmarkFaultyPlatform$'
 ML_BENCHES='BenchmarkWindowAbsorb$'
+PERSIST_BENCHES='BenchmarkCheckpointSnapshot$|BenchmarkWALAppend$'
 
 RAW="$(go test -run '^$' -bench "$BENCHES" -benchmem -benchtime "$BENCHTIME" .)
-$(go test -run '^$' -bench "$ML_BENCHES" -benchmem -benchtime "$BENCHTIME" ./internal/ml)"
+$(go test -run '^$' -bench "$ML_BENCHES" -benchmem -benchtime "$BENCHTIME" ./internal/ml)
+$(go test -run '^$' -bench "$PERSIST_BENCHES" -benchmem -benchtime "$BENCHTIME" ./internal/persist)"
 echo "$RAW"
 
 echo "$RAW" | go run ./scripts/benchhist \

@@ -1,0 +1,67 @@
+#!/usr/bin/env sh
+# crashcheck.sh — end-to-end kill-and-resume equivalence gate.
+#
+# Runs gsight-sim twice over the same seeded hour: once uninterrupted,
+# once with two injected controller crashes, checkpointing enabled and
+# a resume loop (exit code 3 = deliberate crash, rerun with -resume).
+# The crashed-and-resumed run must produce a byte-identical decision
+# log and an identical report (wall-clock timing lines filtered) —
+# the repo's headline recovery guarantee, checked on the real binary
+# rather than in-process test harnesses.
+#
+# Usage: scripts/crashcheck.sh [hours] [train] [seed]
+set -eu
+
+cd "$(dirname "$0")/.."
+HOURS="${1:-1}"
+TRAIN="${2:-64}"
+SEED="${3:-42}"
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT INT TERM
+
+go build -o "$WORK/gsight-sim" ./cmd/gsight-sim
+
+cat > "$WORK/crash.json" <<EOF
+{"name":"crashcheck","events":[
+ {"at_s":1000,"kind":"controller-crash"},
+ {"at_s":2600,"kind":"controller-crash"}]}
+EOF
+
+common="-hours $HOURS -train $TRAIN -seed $SEED -quiet"
+
+echo "crashcheck: baseline run (no faults, no checkpoints)..."
+"$WORK/gsight-sim" $common \
+    -decision-log "$WORK/base.jsonl" > "$WORK/base.out"
+
+echo "crashcheck: crashing run (2 controller crashes, 600s snapshots)..."
+rc=0
+"$WORK/gsight-sim" $common -faults "$WORK/crash.json" \
+    -checkpoint-dir "$WORK/ck" -checkpoint-interval 600 \
+    -decision-log "$WORK/crashed.jsonl" > "$WORK/crashed.out" || rc=$?
+tries=1
+while [ "$rc" -eq 3 ]; do
+    [ "$tries" -lt 10 ] || { echo "crashcheck: FAIL (no convergence after $tries attempts)" >&2; exit 1; }
+    tries=$((tries + 1))
+    echo "crashcheck: crashed (expected), resuming (attempt $tries)..."
+    rc=0
+    "$WORK/gsight-sim" $common -faults "$WORK/crash.json" \
+        -checkpoint-dir "$WORK/ck" -checkpoint-interval 600 -resume \
+        -decision-log "$WORK/crashed.jsonl" > "$WORK/crashed.out" || rc=$?
+done
+[ "$rc" -eq 0 ] || { echo "crashcheck: FAIL (unexpected exit code $rc)" >&2; exit 1; }
+[ "$tries" -eq 3 ] || { echo "crashcheck: FAIL (expected 3 incarnations, got $tries)" >&2; exit 1; }
+
+if ! cmp -s "$WORK/base.jsonl" "$WORK/crashed.jsonl"; then
+    echo "crashcheck: FAIL (decision logs differ)" >&2
+    cmp "$WORK/base.jsonl" "$WORK/crashed.jsonl" >&2 || true
+    exit 1
+fi
+# The report is deterministic except for wall-clock timing lines.
+grep -v 'wall-clock' "$WORK/base.out" > "$WORK/base.flt"
+grep -v 'wall-clock' "$WORK/crashed.out" > "$WORK/crashed.flt"
+if ! diff "$WORK/base.flt" "$WORK/crashed.flt" >&2; then
+    echo "crashcheck: FAIL (reports differ)" >&2
+    exit 1
+fi
+echo "crashcheck: OK (resumed run byte-identical across $tries incarnations)"
