@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check race bench build vet vuln test fuzzsmoke crashcheck
+.PHONY: check race bench build vet vuln test fuzzsmoke crashcheck benchcheck
 
 build:
 	$(GO) build ./...
@@ -36,7 +36,12 @@ fuzzsmoke:
 crashcheck:
 	scripts/crashcheck.sh
 
-check: build vet vuln test fuzzsmoke crashcheck
+# Alloc-regression smoke gate: low-alloc benchmarks must not allocate
+# more per op than the latest BENCH_gsight.json entry records.
+benchcheck:
+	scripts/bench.sh check
+
+check: build vet vuln test fuzzsmoke crashcheck benchcheck
 
 race:
 	$(GO) test -race ./internal/ml ./internal/core ./internal/sched ./internal/experiments ./internal/telemetry

@@ -17,6 +17,7 @@ import (
 	"gsight/internal/perfmodel"
 	"gsight/internal/resources"
 	"gsight/internal/scenario"
+	"gsight/internal/sim"
 )
 
 // benchOptions keeps bench iterations affordable while preserving every
@@ -116,6 +117,10 @@ func BenchmarkExtIsolation(b *testing.B) { runExperiment(b, "ext-isolation") }
 // BenchmarkExtResilience runs the fault-injection study: the platform
 // under every named fault scenario vs the healthy baseline.
 func BenchmarkExtResilience(b *testing.B) { runExperiment(b, "ext-resilience") }
+
+// BenchmarkExtSoak runs the long-horizon soak: scaled trace replay
+// (rate and time factors) through the allocation-free step loop.
+func BenchmarkExtSoak(b *testing.B) { runExperiment(b, "ext-soak") }
 
 // ---- micro-benchmarks of the paper's operational costs (§6.4) ----
 
@@ -343,6 +348,65 @@ func BenchmarkFaultyPlatform(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineStep measures one event dispatch through the
+// time-wheel engine at a steady population of self-rescheduling timers
+// — the event-queue half of the platform step loop. Expected 0
+// allocs/op: fired events recycle through the engine's free list.
+func BenchmarkEngineStep(b *testing.B) {
+	var e sim.Engine
+	const timers = 64
+	for i := 0; i < timers; i++ {
+		// Incommensurate periods keep the wheel slots churning instead
+		// of batching every timer into one slot.
+		d := 1.0 + float64(i)*0.37
+		var fn func()
+		fn = func() { e.After(d, fn) }
+		e.After(d, fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !e.Step() {
+			b.Fatal("engine ran dry")
+		}
+	}
+}
+
+// BenchmarkPlatformStep measures the per-step cost of the platform
+// loop on a healthy (fault-free) two-service run — autoscaling, the
+// incremental stepper, SLA monitoring and batch-job turnover, without
+// the fault-path work BenchmarkFaultyPlatform adds. The headline
+// number is the ns/step metric; ns/op times the whole run.
+func BenchmarkPlatformStep(b *testing.B) {
+	cat := Catalog()
+	const durationS = 2 * 3600
+	totalSteps := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := RunPlatform(nil, PlatformConfig{
+			Model:     NewTestbedModel(),
+			Scheduler: NewWorstFit(),
+			Services: []PlatformService{
+				{W: cat["social-network"], Pattern: DefaultTracePattern(250), SLA: SLA{MinIPC: 0.9}},
+				{W: cat["e-commerce"], Pattern: DefaultTracePattern(350), SLA: SLA{MinIPC: 1.0}},
+			},
+			SCPool:          []*Workload{cat["matmul"], cat["dd"]},
+			SCMeanIntervalS: 200,
+			DurationS:       durationS,
+			StepS:           30,
+			Seed:            42,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		totalSteps += st.Steps
+	}
+	b.StopTimer()
+	if totalSteps > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(totalSteps), "ns/step")
+	}
+}
+
 func schedState(spec resources.ServerSpec) *SchedulerState {
 	caps := make([]resources.Vector, 8)
 	for i := range caps {
@@ -361,7 +425,7 @@ var benchedIDs = []string{
 	"fig3a", "fig3b", "fig4", "fig5", "fig7", "fig8", "fig9",
 	"fig10a", "fig10b", "fig10c", "fig11", "fig12", "fig13", "fig14",
 	"ext-pca", "ext-hierarchy", "ext-coldstart", "ext-isolation",
-	"ext-resilience",
+	"ext-resilience", "ext-soak",
 }
 
 // TestBenchRegistryCoverage pins the registry and the bench list to

@@ -65,6 +65,8 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
 	reportPath := flag.String("report", "", "write a JSON run report to this file")
 	decisionPath := flag.String("decision-log", "", "write the JSONL decision log to this file")
+	rateScale := flag.Float64("rate-scale", 1, "multiply every service's invocation rate (and its MaxQPS ceiling) for soak runs")
+	timeScale := flag.Float64("time-scale", 1, "compress the diurnal/weekly trace clock: k replays k days of rate structure per simulated day")
 	flag.Parse()
 
 	log := logx.Default(*verbose, *quiet)
@@ -86,6 +88,7 @@ func main() {
 		debugAddr:     *debugAddr,
 		reportPath:    *reportPath,
 		decisionPath:  *decisionPath,
+		scaling:       trace.Scaling{RateFactor: *rateScale, TimeFactor: *timeScale},
 	}); err != nil {
 		log.Errorf("%v", err)
 		// A deliberate controller crash is distinguishable from real
@@ -109,6 +112,7 @@ type options struct {
 	debugAddr     string
 	reportPath    string
 	decisionPath  string
+	scaling       trace.Scaling
 }
 
 func run(ctx context.Context, log *logx.Logger, opt options) error {
@@ -269,7 +273,18 @@ func run(ctx context.Context, log *logx.Logger, opt options) error {
 		minIPC, _ := curve.MinIPCFor(w.SLAp99Ms)
 		p := trace.DefaultPattern(w.MaxQPS * 0.6)
 		p.PhaseShift = float64(i) * 7200
+		if !opt.scaling.IsZero() {
+			// Soak mode: scale the offered rate and the clamp it is
+			// capped against together, so the scaled diurnal shape
+			// survives instead of flattening at the old ceiling.
+			p = opt.scaling.Apply(p)
+			w = w.Clone()
+			w.MaxQPS *= opt.scaling.Rate()
+		}
 		services = append(services, platform.LSService{W: w, Pattern: p, SLA: sched.SLA{MinIPC: minIPC}})
+	}
+	if !opt.scaling.IsZero() {
+		log.Infof("trace scaling: rate x%.1f, time x%.1f", opt.scaling.Rate(), opt.scaling.Time())
 	}
 
 	log.Infof("running %.0fh trace-driven simulation under %s...", opt.hours, scheduler.Name())

@@ -22,6 +22,7 @@ import (
 	"gsight/internal/profile"
 	"gsight/internal/resources"
 	"gsight/internal/telemetry"
+	"gsight/internal/trace"
 	"gsight/internal/workload"
 )
 
@@ -32,6 +33,8 @@ func main() {
 	catalogName := flag.String("catalog", "", "inspect a catalog workload instead")
 	export := flag.String("export", "", "print a catalog workload as JSON and exit")
 	characterize := flag.Bool("characterize", false, "run the micro-benchmark interference sweep")
+	rateScale := flag.Float64("rate-scale", 1, "project invocation volume with rates multiplied by this factor")
+	timeScale := flag.Float64("time-scale", 1, "project invocation volume with the trace clock compressed by this factor")
 	verbose := flag.Bool("v", false, "verbose progress")
 	quiet := flag.Bool("quiet", false, "errors only")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/vars and /debug/pprof on this address")
@@ -104,6 +107,20 @@ func main() {
 	}
 
 	if w.Class == workload.LS {
+		sc := trace.Scaling{RateFactor: *rateScale, TimeFactor: *timeScale}
+		p := sc.Apply(trace.DefaultPattern(w.MaxQPS * 0.6))
+		daily := 0.0
+		const stepS = 60.0
+		for t := 0.0; t < 86400; t += stepS {
+			daily += p.RateAt(t) * stepS
+		}
+		if sc.IsZero() {
+			fmt.Printf("\nprojected volume under the default diurnal pattern: %.2fM invocations/day\n", daily/1e6)
+		} else {
+			fmt.Printf("\nprojected volume at rate x%.1f, time x%.1f: %.2fM invocations/day\n",
+				sc.Rate(), sc.Time(), daily/1e6)
+		}
+
 		fmt.Println("\nreplica sizing at max load:")
 		total := 0
 		for f := range w.Functions {

@@ -57,6 +57,33 @@ func TestSchedulingAllocNeutral(t *testing.T) {
 	}
 }
 
+// TestSchedulingAllocBudget pins the absolute allocation budget of one
+// placement decision — state construction, request and Place together,
+// exactly the BenchmarkBinarySearchScheduling loop body — at 1
+// alloc/op (the returned placement slice). Neutrality alone cannot
+// catch escape-analysis regressions such as an interface call that
+// forces the caller's State onto the heap; this budget does.
+func TestSchedulingAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("predictor bootstrap is slow")
+	}
+	pauseGC(t)
+	p, obs := trainedPredictor(t)
+	spec := resources.DefaultServerSpec("alloc")
+	scheduler := NewScheduler(p)
+	o := obs[0]
+	allocs := testing.AllocsPerRun(200, func() {
+		st := schedState(spec)
+		req := &PlacementRequest{Input: o.Inputs[o.Target], SLA: SLA{MinIPC: 0.5}}
+		if _, err := scheduler.Place(st, req); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 1 {
+		t.Fatalf("placement decision allocates %.1f allocs/op, budget is 1", allocs)
+	}
+}
+
 // TestInferenceAllocNeutral pins the predictor side: single and batched
 // inference stay allocation-free with telemetry enabled (matching the
 // BENCH_gsight.json baseline of 0 allocs/op).

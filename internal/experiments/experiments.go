@@ -173,6 +173,7 @@ func Registry() []struct {
 		{"ext-coldstart", ExtColdStart},
 		{"ext-isolation", ExtIsolation},
 		{"ext-resilience", ExtResilience},
+		{"ext-soak", ExtSoak},
 	}
 }
 

@@ -15,7 +15,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig3a", "fig3b", "fig4", "fig5", "fig7", "fig8", "fig9",
 		"fig10a", "fig10b", "fig10c", "fig11", "fig12", "fig13", "fig14",
 		"ext-pca", "ext-hierarchy", "ext-coldstart", "ext-isolation",
-		"ext-resilience",
+		"ext-resilience", "ext-soak",
 	}
 	got := IDs()
 	if len(got) != len(want) {
@@ -233,6 +233,29 @@ func TestExtIsolationReactiveWins(t *testing.T) {
 	reactive := parsePct(t, rep.Rows[2][1])
 	if reactive < shared {
 		t.Fatalf("reactive isolation (%v%%) should not be below shared (%v%%)", reactive, shared)
+	}
+}
+
+func TestExtSoakScalesVolume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs three platform simulations")
+	}
+	rep, err := ExtSoak(nil, tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 variants", len(rep.Rows))
+	}
+	var base, scaled float64
+	if _, err := fmt.Sscanf(rep.Rows[0][1], "%f", &base); err != nil {
+		t.Fatalf("cannot parse baseline volume %q: %v", rep.Rows[0][1], err)
+	}
+	if _, err := fmt.Sscanf(rep.Rows[1][1], "%f", &scaled); err != nil {
+		t.Fatalf("cannot parse scaled volume %q: %v", rep.Rows[1][1], err)
+	}
+	if scaled <= base {
+		t.Fatalf("rate-scaled soak replays %vM inv/day, baseline %vM — scaling had no effect", scaled, base)
 	}
 }
 

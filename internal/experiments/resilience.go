@@ -112,17 +112,7 @@ func ExtResilience(ctx context.Context, opt Options) (*Report, error) {
 		Columns: []string{"scenario", "SLA ratio", "density", "QoS density",
 			"degraded steps", "displaced", "rejected", "faults"},
 	}
-	slaRatio := func(st *platform.Stats) float64 {
-		sum, n := 0.0, 0
-		for name := range st.SLAOK {
-			sum += st.SLARatio(name)
-			n++
-		}
-		if n == 0 {
-			return 1
-		}
-		return sum / float64(n)
-	}
+	slaRatio := meanSLARatio
 	base := results[0]
 	for i, name := range scenarios {
 		st := results[i]

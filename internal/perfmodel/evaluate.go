@@ -60,13 +60,22 @@ func (m *Model) Evaluate(sc *Scenario, rnd *rng.Rand) (*Result, error) {
 		}
 	}
 
+	sv := m.getSolver()
+	defer m.putSolver(sv)
+
 	var lsResults []LSResult
 	var scStates []*scState
 	if len(scDeps) > 0 {
-		scStates, lsResults = m.coExecute(scDeps, lsDeps)
+		scStates, lsResults = m.coExecute(sv, scDeps, lsDeps)
 	} else if len(lsDeps) > 0 {
-		sol := m.solveLS(lsDeps, nil, 0, false)
-		lsResults = sol.results
+		sol := m.solveLS(sv, lsDeps, nil, 0, false)
+		// Detach the results from the pooled solver's scratch: noise
+		// shaping mutates PerFunc in place and the result outlives the
+		// borrow.
+		lsResults = append([]LSResult(nil), sol.results...)
+		for i := range lsResults {
+			lsResults[i].PerFunc = append([]FuncPerf(nil), lsResults[i].PerFunc...)
+		}
 	}
 
 	res := &Result{}

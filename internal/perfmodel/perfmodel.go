@@ -20,6 +20,7 @@ package perfmodel
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"gsight/internal/resources"
 	"gsight/internal/workload"
@@ -310,7 +311,21 @@ type Model struct {
 	// a straggler node contends as if every resource were
 	// proportionally smaller). Absent means nominal capacity.
 	capScale map[int]float64
+	// solvers pools LS fixed-point scratch for Evaluate, which may run
+	// concurrently on one model (experiment worker pools). The Stepper
+	// owns a private solver instead.
+	solvers sync.Pool
 }
+
+// getSolver borrows solver scratch from the pool; putSolver returns it.
+func (m *Model) getSolver() *lsSolver {
+	if v := m.solvers.Get(); v != nil {
+		return v.(*lsSolver)
+	}
+	return m.newSolver()
+}
+
+func (m *Model) putSolver(sv *lsSolver) { m.solvers.Put(sv) }
 
 // SetCapacityScale multiplies server s's effective capacity by f in
 // every contention domain; f == 1 (or f <= 0) clears the override.
@@ -356,46 +371,159 @@ func (m *Model) SetPartition(s int, p Partition) {
 
 // socketScoped reports whether a resource contends per CPU socket
 // rather than per server.
-func socketScoped(k resources.Kind) bool {
-	switch k {
-	case resources.CPU, resources.LLC, resources.MemBW:
-		return true
-	}
-	return false
+func socketScoped(k resources.Kind) bool { return sockScopedTab[k] }
+
+// sockScopedTab tabulates socketScoped so hot per-kind loops pay an
+// array load instead of a switch.
+var sockScopedTab = [resources.NumKinds]bool{
+	resources.CPU: true, resources.LLC: true, resources.MemBW: true,
 }
 
-// domainKey identifies a contention domain; prot separates the
-// protected partition's demand from the shared pool's.
-type domainKey struct {
-	server int
-	socket int // -1 for server-wide domains
-	prot   bool
+// demandStore accumulates resource demand per contention domain in a
+// dense array — the allocation-free replacement for the former
+// map[domainKey]resources.Vector. Slots are indexed by
+// (server, socket+1, protected): socket index 0 is the server-wide
+// domain (the old socket == -1 key), so ascending slot order is
+// exactly the sorted (server asc, socket asc with -1 first, prot
+// false-first) iteration order PR 2 fixed the demand fold to — an
+// ascending walk reproduces the map-era float accumulation bit for
+// bit. Untouched slots read as zero, like absent map keys; touched
+// slots are tracked so reset is O(touched).
+type demandStore struct {
+	sockStride int // max sockets across the testbed + 1 ("-1" domain first)
+	vecs       []resources.Vector
+	touched    []bool
+	dirty      []int32
 }
 
-// demandMap accumulates resource demand per contention domain.
-type demandMap map[domainKey]resources.Vector
-
-func (m demandMap) add(server, socket int, prot bool, v resources.Vector) {
-	sk := domainKey{server, socket, prot}
-	sv := domainKey{server, -1, prot}
-	cur := m[sk]
-	curServer := m[sv]
-	for k := 0; k < int(resources.NumKinds); k++ {
-		if socketScoped(resources.Kind(k)) {
-			cur[k] += v[k]
-		} else {
-			curServer[k] += v[k]
+func newDemandStore(tb *resources.Testbed) *demandStore {
+	maxSock := 1
+	for _, s := range tb.Servers {
+		if s.Sockets > maxSock {
+			maxSock = s.Sockets
 		}
 	}
-	m[sk] = cur
-	m[sv] = curServer
+	n := tb.NumServers() * (maxSock + 1) * 2
+	return &demandStore{
+		sockStride: maxSock + 1,
+		vecs:       make([]resources.Vector, n),
+		touched:    make([]bool, n),
+		dirty:      make([]int32, 0, n),
+	}
+}
+
+// slot maps a domain to its dense index, growing the socket stride in
+// the (never observed) case of a socket id beyond the testbed's specs.
+func (ds *demandStore) slot(server, socket int, prot bool) int {
+	si := socket + 1
+	if si >= ds.sockStride {
+		ds.grow(si + 1)
+	}
+	idx := (server*ds.sockStride + si) * 2
+	if prot {
+		idx++
+	}
+	return idx
+}
+
+// grow re-strides the store for a larger socket count, remapping the
+// touched slots.
+func (ds *demandStore) grow(stride int) {
+	old := *ds
+	servers := len(old.vecs) / (old.sockStride * 2)
+	n := servers * stride * 2
+	ds.sockStride = stride
+	ds.vecs = make([]resources.Vector, n)
+	ds.touched = make([]bool, n)
+	ds.dirty = make([]int32, 0, n)
+	for _, i := range old.dirty {
+		prot := int(i) & 1
+		si := (int(i) / 2) % old.sockStride
+		server := (int(i) / 2) / old.sockStride
+		j := (server*stride+si)*2 + prot
+		ds.vecs[j] = old.vecs[i]
+		ds.touched[j] = true
+		ds.dirty = append(ds.dirty, int32(j))
+	}
+}
+
+// touch marks a slot live and returns it for accumulation.
+func (ds *demandStore) touch(idx int) *resources.Vector {
+	if !ds.touched[idx] {
+		ds.touched[idx] = true
+		ds.dirty = append(ds.dirty, int32(idx))
+	}
+	return &ds.vecs[idx]
+}
+
+// reset zeroes the touched slots, returning the store to empty.
+func (ds *demandStore) reset() {
+	for _, i := range ds.dirty {
+		ds.vecs[i] = resources.Vector{}
+		ds.touched[i] = false
+	}
+	ds.dirty = ds.dirty[:0]
+}
+
+// copyFrom assigns src's touched slots into ds (which must be freshly
+// reset) — the dense analogue of copying a demand map key by key.
+func (ds *demandStore) copyFrom(src *demandStore) {
+	if src == nil {
+		return
+	}
+	if ds.sockStride == src.sockStride {
+		// Equal strides make the slot mapping the identity — same
+		// slots, same dirty order, minus the div/mod remapping. The
+		// fixed-point loop hits this every iteration (the store is
+		// pre-grown to the background stride before the solve).
+		for _, i := range src.dirty {
+			*ds.touch(int(i)) = src.vecs[i]
+		}
+		return
+	}
+	for _, i := range src.dirty {
+		prot := int(i)&1 == 1
+		si := (int(i) / 2) % src.sockStride
+		server := (int(i) / 2) / src.sockStride
+		*ds.touch(ds.slot(server, si-1, prot)) = src.vecs[i]
+	}
+}
+
+func (ds *demandStore) add(server, socket int, prot bool, v *resources.Vector) {
+	ds.addAt(ds.slot(server, socket, prot), ds.slot(server, -1, prot), v)
+}
+
+// addAt is add with the two slot indices already resolved (hot loops
+// precompute them per function via slowCtx).
+func (ds *demandStore) addAt(ski, svi int, v *resources.Vector) {
+	sk := ds.touch(ski)
+	sv := ds.touch(svi)
+	// Unrolled over the fixed Kind order (ascending, socket-scoped
+	// kinds to the socket slot): the exact additions the generic
+	// socketScoped loop performed, minus the per-kind branch.
+	sk[resources.CPU] += v[resources.CPU]
+	sv[resources.Memory] += v[resources.Memory]
+	sk[resources.LLC] += v[resources.LLC]
+	sk[resources.MemBW] += v[resources.MemBW]
+	sv[resources.Network] += v[resources.Network]
+	sv[resources.Disk] += v[resources.Disk]
 }
 
 // classAndTotal returns a domain's demand for one class and for both
-// classes combined, for resource index k.
-func (m demandMap) classAndTotal(server, socket int, prot bool, k int) (class, total float64) {
-	class = m[domainKey{server, socket, prot}][k]
-	total = class + m[domainKey{server, socket, !prot}][k]
+// classes combined, for resource index k. Reads never grow or touch:
+// unknown domains are zero, as with the map.
+func (ds *demandStore) classAndTotal(server, socket int, prot bool, k int) (class, total float64) {
+	si := socket + 1
+	if si >= ds.sockStride {
+		return 0, 0
+	}
+	base := (server*ds.sockStride + si) * 2
+	p := 0
+	if prot {
+		p = 1
+	}
+	class = ds.vecs[base+p][k]
+	total = class + ds.vecs[base+1-p][k]
 	return class, total
 }
 
@@ -447,29 +575,56 @@ func computeScoped(k resources.Kind) bool {
 // (degrades service time only). Own demand is subtracted through the
 // convexity trick pressure(total)-pressure(own), so a solo-run function
 // experiences exactly zero interference.
-func (m *Model) slowdown(server, socket int, prot bool, total demandMap, own resources.Vector,
-	sens resources.Vector, sensScale float64) (sigmaCompute, sigmaIO float64) {
+func (m *Model) slowdown(server, socket int, prot bool, total *demandStore, own *resources.Vector,
+	sens *resources.Vector, sensScale float64) (sigmaCompute, sigmaIO float64) {
 
-	spec := m.Testbed.Servers[server]
+	spec := &m.Testbed.Servers[server]
 	partition, hasPart := m.Partitions[server]
+	capF, hasCapScale := m.capScale[server]
+	// Dense-store slot bases for the two domains the function occupies:
+	// socket-scoped kinds read (server, socket), the rest (server, -1).
+	// Precomputing them here replaces a classAndTotal slot computation
+	// per kind with two array reads; the loads and float adds are the
+	// same ones classAndTotal performs, in the same order.
+	stride := total.sockStride
+	svBase := server * stride * 2
+	skBase := -1
+	if si := socket + 1; si < stride {
+		skBase = (server*stride + si) * 2
+	}
+	p0 := 0
+	if prot {
+		p0 = 1
+	}
+	sockets := float64(max(1, spec.Sockets))
 	sigmaCompute, sigmaIO = 1.0, 1.0
 	for k := 0; k < int(resources.NumKinds); k++ {
 		kind := resources.Kind(k)
-		cap := domainCapacity(spec, kind)
+		ss := socketScoped(kind)
+		// Inlined domainCapacity(spec, kind): identical branches and
+		// the identical division.
+		cap := spec.Capacity[k]
+		if ss && kind != resources.LLC {
+			cap /= sockets
+		}
 		if cap <= 0 {
 			continue
 		}
-		sock := socket
-		if !socketScoped(kind) {
-			sock = -1
+		base := svBase
+		if ss {
+			base = skBase
 		}
-		class, tot := total.classAndTotal(server, sock, prot, k)
+		var class, tot float64
+		if base >= 0 {
+			class = total.vecs[base+p0][k]
+			tot = class + total.vecs[base+1-p0][k]
+		}
 		demand := tot
 		// The solo-run reference was profiled at full capacity, so the
 		// own-demand subtraction always uses the unpartitioned
 		// capacity: a job squeezed into a small partition slows down
 		// even alone in it.
-		uo := own[k] / cap
+		capSolo := cap
 		if hasPart {
 			// Partitioned resource: the function contends only with
 			// its own class, inside its class's reserved capacity.
@@ -484,12 +639,143 @@ func (m *Model) slowdown(server, socket int, prot bool, total demandMap, own res
 		}
 		// Straggler nodes (fault injection) shrink the contended
 		// capacity the same way a partition does: uo above stays
-		// relative to the full-capacity solo reference.
-		if f, ok := m.capScale[server]; ok {
-			cap *= f
+		// relative to the full-capacity solo reference. The lookup is
+		// hoisted out of the kind loop — same multiply, same spot.
+		if hasCapScale {
+			cap *= capF
 		}
 		u := demand / cap
-		p := m.Cfg.pressure(kind, u) - m.Cfg.pressure(kind, uo)
+		p := m.Cfg.pressure(kind, u)
+		if p == 0 {
+			// pressure(uo) >= 0, so p - pressure(uo) <= 0 and the
+			// kind contributes nothing — skip the solo-side work.
+			continue
+		}
+		p -= m.Cfg.pressure(kind, own[k]/capSolo)
+		if p <= 0 {
+			continue
+		}
+		if computeScoped(kind) {
+			sigmaCompute += sens[k] * sensScale * p
+		} else {
+			sigmaIO += sens[k] * sensScale * p
+		}
+	}
+	return sigmaCompute, sigmaIO
+}
+
+// slowCtx caches the per-(function placement) constants of slowdown:
+// the dense-store slot indices its domains live at and the contended /
+// solo-reference capacities per kind with partition and capacity-scale
+// multipliers already folded in (in slowdown's exact multiply order).
+// A context is valid for one solve: placement, partitions, capacity
+// scales and the demand store's stride must not change underneath it.
+type slowCtx struct {
+	capEff    [resources.NumKinds]float64
+	capSolo   [resources.NumKinds]float64
+	classOnly [resources.NumKinds]bool
+	skip      [resources.NumKinds]bool
+	p0        int32 // protected-slot offset
+	ski, svi  int32 // add() slot indices (socket-scoped / server-wide)
+
+	// Compact copies of the function constants the fixed-point loop
+	// reads every iteration, so the hot path walks this small array
+	// instead of the full Function structs (copies are exact; the
+	// arithmetic consuming them is unchanged).
+	dem     resources.Vector // fn.Demand
+	sens    resources.Vector // fn.Sensitivity
+	repF    float64          // float64(d.Replicas[f]) — exact conversion
+	rep1000 float64          // repF * 1000, the capacity numerator
+	baseMs  float64          // fn.BaseServiceMs
+	coldMs  float64          // fn.ColdStartMs
+}
+
+// buildSlowCtx fills cx for a function placed on (server, socket, prot).
+// The slot() calls may grow ds; callers must pre-grow ds to its final
+// stride before building a batch of contexts (grow remaps indices).
+func (m *Model) buildSlowCtx(cx *slowCtx, ds *demandStore, server, socket int, prot bool) {
+	spec := &m.Testbed.Servers[server]
+	partition, hasPart := m.Partitions[server]
+	capF, hasCapScale := m.capScale[server]
+	ski := ds.slot(server, socket, prot)
+	svi := ds.slot(server, -1, prot)
+	cx.ski, cx.svi = int32(ski), int32(svi)
+	cx.p0 = 0
+	if prot {
+		cx.p0 = 1
+	}
+	sockets := float64(max(1, spec.Sockets))
+	for k := 0; k < int(resources.NumKinds); k++ {
+		kind := resources.Kind(k)
+		ss := socketScoped(kind)
+		// domainCapacity(spec, kind), inlined: same branches, same
+		// division.
+		cap := spec.Capacity[k]
+		if ss && kind != resources.LLC {
+			cap /= sockets
+		}
+		cx.skip[k] = cap <= 0
+		cx.capSolo[k] = cap
+		cx.classOnly[k] = false
+		if hasPart {
+			if f := partition.frac(kind); f > 0 {
+				cx.classOnly[k] = true
+				if prot {
+					cap *= f
+				} else {
+					cap *= 1 - f
+				}
+			}
+		}
+		if hasCapScale {
+			cap *= capF
+		}
+		cx.capEff[k] = cap
+	}
+}
+
+// slowdownCtx is slowdown with the placement-derived constants taken
+// from a prebuilt context — the float operations and their order are
+// identical, so it returns bit-identical results.
+func (m *Model) slowdownCtx(cx *slowCtx, total *demandStore, own *resources.Vector,
+	sens *resources.Vector, sensScale float64) (sigmaCompute, sigmaIO float64) {
+
+	p0 := int(cx.p0)
+	// The context's two domains span four store rows (socket/server ×
+	// own-class/other-class). Hoisting the row pointers replaces the
+	// per-kind base[k] indexing — the loads and the class+other add
+	// are unchanged, in the same per-kind order.
+	skBase := int(cx.ski) - p0
+	svBase := int(cx.svi) - p0
+	skC, skO := &total.vecs[skBase+p0], &total.vecs[skBase+1-p0]
+	svC, svO := &total.vecs[svBase+p0], &total.vecs[svBase+1-p0]
+	sigmaCompute, sigmaIO = 1.0, 1.0
+	for k := 0; k < int(resources.NumKinds); k++ {
+		if cx.skip[k] {
+			continue
+		}
+		kind := resources.Kind(k)
+		var class, tot float64
+		if sockScopedTab[k] {
+			class = skC[k]
+			tot = class + skO[k]
+		} else {
+			class = svC[k]
+			tot = class + svO[k]
+		}
+		demand := tot
+		if cx.classOnly[k] {
+			demand = class
+		}
+		u := demand / cx.capEff[k]
+		p := m.Cfg.pressure(kind, u)
+		if p == 0 {
+			// pressure(uo) >= 0, so p - pressure(uo) <= 0 and the
+			// kind contributes nothing — skip the solo-side work.
+			continue
+		}
+		uo := own[k] / cx.capSolo[k]
+		p -= m.Cfg.pressure(kind, uo)
 		if p <= 0 {
 			continue
 		}
@@ -515,8 +801,7 @@ func (m *Model) resolveSocket(d *Deployment, f int) int {
 	if s >= 0 {
 		return s
 	}
-	spec := m.Testbed.Servers[d.Placement[f]]
-	return f % max(1, spec.Sockets)
+	return f % max(1, m.Testbed.Servers[d.Placement[f]].Sockets)
 }
 
 func max(a, b int) int {

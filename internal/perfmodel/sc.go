@@ -46,8 +46,10 @@ func scDemand(st *scState) (fn int, ph workload.Phase, demand resources.Vector) 
 
 // coExecute advances all SC/BG jobs (and samples the LS deployments)
 // through time until every job completes or the horizon expires.
-// It returns the SC states and the time-averaged LS results.
-func (m *Model) coExecute(scDeps, lsDeps []*Deployment) ([]*scState, []LSResult) {
+// It returns the SC states and the time-averaged LS results. The
+// solver sv is borrowed scratch owned by the caller for the duration
+// of the call.
+func (m *Model) coExecute(sv *lsSolver, scDeps, lsDeps []*Deployment) ([]*scState, []LSResult) {
 	states := make([]*scState, len(scDeps))
 	horizon := m.Cfg.StepS
 	for i, d := range scDeps {
@@ -69,7 +71,7 @@ func (m *Model) coExecute(scDeps, lsDeps []*Deployment) ([]*scState, []LSResult)
 	}
 	var lsRefs []float64
 	if len(lsDeps) > 0 {
-		lsRefs = m.idealRefs(lsDeps)
+		lsRefs = m.idealRefsInto(sv, nil, lsDeps)
 	}
 
 	// LS accumulators (time averages over the co-execution window).
@@ -87,17 +89,19 @@ func (m *Model) coExecute(scDeps, lsDeps []*Deployment) ([]*scState, []LSResult)
 		accs[i].perFunc = make([]FuncPerf, len(d.W.Functions))
 	}
 
+	bg := newDemandStore(m.Testbed)
+	type active struct {
+		st *scState
+		fn int
+		ph workload.Phase
+		ex resources.Vector
+	}
+	var actives []active
 	dt := m.Cfg.StepS
 	for t := 0.0; t < horizon; t += dt {
 		// 1. Demand exerted by active SC jobs.
-		bg := demandMap{}
-		type active struct {
-			st *scState
-			fn int
-			ph workload.Phase
-			ex resources.Vector
-		}
-		var actives []active
+		bg.reset()
+		actives = actives[:0]
 		allDone := true
 		for _, st := range states {
 			if st.done {
@@ -109,7 +113,7 @@ func (m *Model) coExecute(scDeps, lsDeps []*Deployment) ([]*scState, []LSResult)
 			}
 			st.started = true
 			fn, ph, ex := scDemand(st)
-			bg.add(st.dep.Placement[fn], m.resolveSocket(st.dep, fn), st.dep.Protected, ex)
+			bg.add(st.dep.Placement[fn], m.resolveSocket(st.dep, fn), st.dep.Protected, &ex)
 			actives = append(actives, active{st, fn, ph, ex})
 		}
 		if allDone {
@@ -117,10 +121,10 @@ func (m *Model) coExecute(scDeps, lsDeps []*Deployment) ([]*scState, []LSResult)
 		}
 
 		// 2. Solve the LS fixed point against this background; its
-		// demand map feeds back into the SC slowdowns.
-		var demand demandMap
+		// demand store feeds back into the SC slowdowns.
+		var demand *demandStore
 		if len(lsDeps) > 0 {
-			sol := m.solveLSWithRefs(lsDeps, bg, extraInstances, false, lsRefs)
+			sol := m.solveLSWithRefs(sv, lsDeps, bg, extraInstances, false, lsRefs)
 			demand = sol.demand
 			for i := range lsDeps {
 				a := &accs[i]
@@ -152,7 +156,7 @@ func (m *Model) coExecute(scDeps, lsDeps []*Deployment) ([]*scState, []LSResult)
 			d := a.st.dep
 			fn := &d.W.Functions[a.fn]
 			sc, sio := m.slowdown(d.Placement[a.fn], m.resolveSocket(d, a.fn),
-				d.Protected, demand, a.ex, fn.Sensitivity, a.ph.SensScale)
+				d.Protected, demand, &a.ex, &fn.Sensitivity, a.ph.SensScale)
 			sigma := totalSlowdown(sc, sio)
 			a.st.ipcSum += fn.SoloIPC / sc * dt
 			a.st.ipcTime += dt
@@ -179,8 +183,11 @@ func (m *Model) coExecute(scDeps, lsDeps []*Deployment) ([]*scState, []LSResult)
 		a := &accs[i]
 		if a.steps == 0 {
 			// No SC step overlapped: fall back to a standalone solve.
-			sol := m.solveLS(lsDeps, nil, 0, false)
+			// The result's PerFunc aliases solver scratch; copy it so
+			// the returned slice survives the solver's next solve.
+			sol := m.solveLS(sv, lsDeps, nil, 0, false)
 			results[i] = sol.results[i]
+			results[i].PerFunc = append([]FuncPerf(nil), sol.results[i].PerFunc...)
 			continue
 		}
 		n := a.steps

@@ -2,7 +2,6 @@ package perfmodel
 
 import (
 	"fmt"
-	"sort"
 
 	"gsight/internal/resources"
 	"gsight/internal/rng"
@@ -22,6 +21,23 @@ type Stepper struct {
 	dirty  bool
 	sc     []*scRun
 	nextID int
+
+	// Per-step scratch: the solver, the SC background demand store,
+	// the active-job list and the report are all reused, so a
+	// steady-state Step allocates nothing. The returned *StepReport is
+	// valid until the next Step call.
+	sv      *lsSolver
+	bg      *demandStore
+	actives []scActiveJob
+	rep     StepReport
+}
+
+// scActiveJob is the per-step record of one running SC/BG job.
+type scActiveJob struct {
+	run *scRun
+	fn  int
+	ph  workload.Phase
+	ex  resources.Vector
 }
 
 // scRun tracks one running SC/BG job.
@@ -54,7 +70,7 @@ type StepReport struct {
 
 // NewStepper returns an empty stepper over the model's testbed.
 func (m *Model) NewStepper() *Stepper {
-	return &Stepper{m: m, dirty: true}
+	return &Stepper{m: m, dirty: true, sv: m.newSolver(), bg: newDemandStore(m.Testbed)}
 }
 
 // Now returns the current simulation time in seconds.
@@ -187,23 +203,25 @@ func (st *Stepper) RestoreState(s StepperState, deps map[int]*Deployment) error 
 
 // Step advances the scenario by dt seconds and reports the LS QoS over
 // the step plus any jobs that completed. A non-nil rnd adds measurement
-// noise to the reported (not internal) values.
+// noise to the reported (not internal) values. The returned report and
+// everything it references are scratch owned by the stepper, valid
+// until the next Step call.
 func (st *Stepper) Step(dt float64, rnd *rng.Rand) *StepReport {
 	if st.dirty {
-		st.lsRefs = st.m.idealRefs(st.ls)
+		st.lsRefs = st.m.idealRefsInto(st.sv, st.lsRefs[:0], st.ls)
 		st.dirty = false
 	}
-	rep := &StepReport{Now: st.now + dt}
+	rep := &st.rep
+	*rep = StepReport{
+		Now:          st.now + dt,
+		Completed:    rep.Completed[:0],
+		ServerDemand: rep.ServerDemand,
+	}
 
 	// Demand from active SC jobs.
-	bg := demandMap{}
-	type active struct {
-		run *scRun
-		fn  int
-		ph  workload.Phase
-		ex  resources.Vector
-	}
-	var actives []active
+	bg := st.bg
+	bg.reset()
+	st.actives = st.actives[:0]
 	extraInstances := 0
 	for _, run := range st.sc {
 		if run.done {
@@ -211,17 +229,17 @@ func (st *Stepper) Step(dt float64, rnd *rng.Rand) *StepReport {
 		}
 		rep.ActiveSC++
 		fn, ph, ex := scDemand(&scState{dep: run.dep, progress: run.progress})
-		bg.add(run.dep.Placement[fn], st.m.resolveSocket(run.dep, fn), run.dep.Protected, ex)
-		actives = append(actives, active{run, fn, ph, ex})
+		bg.add(run.dep.Placement[fn], st.m.resolveSocket(run.dep, fn), run.dep.Protected, &ex)
+		st.actives = append(st.actives, scActiveJob{run, fn, ph, ex})
 		for _, r := range run.dep.Replicas {
 			extraInstances += r
 		}
 	}
 
 	// LS solve against that background.
-	var demand demandMap
+	var demand *demandStore
 	if len(st.ls) > 0 {
-		sol := st.m.solveLSWithRefs(st.ls, bg, extraInstances, false, st.lsRefs)
+		sol := st.m.solveLSWithRefs(st.sv, st.ls, bg, extraInstances, false, st.lsRefs)
 		demand = sol.demand
 		rep.LS = sol.results
 		if rnd != nil {
@@ -236,45 +254,35 @@ func (st *Stepper) Step(dt float64, rnd *rng.Rand) *StepReport {
 		demand = bg
 	}
 
-	// Aggregate per-server demand for utilization reporting. Domains
-	// fold in a fixed order: map iteration is randomized and float
-	// addition is not associative, so an unordered fold would change
-	// the last ulp of the utilization series from run to run.
-	rep.ServerDemand = make([]resources.Vector, st.m.Testbed.NumServers())
-	keys := make([]domainKey, 0, len(demand))
-	for key := range demand {
-		keys = append(keys, key)
+	// Aggregate per-server demand for utilization reporting. The dense
+	// store's ascending slot order IS the sorted domain order (server
+	// asc, socket asc with the server-wide domain first, unprotected
+	// before protected), so a linear walk folds the demand in the same
+	// fixed order the map-era sort produced — float addition is not
+	// associative, and untouched slots contribute exact zeros.
+	rep.ServerDemand = resizeVec(rep.ServerDemand, st.m.Testbed.NumServers())
+	for i := range rep.ServerDemand {
+		rep.ServerDemand[i] = resources.Vector{}
 	}
-	sort.Slice(keys, func(i, j int) bool {
-		a, b := keys[i], keys[j]
-		if a.server != b.server {
-			return a.server < b.server
-		}
-		if a.socket != b.socket {
-			return a.socket < b.socket
-		}
-		return !a.prot && b.prot
-	})
-	for _, key := range keys {
-		v := demand[key]
-		if key.server < 0 || key.server >= len(rep.ServerDemand) {
-			continue
-		}
-		cur := rep.ServerDemand[key.server]
+	stride2 := demand.sockStride * 2
+	for idx := range demand.vecs {
+		v := &demand.vecs[idx]
+		server := idx / stride2
+		serverWide := (idx/2)%demand.sockStride == 0
+		cur := &rep.ServerDemand[server]
 		for k := 0; k < int(resources.NumKinds); k++ {
-			if socketScoped(resources.Kind(k)) == (key.socket >= 0) {
+			if socketScoped(resources.Kind(k)) != serverWide {
 				cur[k] += v[k]
 			}
 		}
-		rep.ServerDemand[key.server] = cur
 	}
 
 	// Advance SC jobs.
-	for _, a := range actives {
+	for _, a := range st.actives {
 		d := a.run.dep
 		fn := &d.W.Functions[a.fn]
 		sc, sio := st.m.slowdown(d.Placement[a.fn], st.m.resolveSocket(d, a.fn),
-			d.Protected, demand, a.ex, fn.Sensitivity, a.ph.SensScale)
+			d.Protected, demand, &a.ex, &fn.Sensitivity, a.ph.SensScale)
 		sigma := totalSlowdown(sc, sio)
 		a.run.progress += dt / (d.W.SoloDurationS * sigma)
 		if a.run.progress >= 1 {

@@ -378,6 +378,19 @@ func (c *checkpointer) snapshot(firedUpTo float64, step int) error {
 
 // capturePayload serializes the runner's full state at a boundary.
 func (r *runner) capturePayload(firedUpTo float64, step int) ([]byte, error) {
+	// The profile cache serializes in its historical map form: JSON
+	// object keys marshal sorted, so the snapshot bytes stay identical
+	// to the map-backed cache's.
+	var scp map[string][]profile.Profile
+	for i := range r.scPool {
+		if r.scPool[i].ps == nil {
+			continue
+		}
+		if scp == nil {
+			scp = make(map[string][]profile.Profile, len(r.scPool))
+		}
+		scp[r.scPool[i].w.Name] = r.scPool[i].ps
+	}
 	p := ckptPayload{
 		Seed:       r.cfg.Seed,
 		Scheduler:  r.cfg.Scheduler.Name(),
@@ -389,7 +402,7 @@ func (r *runner) capturePayload(firedUpTo float64, step int) ([]byte, error) {
 		Noise:      r.noise.State(),
 		Stepper:    r.stepper.ExportState(),
 		Injector:   r.inj.ExportState(),
-		SCProfiles: r.scProfiles,
+		SCProfiles: scp,
 		Degraded:   r.degraded,
 		Stats:      r.stats,
 	}
@@ -411,7 +424,7 @@ func (r *runner) capturePayload(firedUpTo float64, step int) ([]byte, error) {
 			Profiles:   ss.profiles,
 		})
 	}
-	for _, a := range sortedSC(r.activeSC) {
+	for _, a := range r.activeSC {
 		p.Jobs = append(p.Jobs, jobCkpt{
 			ID:          a.id,
 			Workload:    a.dep.W.Name,
@@ -549,11 +562,18 @@ func (r *runner) restorePayload(p *ckptPayload) error {
 		})
 	}
 
-	// Batch jobs: rebuilt from the SC pool's workload definitions.
-	r.scProfiles = p.SCProfiles
+	// Batch jobs: rebuilt from the SC pool's workload definitions. The
+	// cached profiles land back in their pool entries; jobs were
+	// serialized ascending by id, so appends restore the activeSC order
+	// invariant.
 	pool := map[string]int{}
 	for i, w := range cfg.SCPool {
 		pool[w.Name] = i
+	}
+	for name, ps := range p.SCProfiles {
+		if pi, ok := pool[name]; ok {
+			r.scPool[pi].ps = ps
+		}
 	}
 	deps := make(map[int]*perfmodel.Deployment, len(p.Jobs))
 	for i := range p.Jobs {
@@ -562,25 +582,24 @@ func (r *runner) restorePayload(p *ckptPayload) error {
 		if !ok {
 			return fmt.Errorf("platform: checkpoint job %q uses workload %q not in the SC pool", jc.Name, jc.Workload)
 		}
-		ps, ok := r.scProfiles[jc.Workload]
-		if !ok {
+		pe := &r.scPool[pi]
+		if pe.ps == nil {
 			return fmt.Errorf("platform: checkpoint job %q has no cached profiles", jc.Name)
 		}
-		w := cfg.SCPool[pi].Clone()
-		dep := perfmodel.NewDeployment(w)
+		dep := perfmodel.NewDeployment(pe.w)
 		if err := jc.Dep.restoreInto(dep); err != nil {
 			return err
 		}
 		in := core.WorkloadInput{
 			Name:      jc.Name,
-			Class:     w.Class,
-			Profiles:  ps,
+			Class:     pe.w.Class,
+			Profiles:  pe.ps,
 			Placement: jc.InPlacement,
 			Replicas:  jc.InReplicas,
 			QPSFrac:   jc.QPSFrac,
-			LifetimeS: w.SoloDurationS,
+			LifetimeS: pe.w.SoloDurationS,
 		}
-		r.activeSC[jc.ID] = &scActive{id: jc.ID, input: in, sla: jc.SLA, dep: dep}
+		r.activeSC = append(r.activeSC, &scActive{id: jc.ID, pool: pi, input: in, sla: jc.SLA, dep: dep})
 		deps[jc.ID] = dep
 	}
 	if err := r.stepper.RestoreState(p.Stepper, deps); err != nil {
@@ -603,7 +622,12 @@ func (r *runner) restorePayload(p *ckptPayload) error {
 		if ss := r.serviceByName(rc.Name); ss != nil {
 			ps = ss.profiles
 		} else if base, ok := jobBaseName(rc.Name); ok {
-			ps = r.scProfiles[base]
+			for pi := range r.scPool {
+				if r.scPool[pi].w.Name == base {
+					ps = r.scPool[pi].ps
+					break
+				}
+			}
 		}
 		if ps == nil {
 			return fmt.Errorf("platform: checkpoint running workload %q has no profiles", rc.Name)

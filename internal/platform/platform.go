@@ -156,6 +156,10 @@ type Stats struct {
 	RejectedJobs   int
 	SchedulingTime time.Duration // wall-clock spent in Place()
 	Steps          int
+	// Invocations is the total LS invocation volume replayed: the
+	// per-step sampled QPS of every service integrated over step
+	// widths. Soak runs report it in millions per simulated day.
+	Invocations float64
 	// Resilience counters (zero on healthy runs).
 	FaultEvents        int // injected fault transitions applied
 	DisplacedServices  int // services re-placed off crashed nodes
@@ -184,9 +188,16 @@ func (s *Stats) SLARatio(name string) float64 {
 
 // serviceState is the platform's runtime record of one LS service.
 type serviceState struct {
-	svc        LSService
-	dep        *perfmodel.Deployment
-	profiles   []profile.Profile
+	svc      LSService
+	dep      *perfmodel.Deployment
+	profiles []profile.Profile
+	// in is the persistent scheduler-visible input, re-synced from the
+	// deployment at every site that used to build a fresh one; obsIn is
+	// a second persistent copy handed to the online learner, kept
+	// separate so feeding the predictor mid-step cannot retro-mutate
+	// the values committed to the scheduler state.
+	in         core.WorkloadInput
+	obsIn      core.WorkloadInput
 	violations int
 	// cooldown pins the placement for a while after a reactive
 	// spread, so a scheduler whose predictions caused the violation
@@ -216,9 +227,19 @@ type runner struct {
 	noise    *rng.Rand
 	rnd      *rng.Rand
 
-	services   []*serviceState
-	activeSC   map[int]*scActive
-	scProfiles map[string][]profile.Profile
+	services []*serviceState
+	// activeSC is the running batch jobs in ascending submission id —
+	// the iteration order every deterministic consumer needs, held as
+	// an invariant instead of re-sorting a map per step (ids only grow,
+	// so appends keep it sorted).
+	activeSC []*scActive
+	// scPool caches one run-local workload clone + lazily computed
+	// profiles per SC pool entry, indexed by pool position.
+	scPool []scPoolEntry
+	// jobFree recycles completed jobs' records (deployment + input
+	// arrays) per pool entry, so steady-state submission allocates only
+	// the unique run name.
+	jobFree [][]*scActive
 
 	engine   sim.Engine
 	inj      *faults.Injector
@@ -246,6 +267,27 @@ type runner struct {
 	rev   telemetry.ReactiveAction     // reusable reactive decision event
 	fev   telemetry.FaultEvent         // reusable fault decision event
 	dev   telemetry.DegradedTransition // reusable degraded decision event
+
+	// Per-step scratch, reused so the steady-state loop allocates
+	// nothing: the noise child generator, the online-learning input
+	// snapshot, and the cached submit callback.
+	noiseChild rng.Rand
+	snapBuf    []core.WorkloadInput
+	submitFn   func()
+	reqBuf     sched.Request // schedulers never retain the request
+}
+
+// scPoolEntry is the runner's per-pool-workload cache: a run-local
+// clone of the workload (so concurrent runs never share state with the
+// caller's catalog) and its lazily computed profiles. Profiling stays
+// lazy — the rng split happens at the first submission of the entry,
+// exactly where the map-keyed cache drew it.
+type scPoolEntry struct {
+	w  *workload.Workload
+	ps []profile.Profile
+	// proto is a pristine NewDeployment of w, the reset template for
+	// recycled job records.
+	proto *perfmodel.Deployment
 }
 
 // Run executes the simulation and returns its stats. A nil ctx means
@@ -293,7 +335,6 @@ func Run(ctx context.Context, cfg Config) (*Stats, error) {
 		spec:     m.Testbed.Servers[0],
 		noise:    rng.Stream(cfg.Seed, "platform-noise"),
 		rnd:      rng.Stream(cfg.Seed, "platform"),
-		activeSC: map[int]*scActive{},
 		inj:      inj,
 		fallback: fallback,
 		retry:    cfg.Retry.withDefaults(),
@@ -305,6 +346,13 @@ func Run(ctx context.Context, cfg Config) (*Stats, error) {
 		ins: cfg.Telemetry.Platform(),
 	}
 	r.engine.Instrument(cfg.Telemetry)
+	r.submitFn = r.submitJob
+	r.scPool = make([]scPoolEntry, len(cfg.SCPool))
+	r.jobFree = make([][]*scActive, len(cfg.SCPool))
+	for i, w := range cfg.SCPool {
+		wc := w.Clone()
+		r.scPool[i] = scPoolEntry{w: wc, proto: perfmodel.NewDeployment(wc)}
+	}
 	if cfg.Checkpoint.Dir != "" {
 		ck, err := newCheckpointer(r)
 		if err != nil {
@@ -358,22 +406,23 @@ func (r *runner) deployServices() error {
 		for f := range dep.Replicas {
 			dep.Replicas[f] = perfmodel.LSReplicasFor(svc.W, f, dep.QPS*1.1)
 		}
-		in := inputFor(svc.W, dep, ps)
-		req := &sched.Request{Input: in, SLA: svc.SLA}
+		ss := &serviceState{svc: svc, dep: dep, profiles: ps}
+		in := ss.syncInput()
+		req := &sched.Request{Input: *in, SLA: svc.SLA}
 		placement, err := r.place(req)
 		if err != nil {
 			return fmt.Errorf("platform: deploying %s: %w", svc.W.Name, err)
 		}
 		copy(dep.Placement, placement)
-		in.Placement = placement
-		r.state.Commit(in, svc.SLA)
+		copy(in.Placement, placement)
+		r.state.Commit(*in, svc.SLA)
 		if err := r.stepper.AddLS(dep); err != nil {
 			return err
 		}
 		for _, rep := range dep.Replicas {
 			r.stats.ColdStarts += rep
 		}
-		r.services = append(r.services, &serviceState{svc: svc, dep: dep, profiles: ps})
+		r.services = append(r.services, ss)
 	}
 	return nil
 }
@@ -410,53 +459,100 @@ func (r *runner) registerArrivals(after float64) {
 		if t <= after {
 			continue
 		}
-		r.engine.At(t, r.submitJob)
+		r.engine.At(t, r.submitFn)
 	}
+}
+
+// takeJobRecord pops a recycled job record for pool entry pi (or
+// builds a fresh one) and resets its deployment to pristine
+// NewDeployment state, so a recycled record is indistinguishable from
+// a fresh one everywhere the scheduler or the model can look.
+func (r *runner) takeJobRecord(pi int) *scActive {
+	pe := &r.scPool[pi]
+	if free := r.jobFree[pi]; len(free) > 0 {
+		a := free[len(free)-1]
+		free[len(free)-1] = nil
+		r.jobFree[pi] = free[:len(free)-1]
+		dep, proto := a.dep, pe.proto
+		copy(dep.Placement, proto.Placement)
+		copy(dep.Socket, proto.Socket)
+		copy(dep.Replicas, proto.Replicas)
+		dep.QPS = proto.QPS
+		dep.StartDelayS = proto.StartDelayS
+		dep.ColdStartFrac = proto.ColdStartFrac
+		dep.Protected = proto.Protected
+		return a
+	}
+	dep := perfmodel.NewDeployment(pe.w)
+	return &scActive{pool: pi, dep: dep, input: core.WorkloadInput{
+		Class:     pe.w.Class,
+		Placement: make([]int, len(dep.Placement)),
+		Replicas:  make([]int, len(dep.Replicas)),
+	}}
 }
 
 // submitJob admits one batch job through the scheduler.
 func (r *runner) submitJob() {
 	cfg := &r.cfg
-	w := cfg.SCPool[r.rnd.Intn(len(cfg.SCPool))].Clone()
-	ps, ok := r.scProfiles[w.Name]
-	if !ok {
-		if r.scProfiles == nil {
-			r.scProfiles = map[string][]profile.Profile{}
-		}
-		ps = profile.WorkloadProfiles(w, r.spec, r.rnd.Split())
-		r.scProfiles[w.Name] = ps
+	pi := r.rnd.Intn(len(cfg.SCPool))
+	pe := &r.scPool[pi]
+	w := pe.w
+	if pe.ps == nil {
+		pe.ps = profile.WorkloadProfiles(w, r.spec, r.rnd.Split())
 	}
-	dep := perfmodel.NewDeployment(w)
+	a := r.takeJobRecord(pi)
+	dep := a.dep
 	for f := range dep.Socket {
 		dep.Socket[f] = -1
 	}
 	dep.ColdStartFrac = r.inj.ColdStartFrac() // active storm hits new jobs
-	in := inputFor(w, dep, ps)
-	sla := sched.SLA{}
+	in := &a.input
+	in.Name = w.Name
+	in.Profiles = pe.ps
+	copy(in.Placement, dep.Placement)
+	copy(in.Replicas, dep.Replicas)
+	in.LifetimeS = w.SoloDurationS
+	a.sla = sched.SLA{}
 	if w.Class == workload.SC {
-		sla.MaxJCTFactor = 2.0
+		a.sla.MaxJCTFactor = 2.0
 	}
-	req := &sched.Request{Input: in, SLA: sla, SoloDurationS: w.SoloDurationS}
+	req := &r.reqBuf
+	*req = sched.Request{Input: *in, SLA: a.sla, SoloDurationS: w.SoloDurationS}
 	placement, err := r.place(req)
 	if err != nil {
 		r.stats.RejectedJobs++
+		r.jobFree[pi] = append(r.jobFree[pi], a)
 		return
 	}
 	copy(dep.Placement, placement)
-	in.Placement = placement
+	copy(in.Placement, placement)
 	// unique run name for release bookkeeping
 	in.Name = fmt.Sprintf("%s#%d", w.Name, r.stats.Placements)
-	r.state.Commit(in, sla)
+	r.state.Commit(*in, a.sla)
 	id, err := r.stepper.AddSC(dep)
 	if err != nil {
 		r.state.Release(in.Name)
 		r.stats.RejectedJobs++
+		r.jobFree[pi] = append(r.jobFree[pi], a)
 		return
 	}
 	for _, rep := range dep.Replicas {
 		r.stats.ColdStarts += rep
 	}
-	r.activeSC[id] = &scActive{id: id, input: in, sla: sla, dep: dep}
+	a.id = id
+	r.activeSC = append(r.activeSC, a)
+}
+
+// removeJob splices the job with the given id out of the active list,
+// returning it for recycling (nil when unknown).
+func (r *runner) removeJob(id int) *scActive {
+	for i, a := range r.activeSC {
+		if a.id == id {
+			r.activeSC = append(r.activeSC[:i], r.activeSC[i+1:]...)
+			return a
+		}
+	}
+	return nil
 }
 
 // predictorOut reports whether an injected outage makes the predictor
@@ -692,8 +788,7 @@ func (r *runner) evacuate(node int) (displacedSvc, displacedJobs int) {
 		}
 		displacedSvc++
 		r.state.Release(ss.svc.W.Name)
-		in := inputFor(ss.svc.W, ss.dep, ss.profiles)
-		req := &sched.Request{Input: in, SLA: ss.svc.SLA}
+		req := &sched.Request{Input: *ss.syncInput(), SLA: ss.svc.SLA}
 		if placement, err := r.place(req); err == nil {
 			for f := range placement {
 				if placement[f] != ss.dep.Placement[f] {
@@ -713,7 +808,7 @@ func (r *runner) evacuate(node int) (displacedSvc, displacedJobs int) {
 		// consistent cluster view.
 		refreshState(r.state, r.services, r.activeSC)
 	}
-	for _, a := range sortedSC(r.activeSC) {
+	for _, a := range r.activeSC {
 		if !placedOn(a.dep.Placement, node) {
 			continue
 		}
@@ -753,6 +848,31 @@ func (r *runner) loop() error {
 	stats := r.stats
 	ins := r.ins
 	coresPerServer := r.spec.Capacity[resources.CPU]
+	// Pre-size the per-step series so steady-state appends never regrow
+	// their backing arrays (values are unchanged; capacity only).
+	if nSteps := int(cfg.DurationS/cfg.StepS) + 1; nSteps > 0 {
+		for _, ss := range r.services {
+			name := ss.svc.W.Name
+			if cap(stats.SLAOK[name]) < nSteps {
+				grown := make([]bool, len(stats.SLAOK[name]), nSteps)
+				copy(grown, stats.SLAOK[name])
+				stats.SLAOK[name] = grown
+			}
+		}
+		growF := func(s []float64) []float64 {
+			if cap(s) >= nSteps {
+				return s
+			}
+			grown := make([]float64, len(s), nSteps)
+			copy(grown, s)
+			return grown
+		}
+		stats.Density = growF(stats.Density)
+		stats.CPUUtil = growF(stats.CPUUtil)
+		stats.MemUtil = growF(stats.MemUtil)
+		stats.GoodDensity = growF(stats.GoodDensity)
+		stats.ActiveServers = growF(stats.ActiveServers)
+	}
 	step := r.startStep
 	for now := r.startS; now < cfg.DurationS; now += cfg.StepS {
 		span := telemetry.StartSpan(ins.StepSeconds)
@@ -778,6 +898,7 @@ func (r *runner) loop() error {
 				qps = ss.svc.W.MaxQPS
 			}
 			ss.dep.QPS = qps
+			stats.Invocations += qps * cfg.StepS
 			changed := false
 			for f := range ss.dep.Replicas {
 				want := perfmodel.LSReplicasFor(ss.svc.W, f, qps*1.1)
@@ -801,8 +922,8 @@ func (r *runner) loop() error {
 				// Release our own allocation before asking for a
 				// placement so the scheduler sees the true headroom.
 				r.state.Release(ss.svc.W.Name)
-				in := inputFor(ss.svc.W, ss.dep, ss.profiles)
-				req := &sched.Request{Input: in, SLA: ss.svc.SLA}
+				req := &r.reqBuf
+				*req = sched.Request{Input: *ss.syncInput(), SLA: ss.svc.SLA}
 				placement, err := r.place(req)
 				if err == nil {
 					for f := range placement {
@@ -820,7 +941,8 @@ func (r *runner) loop() error {
 			}
 		}
 
-		rep := r.stepper.Step(cfg.StepS, r.noise.Split())
+		r.noise.SplitInto(&r.noiseChild)
+		rep := r.stepper.Step(cfg.StepS, &r.noiseChild)
 
 		// SLA monitoring + reactive spreading.
 		for i, ss := range r.services {
@@ -878,7 +1000,7 @@ func (r *runner) loop() error {
 			// Online learning feedback — paused while an injected
 			// outage makes the predictor unreachable.
 			if cfg.Predictor != nil && step%cfg.ObserveEvery == 0 && !r.predictorOut() {
-				inputs := snapshotInputs(r.services, r.activeSC)
+				inputs := r.snapshotInputs()
 				_ = cfg.Predictor.Observe(core.IPCQoS, i, inputs, lr.IPC)
 				if r.ck != nil {
 					r.ck.noteObservation(now, "ipc", i, lr.IPC)
@@ -886,11 +1008,12 @@ func (r *runner) loop() error {
 			}
 		}
 
-		// Completed jobs leave the cluster.
+		// Completed jobs leave the cluster; their records go back to
+		// the pool for the next submission of the same workload.
 		for _, done := range rep.Completed {
-			if a, ok := r.activeSC[done.ID]; ok {
+			if a := r.removeJob(done.ID); a != nil {
 				r.state.Release(a.input.Name)
-				delete(r.activeSC, done.ID)
+				r.jobFree[a.pool] = append(r.jobFree[a.pool], a)
 			}
 			stats.JCTs[done.Name] = append(stats.JCTs[done.Name], done.JCTS)
 		}
@@ -979,44 +1102,60 @@ func inputFor(w *workload.Workload, dep *perfmodel.Deployment, ps []profile.Prof
 	return in
 }
 
+// syncInput refreshes the service's persistent scheduler input from
+// its deployment — the allocation-free replacement for building a
+// fresh input per call. The returned pointer is ss.in itself.
+func (ss *serviceState) syncInput() *core.WorkloadInput { return ss.syncInto(&ss.in) }
+
+// syncInto fills in with the service's current scheduler-visible view
+// (same values inputFor would produce), allocating the backing arrays
+// only on first use.
+func (ss *serviceState) syncInto(in *core.WorkloadInput) *core.WorkloadInput {
+	if in.Placement == nil {
+		in.Placement = make([]int, len(ss.dep.Placement))
+		in.Replicas = make([]int, len(ss.dep.Replicas))
+	}
+	in.Name = ss.svc.W.Name
+	in.Class = ss.svc.W.Class
+	in.Profiles = ss.profiles
+	copy(in.Placement, ss.dep.Placement)
+	copy(in.Replicas, ss.dep.Replicas)
+	if ss.svc.W.Class == workload.LS {
+		in.QPSFrac = perfmodel.LoadFactor(ss.dep)
+	} else {
+		in.LifetimeS = ss.svc.W.SoloDurationS
+	}
+	return in
+}
+
 // refreshState rebuilds the scheduler state's bookkeeping after replica
-// or placement changes.
-func refreshState(state *sched.State, services []*serviceState, activeSC map[int]*scActive) {
+// or placement changes. Services re-sync their persistent inputs first;
+// job inputs are kept current at their mutation sites. The fold order —
+// services in config order, then jobs ascending by submission id — is
+// the fixed order the map-era sortedSC sort produced, which float
+// accumulation into Used depends on.
+func refreshState(state *sched.State, services []*serviceState, activeSC []*scActive) {
 	for s := range state.Used {
 		state.Used[s] = resources.Vector{}
 	}
 	state.Running = state.Running[:0]
 	for _, ss := range services {
-		in := inputFor(ss.svc.W, ss.dep, ss.profiles)
-		state.Commit(in, ss.svc.SLA)
+		state.Commit(*ss.syncInput(), ss.svc.SLA)
 	}
-	for _, a := range sortedSC(activeSC) {
+	for _, a := range activeSC {
 		state.Commit(a.input, a.sla)
 	}
 }
 
 type scActive struct {
 	id    int
+	pool  int // SCPool index, the record's free-list on completion
 	input core.WorkloadInput
 	sla   sched.SLA
 	dep   *perfmodel.Deployment
 }
 
-// sortedSC returns the active batch jobs in ascending submission order.
-// activeSC is a map; consumers that fold float allocations in iteration
-// order (refreshState), break ties by first-seen (evictSC) or feed the
-// online learner (snapshotInputs) must not see Go's randomized map
-// order, or same-seed runs diverge.
-func sortedSC(activeSC map[int]*scActive) []*scActive {
-	out := make([]*scActive, 0, len(activeSC))
-	for _, a := range activeSC {
-		out = append(out, a)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
-	return out
-}
-
-func countSCInstances(activeSC map[int]*scActive) int {
+func countSCInstances(activeSC []*scActive) int {
 	n := 0
 	for _, a := range activeSC {
 		if a.input.Replicas == nil {
@@ -1030,15 +1169,20 @@ func countSCInstances(activeSC map[int]*scActive) int {
 	return n
 }
 
-func snapshotInputs(services []*serviceState, activeSC map[int]*scActive) []core.WorkloadInput {
-	inputs := make([]core.WorkloadInput, 0, len(services)+len(activeSC))
-	for _, ss := range services {
-		inputs = append(inputs, inputFor(ss.svc.W, ss.dep, ss.profiles))
+// snapshotInputs assembles the online learner's cluster view into the
+// runner's reusable buffer: services synced into their observation-only
+// inputs (never the committed ones — retro-mutating a committed input's
+// QPSFrac mid-step would change what the scheduler sees), then jobs in
+// ascending submission order.
+func (r *runner) snapshotInputs() []core.WorkloadInput {
+	r.snapBuf = r.snapBuf[:0]
+	for _, ss := range r.services {
+		r.snapBuf = append(r.snapBuf, *ss.syncInto(&ss.obsIn))
 	}
-	for _, a := range sortedSC(activeSC) {
-		inputs = append(inputs, a.input)
+	for _, a := range r.activeSC {
+		r.snapBuf = append(r.snapBuf, a.input)
 	}
-	return inputs
+	return r.snapBuf
 }
 
 // worstFuncs returns up to n function indices ordered by local p99,
@@ -1106,11 +1250,12 @@ func migrateWorst(m *perfmodel.Model, state *sched.State, ss *serviceState, r pe
 // other online server — the paper's "move the corunner to another
 // socket" control at cluster granularity. It reports whether a job
 // moved.
-func evictSC(state *sched.State, activeSC map[int]*scActive, hot int) bool {
-	// Pick the largest co-located batch job (by CPU allocation).
+func evictSC(state *sched.State, activeSC []*scActive, hot int) bool {
+	// Pick the largest co-located batch job (by CPU allocation); ties
+	// break by first-seen, i.e. ascending submission id.
 	var victim *scActive
 	victimCPU := 0.0
-	for _, a := range sortedSC(activeSC) {
+	for _, a := range activeSC {
 		onHot := false
 		cpu := 0.0
 		for f := range a.input.Profiles {

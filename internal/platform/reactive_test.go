@@ -53,7 +53,7 @@ func resultWorstLast(n int) perfmodel.LSResult {
 func TestRefreshStateRebuildsBookkeeping(t *testing.T) {
 	st := sched.StateFromProfiles(testbedSpec(), 4)
 	ss := lsFixture(workload.SocialNetwork(), 0)
-	jobs := map[int]*scActive{7: scFixture(7, workload.DD(), 1)}
+	jobs := []*scActive{scFixture(7, workload.DD(), 1)}
 	refreshState(st, []*serviceState{ss}, jobs)
 	if len(st.Running) != 2 {
 		t.Fatalf("running = %d, want service + job", len(st.Running))
@@ -143,7 +143,7 @@ func TestEvictSCMovesLargestCorunner(t *testing.T) {
 	small := scFixture(1, workload.DD(), 0)
 	big := scFixture(2, workload.MatMul(), 0)
 	elsewhere := scFixture(3, workload.FloatOp(), 2)
-	jobs := map[int]*scActive{1: small, 2: big, 3: elsewhere}
+	jobs := []*scActive{small, big, elsewhere}
 	refreshState(st, nil, jobs)
 	if !evictSC(st, jobs, 0) {
 		t.Fatal("no corunner evicted from the hot server")
@@ -180,7 +180,7 @@ func TestEvictSCMovesLargestCorunner(t *testing.T) {
 func TestEvictSCRespectsOffline(t *testing.T) {
 	st := sched.StateFromProfiles(testbedSpec(), 3)
 	job := scFixture(1, workload.DD(), 0)
-	jobs := map[int]*scActive{1: job}
+	jobs := []*scActive{job}
 	refreshState(st, nil, jobs)
 	st.SetOffline(1, true)
 	if !evictSC(st, jobs, 0) {
@@ -196,7 +196,7 @@ func TestEvictSCRespectsOffline(t *testing.T) {
 func TestEvictSCNowhereToGo(t *testing.T) {
 	st := sched.StateFromProfiles(testbedSpec(), 2)
 	job := scFixture(1, workload.DD(), 0)
-	jobs := map[int]*scActive{1: job}
+	jobs := []*scActive{job}
 	refreshState(st, nil, jobs)
 	st.SetOffline(1, true)
 	if evictSC(st, jobs, 0) {
@@ -206,7 +206,7 @@ func TestEvictSCNowhereToGo(t *testing.T) {
 
 func TestEvictSCNoCorunner(t *testing.T) {
 	st := sched.StateFromProfiles(testbedSpec(), 4)
-	jobs := map[int]*scActive{1: scFixture(1, workload.DD(), 3)}
+	jobs := []*scActive{scFixture(1, workload.DD(), 3)}
 	refreshState(st, nil, jobs)
 	if evictSC(st, jobs, 0) {
 		t.Fatal("evicted a job that was not on the hot server")

@@ -58,6 +58,19 @@ func (r *Rand) Split() *Rand {
 	return New(r.Uint64() ^ 0xd1342543de82ef95)
 }
 
+// SplitInto re-seeds dst in place with exactly the state Split would
+// give a fresh child (the parent advances identically), so hot loops
+// can derive per-step streams without allocating.
+func (r *Rand) SplitInto(dst *Rand) {
+	x := r.Uint64() ^ 0xd1342543de82ef95
+	for i := range dst.s {
+		dst.s[i] = splitmix64(&x)
+	}
+	if dst.s[0]|dst.s[1]|dst.s[2]|dst.s[3] == 0 {
+		dst.s[0] = 0x9e3779b97f4a7c15
+	}
+}
+
 // State exposes the generator's xoshiro256** state for checkpointing:
 // a restored stream resumes exactly where the snapshot left off, which
 // is what keeps resumed runs byte-identical to uninterrupted ones.

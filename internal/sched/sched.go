@@ -347,7 +347,7 @@ func (g *Gsight) Place(st *State, req *Request) ([]int, error) {
 				// degraded, capacity-based — instead of failing the
 				// caller's run.
 				if g.Fallback != nil {
-					out, ferr := g.Fallback.Place(st, req)
+					out, ferr := fallbackPlace(g.Fallback, st, req)
 					if ferr == nil {
 						g.ins.Fallbacks.Inc()
 						g.finish(span, st, req, out, iters, checks, "degraded", "predictor-error")
@@ -383,6 +383,38 @@ func (g *Gsight) Place(st *State, req *Request) ([]int, error) {
 	out := append([]int(nil), placement...)
 	g.finish(span, st, req, out, iters, checks, "fallback", reason)
 	return out, nil
+}
+
+// fallbackPlace dispatches a degraded-mode placement. The stock
+// policies are devirtualized: calling Place through the Scheduler
+// interface forces every caller's State and Request to escape (the
+// compiler must assume the callee retains them), which costs three
+// heap allocations per placement on the hot path even when no fallback
+// ever runs. Unknown implementations still work through the interface;
+// they get shallow copies so the poison stays inside this function.
+// Place implementations read but never restructure the state, so the
+// copies (sharing every backing array) behave identically.
+func fallbackPlace(s Scheduler, st *State, req *Request) ([]int, error) {
+	switch f := s.(type) {
+	case *WorstFit:
+		return f.Place(st, req)
+	case *BestFit:
+		return f.Place(st, req)
+	default:
+		// Deep-copy the state's own slices (not just the struct): a
+		// shallow copy would still leak the caller's backing arrays
+		// into the interface call. This branch only runs during an
+		// actual degraded-mode placement, so the copies are off the
+		// hot path.
+		stc := State{
+			Caps:    append([]resources.Vector(nil), st.Caps...),
+			Used:    append([]resources.Vector(nil), st.Used...),
+			Running: append([]Deployed(nil), st.Running...),
+			Offline: append([]bool(nil), st.Offline...),
+		}
+		reqc := *req
+		return s.Place(&stc, &reqc)
+	}
 }
 
 // candidate builds one placement over the given servers: functions in

@@ -119,3 +119,25 @@ func (p *EmpiricalPattern) MeanRate() float64 {
 	}
 	return sum / float64(len(p.rates))
 }
+
+// HorizonS returns the trace horizon in simulated seconds — the period
+// after which RateAt wraps around.
+func (p *EmpiricalPattern) HorizonS() float64 {
+	return p.binS * float64(len(p.rates))
+}
+
+// Scaled derives a new pattern with every windowed rate multiplied by
+// the scaling's rate factor and the window width divided by its time
+// factor, so a compressed trace replays its full horizon in
+// HorizonS()/TimeFactor simulated seconds. The receiver is unchanged.
+func (p *EmpiricalPattern) Scaled(s Scaling) *EmpiricalPattern {
+	out := &EmpiricalPattern{
+		binS:  p.binS / s.Time(),
+		rates: make([]float64, len(p.rates)),
+	}
+	rf := s.Rate()
+	for i, r := range p.rates {
+		out.rates[i] = r * rf
+	}
+	return out
+}

@@ -1,0 +1,155 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"gsight/internal/rng"
+)
+
+// TestTimeScaleCompressesClock pins the TimeScale contract: at factor
+// k, the rate at simulated time t equals the unscaled rate at trace
+// time k*t — one simulated day replays k days of diurnal structure.
+func TestTimeScaleCompressesClock(t *testing.T) {
+	base := DefaultPattern(100)
+	base.PhaseShift = 3600
+	for _, k := range []float64{2, 4, 24} {
+		scaled := base
+		scaled.TimeScale = k
+		for _, tt := range []float64{0, 1800, 7 * 3600, 86400, 5 * 86400} {
+			got := scaled.RateAt(tt)
+			want := base.RateAt(k * tt)
+			if got != want {
+				t.Fatalf("TimeScale %v at t=%v: rate %v, want unscaled rate at %v = %v", k, tt, got, k*tt, want)
+			}
+		}
+	}
+}
+
+// TestTimeScaleZeroAndOneAreRealTime pins bit-identity for unscaled
+// patterns: the zero value and an explicit 1 must evaluate the exact
+// float expression the field's introduction did not change.
+func TestTimeScaleZeroAndOneAreRealTime(t *testing.T) {
+	base := DefaultPattern(100)
+	one := base
+	one.TimeScale = 1
+	for h := 0.0; h < 24*8; h += 0.25 {
+		tt := h * 3600
+		if base.RateAt(tt) != one.RateAt(tt) {
+			t.Fatalf("TimeScale 1 diverges from zero value at t=%v", tt)
+		}
+	}
+}
+
+// TestScalingApply pins the knob semantics: rate factor multiplies
+// BaseQPS, time factor composes into TimeScale, non-positive factors
+// mean unscaled, and Apply is composable.
+func TestScalingApply(t *testing.T) {
+	p := DefaultPattern(50)
+	s := Scaling{RateFactor: 3, TimeFactor: 4}
+	q := s.Apply(p)
+	if q.BaseQPS != 150 {
+		t.Fatalf("BaseQPS = %v, want 150", q.BaseQPS)
+	}
+	if q.TimeScale != 4 {
+		t.Fatalf("TimeScale = %v, want 4", q.TimeScale)
+	}
+	if q.PhaseShift != p.PhaseShift || q.DiurnalAmp != p.DiurnalAmp {
+		t.Fatal("Apply must not touch shape fields")
+	}
+	// Composition: applying again multiplies both axes.
+	q2 := s.Apply(q)
+	if q2.BaseQPS != 450 || q2.TimeScale != 16 {
+		t.Fatalf("composed = (%v qps, x%v), want (450, x16)", q2.BaseQPS, q2.TimeScale)
+	}
+	// Zero value and non-positive factors are no-ops.
+	if !(Scaling{}).IsZero() || !(Scaling{RateFactor: -2, TimeFactor: 0}).IsZero() {
+		t.Fatal("zero/non-positive scaling must be IsZero")
+	}
+	if (Scaling{RateFactor: 1, TimeFactor: 2}).IsZero() {
+		t.Fatal("time-only scaling is not IsZero")
+	}
+	r := Scaling{}.Apply(p)
+	if r.BaseQPS != p.BaseQPS || r.TimeScale != 1 {
+		t.Fatalf("zero scaling changed the pattern: %+v", r)
+	}
+}
+
+// TestEmpiricalPatternWrapsAtHorizon pins long-horizon replay: past
+// HorizonS the trace repeats exactly, arbitrarily far out.
+func TestEmpiricalPatternWrapsAtHorizon(t *testing.T) {
+	arrivals := []float64{0.5, 1.5, 1.7, 2.5, 3.9}
+	p, err := NewEmpiricalPattern(arrivals, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := p.HorizonS(); h != 4 {
+		t.Fatalf("HorizonS = %v, want 4", h)
+	}
+	for _, tt := range []float64{0, 0.25, 1.9, 3.999} {
+		base := p.RateAt(tt)
+		for _, laps := range []float64{1, 2, 250000} { // ~11 simulated days at horizon 4
+			if got := p.RateAt(tt + laps*p.HorizonS()); got != base {
+				t.Fatalf("RateAt(%v + %v laps) = %v, want %v", tt, laps, got, base)
+			}
+		}
+	}
+	if p.RateAt(-5) != p.RateAt(0) {
+		t.Fatal("negative times must clamp to the first bin")
+	}
+}
+
+// TestEmpiricalPatternScaled pins the derived-pattern semantics: rates
+// multiply by the rate factor, the horizon shrinks by the time factor,
+// and the receiver is untouched.
+func TestEmpiricalPatternScaled(t *testing.T) {
+	p, err := NewEmpiricalPattern([]float64{0.5, 1.5, 1.7, 2.5}, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	origMean := p.MeanRate()
+	s := p.Scaled(Scaling{RateFactor: 10, TimeFactor: 3})
+	if h := s.HorizonS(); math.Abs(h-1) > 1e-12 {
+		t.Fatalf("scaled horizon = %v, want 1 (3/3)", h)
+	}
+	if got, want := s.MeanRate(), 10*origMean; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("scaled mean rate = %v, want %v", got, want)
+	}
+	// Bin b of the scaled trace replays bin b of the original, 10x up.
+	for b := 0; b < 3; b++ {
+		orig := p.RateAt(float64(b) + 0.5)
+		if got := s.RateAt((float64(b) + 0.5) / 3); got != 10*orig {
+			t.Fatalf("bin %d: scaled rate %v, want %v", b, got, 10*orig)
+		}
+	}
+	if p.MeanRate() != origMean || p.HorizonS() != 3 {
+		t.Fatal("Scaled mutated its receiver")
+	}
+}
+
+// TestScaledDeterminism pins same-seed reproducibility at scaled
+// rates: two generations from equal seeds produce identical arrival
+// sequences and identical noisy samples, scaled or not.
+func TestScaledDeterminism(t *testing.T) {
+	p := Scaling{RateFactor: 2, TimeFactor: 8}.Apply(DefaultPattern(40))
+	a := Arrivals(p, 0, 600, rng.New(7))
+	b := Arrivals(p, 0, 600, rng.New(7))
+	if len(a) == 0 {
+		t.Fatal("no arrivals generated")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same-seed runs generated %d vs %d arrivals", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("arrival %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	r1, r2 := rng.New(11), rng.New(11)
+	for i := 0; i < 100; i++ {
+		tt := float64(i) * 30
+		if p.Sample(tt, r1) != p.Sample(tt, r2) {
+			t.Fatalf("same-seed Sample diverges at t=%v", tt)
+		}
+	}
+}

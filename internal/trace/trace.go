@@ -28,6 +28,11 @@ type Pattern struct {
 	// PhaseShift offsets the pattern (seconds), decorrelating
 	// workloads.
 	PhaseShift float64
+	// TimeScale compresses the diurnal/weekly clock: at TimeScale k,
+	// one simulated second advances k seconds of trace time, so a
+	// whole day of rate structure replays in 86400/k simulated
+	// seconds. Zero (the zero value) and 1 mean real time.
+	TimeScale float64
 }
 
 // DefaultPattern returns a diurnal+weekly pattern around baseQPS,
@@ -51,6 +56,11 @@ const (
 // trace epoch, a Monday midnight). It is deterministic; use Sample for
 // the noisy instantaneous rate.
 func (p Pattern) RateAt(t float64) float64 {
+	// Guarded so unscaled patterns evaluate the exact expression they
+	// always did (no spurious *1 in the float chain).
+	if p.TimeScale != 0 && p.TimeScale != 1 {
+		t *= p.TimeScale
+	}
 	t += p.PhaseShift
 	hour := math.Mod(t, daySeconds) / 3600
 	diurnal := 1 + p.DiurnalAmp*math.Cos((hour-p.PeakHour)/24*2*math.Pi)
@@ -121,6 +131,50 @@ func (m MemorySampler) Sample(rnd *rng.Rand) float64 {
 		v = m.CapMB
 	}
 	return v
+}
+
+// Scaling stretches an invocation pattern along both axes: RateFactor
+// multiplies every instantaneous rate (more invocations per simulated
+// second), TimeFactor compresses the trace clock (more trace horizon
+// per simulated second). Together they drive long-horizon soak runs —
+// e.g. RateFactor 20 on a 50 QPS base replays ~86M invocations per
+// simulated day. The zero value (and any factor <= 0) means unscaled.
+type Scaling struct {
+	RateFactor float64
+	TimeFactor float64
+}
+
+// Rate returns the effective rate factor (1 when unset).
+func (s Scaling) Rate() float64 {
+	if s.RateFactor <= 0 {
+		return 1
+	}
+	return s.RateFactor
+}
+
+// Time returns the effective time-compression factor (1 when unset).
+func (s Scaling) Time() float64 {
+	if s.TimeFactor <= 0 {
+		return 1
+	}
+	return s.TimeFactor
+}
+
+// IsZero reports whether the scaling is a no-op.
+func (s Scaling) IsZero() bool { return s.Rate() == 1 && s.Time() == 1 }
+
+// Apply derives the scaled pattern: the base rate is multiplied by the
+// rate factor and the diurnal/weekly clock compressed by the time
+// factor. PhaseShift stays in trace time, so decorrelated services
+// remain decorrelated under scaling.
+func (s Scaling) Apply(p Pattern) Pattern {
+	p.BaseQPS *= s.Rate()
+	ts := p.TimeScale
+	if ts == 0 {
+		ts = 1
+	}
+	p.TimeScale = ts * s.Time()
+	return p
 }
 
 // Arrivals generates Poisson arrival times over [start, end) for a

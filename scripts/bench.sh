@@ -9,16 +9,38 @@
 #              count keeps incremental-update window growth bounded)
 #   out.json   history path (default BENCH_gsight.json in the repo root)
 #   label      optional label recorded on the new history entry
+#
+#        scripts/bench.sh check [out.json]
+#   Alloc-regression smoke gate (run from `make check`): re-measures
+#   the low-alloc benchmarks at a reduced iteration count and fails if
+#   any of them allocates more per op than the latest history entry
+#   recorded. ns/op is deliberately not gated — it needs a quiet
+#   machine — but allocs/op is deterministic and catches
+#   escape-analysis regressions the test suite cannot see.
 set -eu
 
 cd "$(dirname "$0")/.."
+
+BENCHES='BenchmarkInference$|BenchmarkInferenceBatch$|BenchmarkIncrementalUpdate$|BenchmarkEncode$|BenchmarkForestTraining$|BenchmarkForestTrainingParallel$|BenchmarkBinarySearchScheduling$|BenchmarkSchedulingInstrumented$|BenchmarkFaultyPlatform$|BenchmarkEngineStep$|BenchmarkPlatformStep$'
+ML_BENCHES='BenchmarkWindowAbsorb$'
+PERSIST_BENCHES='BenchmarkCheckpointSnapshot$|BenchmarkWALAppend$'
+
+if [ "${1:-}" = "check" ]; then
+    OUT="${2:-BENCH_gsight.json}"
+    # The low-alloc subset: steady-state alloc-free (or near-free)
+    # paths whose budgets the history pins. 50 iterations amortize
+    # one-time pool warm-up below the integer allocs/op truncation.
+    SMOKE='BenchmarkInference$|BenchmarkInferenceBatch$|BenchmarkEncode$|BenchmarkBinarySearchScheduling$|BenchmarkSchedulingInstrumented$|BenchmarkEngineStep$'
+    RAW="$(go test -run '^$' -bench "$SMOKE" -benchmem -benchtime 50x .)
+$(go test -run '^$' -bench "$ML_BENCHES" -benchmem -benchtime 50x ./internal/ml)"
+    echo "$RAW"
+    echo "$RAW" | go run ./scripts/benchhist -out "$OUT" -check
+    exit 0
+fi
+
 BENCHTIME="${1:-200x}"
 OUT="${2:-BENCH_gsight.json}"
 LABEL="${3:-}"
-
-BENCHES='BenchmarkInference$|BenchmarkInferenceBatch$|BenchmarkIncrementalUpdate$|BenchmarkEncode$|BenchmarkForestTraining$|BenchmarkForestTrainingParallel$|BenchmarkBinarySearchScheduling$|BenchmarkSchedulingInstrumented$|BenchmarkFaultyPlatform$'
-ML_BENCHES='BenchmarkWindowAbsorb$'
-PERSIST_BENCHES='BenchmarkCheckpointSnapshot$|BenchmarkWALAppend$'
 
 RAW="$(go test -run '^$' -bench "$BENCHES" -benchmem -benchtime "$BENCHTIME" .)
 $(go test -run '^$' -bench "$ML_BENCHES" -benchmem -benchtime "$BENCHTIME" ./internal/ml)

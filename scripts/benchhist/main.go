@@ -54,8 +54,9 @@ func main() {
 	date := flag.String("date", "", "entry date (YYYY-MM-DD)")
 	benchtime := flag.String("benchtime", "", "go test -benchtime value the entry was run at")
 	label := flag.String("label", "", "optional entry label")
+	check := flag.Bool("check", false, "compare stdin results against the latest history entry instead of appending: fail if any low-alloc benchmark regressed allocs_per_op")
 	flag.Parse()
-	if *date == "" {
+	if *date == "" && !*check {
 		fatal(errors.New("-date is required"))
 	}
 
@@ -90,6 +91,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *check {
+		if err := checkAllocs(h, e.Benchmarks); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if goos != "" {
 		h.Goos, h.Goarch, h.CPU = goos, goarch, cpu
 	}
@@ -104,6 +111,48 @@ func main() {
 	}
 	fmt.Printf("benchhist: %s now holds %d entries (%d benchmarks in %s)\n",
 		*out, len(h.History), len(e.Benchmarks), *date)
+}
+
+// lowAllocMax bounds which benchmarks the -check smoke gate covers:
+// only those the latest history entry records at or below this many
+// allocs/op. Zero/low-alloc paths are where escape-analysis
+// regressions land silently (an interface call heap-promoting a
+// caller's buffer shows up as a few allocs/op, invisible in ns/op
+// noise); high-alloc benchmarks drift with workload shape and are
+// judged by the recorded history instead.
+const lowAllocMax = 10
+
+// checkAllocs compares fresh results against the latest history entry
+// and errors if any benchmark that was low-alloc regressed its
+// allocs/op. Benchmarks absent from either side are skipped — the
+// gate guards known-good paths, it does not enforce coverage.
+func checkAllocs(h *histFile, fresh map[string]result) error {
+	if len(h.History) == 0 {
+		return errors.New("-check needs an existing history entry to compare against")
+	}
+	last := h.History[len(h.History)-1]
+	var regressions []string
+	checked := 0
+	for name, old := range last.Benchmarks {
+		now, ok := fresh[name]
+		if !ok || old.AllocsPerOp > lowAllocMax {
+			continue
+		}
+		checked++
+		if now.AllocsPerOp > old.AllocsPerOp {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %d allocs/op, history has %d", name, now.AllocsPerOp, old.AllocsPerOp))
+		}
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("alloc regressions vs %q entry:\n  %s",
+			last.Date+" "+last.Label, strings.Join(regressions, "\n  "))
+	}
+	if checked == 0 {
+		return errors.New("-check matched no low-alloc benchmarks; wrong -bench filter?")
+	}
+	fmt.Printf("benchhist: %d low-alloc benchmarks at or below their recorded allocs/op\n", checked)
+	return nil
 }
 
 // parseBenchLine extracts "BenchmarkName-8  N  123 ns/op  45 B/op  6 allocs/op".
