@@ -348,6 +348,50 @@ func BenchmarkFaultyPlatform(b *testing.B) {
 	}
 }
 
+// BenchmarkTracedPlatform is BenchmarkFaultyPlatform with the full
+// observability recorder attached (lifecycle trace + flight recorder +
+// prediction-quality tracking, all draining to io.Discard): the same
+// chaos run, so the ns/op delta against BenchmarkFaultyPlatform is the
+// whole-run cost of enabled recording. The contract is <15% overhead;
+// scripts/bench.sh runs both so the pair lands in the history file.
+func BenchmarkTracedPlatform(b *testing.B) {
+	cat := Catalog()
+	const durationS = 2 * 3600
+	chaos, err := FaultScenario("chaos", 42, durationS, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		rec := NewRecorder(RecorderConfig{
+			Trace: io.Discard, Flight: io.Discard, Servers: 8, StepS: 30,
+		})
+		st, err := RunPlatform(nil, PlatformConfig{
+			Model:     NewTestbedModel(),
+			Scheduler: NewWorstFit(),
+			Services: []PlatformService{
+				{W: cat["social-network"], Pattern: DefaultTracePattern(250), SLA: SLA{MinIPC: 0.9}},
+				{W: cat["e-commerce"], Pattern: DefaultTracePattern(350), SLA: SLA{MinIPC: 1.0}},
+			},
+			SCPool:          []*Workload{cat["matmul"], cat["dd"], cat["float-op"]},
+			SCMeanIntervalS: 200,
+			DurationS:       durationS,
+			StepS:           30,
+			Seed:            42,
+			Faults:          chaos,
+			Obs:             rec,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.FaultEvents == 0 {
+			b.Fatal("chaos run injected no faults")
+		}
+		if rec.Trace().Events() == 0 || rec.Flight().Frames() == 0 {
+			b.Fatal("recorder captured nothing")
+		}
+	}
+}
+
 // BenchmarkEngineStep measures one event dispatch through the
 // time-wheel engine at a steady population of self-rescheduling timers
 // — the event-queue half of the platform step loop. Expected 0

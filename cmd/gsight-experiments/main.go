@@ -9,9 +9,11 @@
 //	gsight-experiments [-scale 1.0] [-seed 42] [-run fig3a,fig9|all]
 //	                   [-parallel] [-list] [-v|-quiet]
 //	                   [-debug-addr :6060] [-report run.json]
+//	                   [-decision-log run.jsonl]
 package main
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"flag"
@@ -41,6 +43,7 @@ func main() {
 	quiet := flag.Bool("quiet", false, "errors only")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
 	reportPath := flag.String("report", "", "write a JSON run report to this file")
+	decisionPath := flag.String("decision-log", "", "write the JSONL decision log to this file")
 	flag.Parse()
 
 	log := logx.Default(*verbose, *quiet)
@@ -58,6 +61,7 @@ func main() {
 	ok := runAll(ctx, log, config{
 		scale: *scale, seed: *seed, run: *run, format: *format, out: *out,
 		parallel: *parallel, debugAddr: *debugAddr, reportPath: *reportPath,
+		decisionPath: *decisionPath,
 	})
 	if !ok {
 		os.Exit(1)
@@ -70,9 +74,10 @@ type config struct {
 	run        string
 	format     string
 	out        string
-	parallel   bool
-	debugAddr  string
-	reportPath string
+	parallel     bool
+	debugAddr    string
+	reportPath   string
+	decisionPath string
 }
 
 // runAll executes the selected experiments and emits their reports; it
@@ -81,6 +86,19 @@ type config struct {
 // exit code.
 func runAll(ctx context.Context, log *logx.Logger, cfg config) bool {
 	tel := telemetry.New()
+	if cfg.decisionPath != "" {
+		f, err := os.Create(cfg.decisionPath)
+		if err != nil {
+			log.Errorf("decision log: %v", err)
+			return false
+		}
+		bw := bufio.NewWriter(f)
+		defer func() {
+			bw.Flush()
+			f.Close()
+		}()
+		tel.WithDecisions(bw)
+	}
 	experiments.SetTelemetry(tel)
 	if cfg.debugAddr != "" {
 		addr, err := telemetry.ServeDebug(cfg.debugAddr, tel.Registry)
@@ -153,17 +171,25 @@ func runAll(ctx context.Context, log *logx.Logger, cfg config) bool {
 	log.Infof("all experiments finished in %v", time.Since(tAll).Round(time.Millisecond))
 
 	failed, cancelled := 0, 0
+	var drev telemetry.ExperimentRun
+	logOutcome := func(id, status string) {
+		drev = telemetry.ExperimentRun{ID: id, Status: status}
+		tel.Decisions.Experiment(&drev)
+	}
 	for i, id := range ids {
 		res := results[i]
 		if errors.Is(res.err, context.Canceled) {
+			logOutcome(id, "cancelled")
 			cancelled++
 			continue
 		}
 		if res.err != nil {
 			log.Errorf("%s: %v", id, res.err)
+			logOutcome(id, "failed")
 			failed++
 			continue
 		}
+		logOutcome(id, "ok")
 		if cfg.format == "markdown" {
 			fmt.Fprintf(sink, "%s\n*(regenerated in %v at scale %.2f, seed %d)*\n\n", res.rep.Markdown(), res.took, cfg.scale, cfg.seed)
 		} else {

@@ -11,6 +11,7 @@
 //	           [-faults chaos|node-crash|...|schedule.json]
 //	           [-checkpoint-dir ckpt] [-checkpoint-interval 1800] [-resume]
 //	           [-debug-addr :6060] [-report run.json] [-decision-log run.jsonl]
+//	           [-trace trace.json] [-record dir]
 //
 // With -checkpoint-dir the controller snapshots its full state
 // periodically and logs every decision to a write-ahead log between
@@ -19,6 +20,14 @@
 // the same flags: it picks up from the newest valid snapshot and the
 // final report and decision log are byte-identical to an uninterrupted
 // run.
+//
+// -trace writes an invocation-lifecycle trace in Chrome trace-event
+// JSON (loadable in Perfetto or chrome://tracing). -record captures the
+// full observability bundle into a directory — trace.json plus
+// flight.bin, the step-sampled flight recording gsight-inspect reads.
+// Both streams are simulation-time only (same-seed runs are
+// byte-identical) and checkpoint-aware: on -resume they are truncated
+// to the snapshot's offsets and continued seamlessly.
 package main
 
 import (
@@ -27,9 +36,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"io"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sort"
 	"strings"
 	"syscall"
@@ -39,6 +48,7 @@ import (
 	"gsight/internal/core"
 	"gsight/internal/faults"
 	"gsight/internal/logx"
+	"gsight/internal/obs"
 	"gsight/internal/perfmodel"
 	"gsight/internal/persist"
 	"gsight/internal/platform"
@@ -65,6 +75,8 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
 	reportPath := flag.String("report", "", "write a JSON run report to this file")
 	decisionPath := flag.String("decision-log", "", "write the JSONL decision log to this file")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event (Perfetto) lifecycle trace to this file")
+	recordDir := flag.String("record", "", "record the observability bundle (trace.json, flight.bin) into this directory")
 	rateScale := flag.Float64("rate-scale", 1, "multiply every service's invocation rate (and its MaxQPS ceiling) for soak runs")
 	timeScale := flag.Float64("time-scale", 1, "compress the diurnal/weekly trace clock: k replays k days of rate structure per simulated day")
 	flag.Parse()
@@ -88,6 +100,8 @@ func main() {
 		debugAddr:     *debugAddr,
 		reportPath:    *reportPath,
 		decisionPath:  *decisionPath,
+		tracePath:     *tracePath,
+		recordDir:     *recordDir,
 		scaling:       trace.Scaling{RateFactor: *rateScale, TimeFactor: *timeScale},
 	}); err != nil {
 		log.Errorf("%v", err)
@@ -99,6 +113,10 @@ func main() {
 		os.Exit(1)
 	}
 }
+
+// simStepS is the platform step interval; the flight recorder stamps
+// it into its header so recordings are self-describing.
+const simStepS = 30
 
 type options struct {
 	scheduler     string
@@ -112,6 +130,8 @@ type options struct {
 	debugAddr     string
 	reportPath    string
 	decisionPath  string
+	tracePath     string
+	recordDir     string
 	scaling       trace.Scaling
 }
 
@@ -139,32 +159,57 @@ func run(ctx context.Context, log *logx.Logger, opt options) error {
 	}
 
 	sink := telemetry.New()
-	var flushLog func() error
-	if opt.decisionPath != "" {
+	// Every checkpoint-aware stream (decision log, trace, flight
+	// recording) registers its flush here; the composed function runs
+	// before each snapshot so the on-disk bytes cover the recorded
+	// offsets.
+	var flushFns []func() error
+	// openStream (re)opens one output stream: truncate-and-append on
+	// resume, fresh otherwise. The returned writer is flushed and closed
+	// when run returns.
+	openStream := func(path string, resumeBytes int64) (*bufio.Writer, func(), error) {
 		var f *os.File
 		var err error
 		if resumeMeta != nil {
-			// Continue the interrupted log: drop everything after the
-			// snapshot's offset, then append. The platform re-emits the
-			// replayed window so the bytes line up exactly.
-			f, err = os.OpenFile(opt.decisionPath, os.O_RDWR|os.O_CREATE, 0o644)
-			if err == nil {
-				if err = f.Truncate(resumeMeta.LogBytes); err == nil {
-					_, err = f.Seek(0, io.SeekEnd)
-				}
-			}
+			f, err = persist.OpenAppendTruncated(path, resumeBytes)
 		} else {
-			f, err = os.Create(opt.decisionPath)
+			f, err = os.Create(path)
 		}
+		if err != nil {
+			return nil, nil, err
+		}
+		bw := bufio.NewWriter(f)
+		flushFns = append(flushFns, bw.Flush)
+		return bw, func() { bw.Flush(); f.Close() }, nil
+	}
+	// Observability recording paths: -trace writes the lifecycle trace
+	// alone, -record captures the full bundle (trace + flight recording)
+	// into a directory gsight-inspect can read back. The directory is
+	// created first so other outputs (like -decision-log) can point
+	// into it.
+	tracePath, flightPath := opt.tracePath, ""
+	if opt.recordDir != "" {
+		if err := os.MkdirAll(opt.recordDir, 0o755); err != nil {
+			return fmt.Errorf("record dir: %w", err)
+		}
+		if tracePath == "" {
+			tracePath = filepath.Join(opt.recordDir, "trace.json")
+		}
+		flightPath = filepath.Join(opt.recordDir, "flight.bin")
+	}
+	if opt.decisionPath != "" {
+		// Continue the interrupted log: drop everything after the
+		// snapshot's offset, then append. The platform re-emits the
+		// replayed window so the bytes line up exactly.
+		var resumeBytes int64
+		if resumeMeta != nil {
+			resumeBytes = resumeMeta.LogBytes
+		}
+		bw, closeLog, err := openStream(opt.decisionPath, resumeBytes)
 		if err != nil {
 			return fmt.Errorf("decision log: %w", err)
 		}
-		bw := bufio.NewWriter(f)
-		defer func() {
-			bw.Flush()
-			f.Close()
-		}()
-		flushLog = bw.Flush
+		defer closeLog()
 		sink.WithDecisions(bw)
 	}
 	if opt.debugAddr != "" {
@@ -178,6 +223,36 @@ func run(ctx context.Context, log *logx.Logger, opt options) error {
 	m := perfmodel.New(resources.DefaultTestbed())
 	scenario.FastConfig(m)
 	g := scenario.NewGenerator(m, opt.seed)
+
+	var recorder *obs.Recorder
+	if tracePath != "" || flightPath != "" {
+		obsCfg := obs.Config{Servers: m.Testbed.NumServers(), StepS: simStepS}
+		if tracePath != "" {
+			var resumeBytes int64
+			if resumeMeta != nil {
+				resumeBytes = resumeMeta.TraceBytes
+			}
+			bw, closeTrace, err := openStream(tracePath, resumeBytes)
+			if err != nil {
+				return fmt.Errorf("trace: %w", err)
+			}
+			defer closeTrace()
+			obsCfg.Trace = bw
+		}
+		if flightPath != "" {
+			var resumeBytes int64
+			if resumeMeta != nil {
+				resumeBytes = resumeMeta.FlightBytes
+			}
+			bw, closeFlight, err := openStream(flightPath, resumeBytes)
+			if err != nil {
+				return fmt.Errorf("flight recording: %w", err)
+			}
+			defer closeFlight()
+			obsCfg.Flight = bw
+		}
+		recorder = obs.New(obsCfg)
+	}
 
 	var pred core.QoSPredictor
 	var scheduler sched.Scheduler
@@ -287,6 +362,22 @@ func run(ctx context.Context, log *logx.Logger, opt options) error {
 		log.Infof("trace scaling: rate x%.1f, time x%.1f", opt.scaling.Rate(), opt.scaling.Time())
 	}
 
+	// One flush function covering every open stream: the checkpointer
+	// calls it before each snapshot so the on-disk bytes reach the
+	// offsets the snapshot records.
+	var flushLog func() error
+	if len(flushFns) > 0 {
+		fns := flushFns
+		flushLog = func() error {
+			for _, fn := range fns {
+				if err := fn(); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
+
 	log.Infof("running %.0fh trace-driven simulation under %s...", opt.hours, scheduler.Name())
 	t0 := time.Now()
 	st, err := platform.Run(ctx, platform.Config{
@@ -301,11 +392,12 @@ func run(ctx context.Context, log *logx.Logger, opt options) error {
 		},
 		SCMeanIntervalS: 150,
 		DurationS:       durationS,
-		StepS:           30,
+		StepS:           simStepS,
 		Seed:            opt.seed,
 		Telemetry:       sink,
 		Faults:          schedule,
 		Predictor:       onlinePred,
+		Obs:             recorder,
 		Checkpoint: platform.CheckpointConfig{
 			Dir:       opt.checkpointDir,
 			IntervalS: opt.checkpointInt,
@@ -320,6 +412,13 @@ func run(ctx context.Context, log *logx.Logger, opt options) error {
 		return fmt.Errorf("simulation: %w", err)
 	}
 	log.Infof("simulated in %v (%d steps)", time.Since(t0).Round(time.Millisecond), st.Steps)
+	if recorder != nil {
+		if err := recorder.Err(); err != nil {
+			return fmt.Errorf("observability recording: %w", err)
+		}
+		log.Infof("recorded %d trace events, %d flight frames",
+			recorder.Trace().Events(), recorder.Flight().Frames())
+	}
 
 	fmt.Printf("function density (inst/core): mean %.3f, p50 %.3f, p90 %.3f\n",
 		stats.Mean(st.Density), stats.Median(st.Density), stats.Percentile(st.Density, 90))

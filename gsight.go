@@ -29,6 +29,7 @@ import (
 	"gsight/internal/core"
 	"gsight/internal/experiments"
 	"gsight/internal/faults"
+	"gsight/internal/obs"
 	"gsight/internal/perfmodel"
 	"gsight/internal/platform"
 	"gsight/internal/resources"
@@ -265,6 +266,35 @@ var TelemetryNop = telemetry.Nop
 // ServeDebug starts the background debug HTTP server (/metrics in
 // Prometheus text format, /debug/vars, /debug/pprof).
 var ServeDebug = telemetry.ServeDebug
+
+// Run recording (DESIGN.md §13): invocation-lifecycle tracing, the
+// step-sampled flight recorder, and online prediction-quality tracking.
+type (
+	// Recorder bundles a run's observability streams; pass it to
+	// PlatformConfig.Obs. A nil *Recorder disables recording with zero
+	// overhead.
+	Recorder = obs.Recorder
+	// RecorderConfig selects which streams a Recorder writes.
+	RecorderConfig = obs.Config
+	// TraceTracer streams lifecycle events as Chrome trace-event JSON
+	// (loadable in Perfetto).
+	TraceTracer = obs.Tracer
+	// FlightRecording is a decoded flight-recorder stream.
+	FlightRecording = obs.FlightData
+	// FlightFrame is one step sample of cluster state.
+	FlightFrame = obs.Frame
+	// PredictionQuality is the online rolling-error and drift tracker.
+	PredictionQuality = obs.PredQ
+	// PredictionDrift describes one Page–Hinkley drift detection.
+	PredictionDrift = obs.DriftInfo
+)
+
+// NewRecorder builds a run recorder writing the configured streams.
+var NewRecorder = obs.New
+
+// ReadFlightRecording decodes a flight-recorder stream (flight.bin
+// from gsight-sim -record), dropping a torn final frame.
+var ReadFlightRecording = obs.ReadFlight
 
 // Experiments: the paper-reproduction harness.
 type (

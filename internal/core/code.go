@@ -18,6 +18,20 @@ import (
 	"gsight/internal/workload"
 )
 
+// BaseName splits a unique invocation run name ("matmul#17") back to
+// its archetype — the pool workload the instance was stamped from.
+// Names without a run suffix come back unchanged with ok=false; the
+// platform and the observability layer share this convention when
+// keying per-archetype statistics.
+func BaseName(name string) (string, bool) {
+	for i := len(name) - 1; i >= 0; i-- {
+		if name[i] == '#' {
+			return name[:i], true
+		}
+	}
+	return name, false
+}
+
 // WorkloadInput is everything the predictor may legally see about one
 // deployed workload: its class, its solo-run profiles, where its
 // functions are placed, and its load/timing. It never includes

@@ -1,0 +1,183 @@
+// Package obs is the observability layer on top of internal/telemetry:
+// invocation-lifecycle tracing (Chrome trace-event JSON), a
+// step-sampled binary flight recorder, and online prediction-quality
+// tracking with Page–Hinkley drift detection.
+//
+// Everything is recorded in simulation time only, so a fixed-seed run
+// produces byte-identical outputs, and every stream counts its own
+// (records, bytes) offsets with a Rewind like the decision log, so a
+// crash/resume recording is identical to an uninterrupted one. The
+// whole package is nil-safe: a nil *Recorder (observability disabled)
+// makes every hook a predictable branch and keeps the platform's
+// steady-state step loop allocation-free.
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+)
+
+func floatBits(v float64) uint64   { return math.Float64bits(v) }
+func bitsFloat(b uint64) float64   { return math.Float64frombits(b) }
+func float32Bits(v float32) uint32 { return math.Float32bits(v) }
+func bitsFloat32(b uint32) float32 { return math.Float32frombits(b) }
+
+// Config selects what a Recorder captures. Either writer may be nil to
+// disable that stream; prediction-quality tracking is always on (it
+// feeds drift events and costs nothing on disk unless traced).
+type Config struct {
+	// Trace receives the Chrome trace-event stream; nil disables
+	// lifecycle tracing.
+	Trace io.Writer
+	// Flight receives the binary flight recording; nil disables it.
+	Flight io.Writer
+	// Servers and StepS describe the cluster the flight recorder
+	// samples (frame geometry and header fields).
+	Servers int
+	StepS   float64
+	// PHLambda/PHDelta tune the Page–Hinkley drift detector;
+	// non-positive values get NewPredQ's defaults.
+	PHLambda float64
+	PHDelta  float64
+}
+
+// Recorder is the run-attached observability bundle. The zero of its
+// pointer type (nil) means observability is disabled; every method is
+// safe to call on nil and does nothing.
+type Recorder struct {
+	tr *Tracer
+	fl *Flight
+	pq *PredQ
+}
+
+// New builds a Recorder from cfg.
+func New(cfg Config) *Recorder {
+	r := &Recorder{pq: NewPredQ(cfg.PHLambda, cfg.PHDelta)}
+	if cfg.Trace != nil {
+		r.tr = NewTracer(cfg.Trace)
+	}
+	if cfg.Flight != nil {
+		r.fl = NewFlight(cfg.Flight, cfg.Servers, cfg.StepS)
+	}
+	return r
+}
+
+// Enabled reports whether any observability is attached.
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// Trace returns the lifecycle tracer (nil-safe; may be nil).
+func (r *Recorder) Trace() *Tracer {
+	if r == nil {
+		return nil
+	}
+	return r.tr
+}
+
+// Flight returns the flight recorder (nil-safe; may be nil).
+func (r *Recorder) Flight() *Flight {
+	if r == nil {
+		return nil
+	}
+	return r.fl
+}
+
+// PredQ returns the prediction-quality tracker (nil-safe; may be nil).
+func (r *Recorder) PredQ() *PredQ {
+	if r == nil {
+		return nil
+	}
+	return r.pq
+}
+
+// TrackPrediction folds one predicted/observed pair into the quality
+// tracker, records it as a trace sample, and — when the drift detector
+// fires — records the drift in the trace and returns it so the caller
+// can emit the predictor_drift decision event.
+func (r *Recorder) TrackPrediction(simTimeS float64, archetype, qos string, predicted, observed float64) (DriftInfo, bool) {
+	if r == nil {
+		return DriftInfo{}, false
+	}
+	r.tr.PredSample(simTimeS, archetype, qos, predicted, observed)
+	d, fired := r.pq.Track(archetype, qos, predicted, observed)
+	if fired {
+		r.tr.Drift(simTimeS, &d)
+	}
+	return d, fired
+}
+
+// Err returns the first stream write error, if any — recording is
+// best-effort and never fails the run; callers surface this at exit.
+func (r *Recorder) Err() error {
+	if r == nil {
+		return nil
+	}
+	if err := r.tr.Err(); err != nil {
+		return err
+	}
+	return r.fl.Err()
+}
+
+// State is a Recorder's checkpointed position: stream offsets plus the
+// serialized prediction-quality tracker. It rides inside the platform
+// checkpoint payload; resuming truncates each stream file to its byte
+// offset and Rewinds the counters, so the resumed run re-emits exactly
+// the records the crash cut off.
+type State struct {
+	TraceEvents  uint64          `json:"trace_events"`
+	TraceBytes   int64           `json:"trace_bytes"`
+	FlightFrames uint64          `json:"flight_frames"`
+	FlightBytes  int64           `json:"flight_bytes"`
+	PredQ        json.RawMessage `json:"predq,omitempty"`
+}
+
+// DecodeState parses a checkpointed Recorder state (e.g. for
+// PeekCheckpoint, which needs the byte offsets to truncate stream
+// files before resuming). A nil raw decodes to the zero State.
+func DecodeState(raw json.RawMessage) (State, error) {
+	var st State
+	if len(raw) == 0 {
+		return st, nil
+	}
+	err := json.Unmarshal(raw, &st)
+	return st, err
+}
+
+// CheckpointState captures the Recorder's position for a checkpoint.
+// The caller must have flushed any buffering around the stream writers
+// first (the platform's snapshot path does, via FlushLog) so the
+// on-disk bytes cover the recorded offsets.
+func (r *Recorder) CheckpointState() (json.RawMessage, error) {
+	if r == nil {
+		return nil, nil
+	}
+	var st State
+	st.TraceEvents, st.TraceBytes = r.tr.Offset()
+	st.FlightFrames, st.FlightBytes = r.fl.Offset()
+	var err error
+	if st.PredQ, err = r.pq.marshal(); err != nil {
+		return nil, err
+	}
+	return json.Marshal(st)
+}
+
+// RestoreCheckpoint rewinds the Recorder to a checkpointed state. The
+// caller owns the stream files and must have truncated them to the
+// recorded byte offsets (a nil/absent state rewinds everything to
+// zero, matching files truncated to empty).
+func (r *Recorder) RestoreCheckpoint(raw json.RawMessage) error {
+	if r == nil {
+		return nil
+	}
+	st, err := DecodeState(raw)
+	if err != nil {
+		return err
+	}
+	r.tr.Rewind(st.TraceEvents, st.TraceBytes)
+	r.fl.Rewind(st.FlightFrames, st.FlightBytes)
+	if len(st.PredQ) > 0 {
+		return r.pq.unmarshal(st.PredQ)
+	}
+	*r.pq = *NewPredQ(r.pq.Lambda, r.pq.Delta)
+	return nil
+}

@@ -1,0 +1,373 @@
+package obs
+
+import (
+	"io"
+	"strconv"
+	"sync"
+)
+
+// TraceSchema is the trace format version, recorded in a metadata
+// event at the head of every trace so gsight-inspect can reject
+// streams it does not understand.
+const TraceSchema = 1
+
+// Tracer streams invocation-lifecycle events in the Chrome trace-event
+// JSON format, one event object per line. The stream is the array-body
+// form Perfetto and chrome://tracing accept directly: it opens with
+// "[\n" and every event line ends with ",\n" — a trailing comma and a
+// missing "]" are tolerated by both viewers, which is what makes the
+// format truncation-tolerant and crash-safe. gsight-inspect's trace
+// subcommand re-wraps it into a strict {"traceEvents": [...]} object.
+//
+// Determinism: timestamps are simulation time converted to
+// microseconds (the trace-event unit) — never wall clock — so a
+// fixed-seed run emits a byte-identical trace. Events are built by
+// hand into a reusable buffer under a mutex, like the decision log, so
+// steady-state tracing allocates nothing.
+//
+// The preamble (array opener plus metadata events) is written lazily
+// before the first event: a resumed run Rewinds to a non-zero offset
+// and never duplicates it.
+type Tracer struct {
+	mu     sync.Mutex
+	w      io.Writer
+	buf    []byte
+	events uint64
+	bytes  int64
+	err    error
+}
+
+// NewTracer streams trace events to w. Callers own w's lifecycle (and
+// any buffering/flushing); the tracer only writes whole lines.
+func NewTracer(w io.Writer) *Tracer {
+	return &Tracer{w: w}
+}
+
+// Events returns the number of events emitted so far (the preamble's
+// metadata events included).
+func (t *Tracer) Events() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.events
+}
+
+// Err returns the first write error, if any — tracing is best-effort
+// and never fails the traced operation.
+func (t *Tracer) Err() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// Offset returns the trace position — events emitted and bytes written
+// — for checkpointing. A resumed run that truncates its trace file to
+// the byte offset and calls Rewind continues the exact same stream.
+func (t *Tracer) Offset() (events uint64, bytes int64) {
+	if t == nil {
+		return 0, 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.events, t.bytes
+}
+
+// Rewind resets the trace position to a checkpointed Offset. It
+// adjusts only the counters: the caller owns the underlying writer and
+// must have truncated it to the matching byte offset.
+func (t *Tracer) Rewind(events uint64, bytes int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.events = events
+	t.bytes = bytes
+	t.mu.Unlock()
+}
+
+// write appends b to the stream, tracking bytes. Callers hold t.mu.
+func (t *Tracer) write(b []byte) {
+	t.bytes += int64(len(b))
+	if _, err := t.w.Write(b); err != nil && t.err == nil {
+		t.err = err
+	}
+}
+
+// emit finishes the event line in b and writes it. Callers hold t.mu.
+func (t *Tracer) emit(b []byte) {
+	b = append(b, '}', ',', '\n')
+	t.buf = b // retain grown capacity for the next event
+	t.events++
+	t.write(b)
+}
+
+// begin opens a new event: preamble if the stream is empty, then
+// {"name":"<name>","cat":"<cat>","ph":"<ph>","ts":<simTimeS*1e6>,
+// "pid":1,"tid":0. Callers hold t.mu and must close with emit.
+func (t *Tracer) begin(name, cat string, ph byte, simTimeS float64) []byte {
+	if t.events == 0 && t.bytes == 0 {
+		t.write([]byte("[\n"))
+		b := append(t.buf[:0], `{"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"gsight platform"}`...)
+		t.emit(b)
+		b = append(t.buf[:0], `{"name":"gsight_trace","ph":"M","pid":1,"tid":0,"args":{"schema":`...)
+		b = strconv.AppendInt(b, TraceSchema, 10)
+		b = append(b, '}')
+		t.emit(b)
+	}
+	b := append(t.buf[:0], `{"name":`...)
+	b = strconv.AppendQuote(b, name)
+	b = append(b, `,"cat":`...)
+	b = strconv.AppendQuote(b, cat)
+	b = append(b, `,"ph":"`...)
+	b = append(b, ph, '"')
+	b = append(b, `,"ts":`...)
+	b = strconv.AppendFloat(b, simTimeS*1e6, 'f', -1, 64)
+	b = append(b, `,"pid":1,"tid":0`...)
+	return b
+}
+
+// argsKey opens the args object on first use and appends a field key.
+func argsKey(b []byte, first *bool, key string) []byte {
+	if *first {
+		b = append(b, `,"args":{`...)
+		*first = false
+	} else {
+		b = append(b, ',')
+	}
+	b = append(b, '"')
+	b = append(b, key...)
+	return append(b, '"', ':')
+}
+
+func argsStr(b []byte, first *bool, key, v string) []byte {
+	b = argsKey(b, first, key)
+	return strconv.AppendQuote(b, v)
+}
+
+func argsInt(b []byte, first *bool, key string, v int) []byte {
+	b = argsKey(b, first, key)
+	return strconv.AppendInt(b, int64(v), 10)
+}
+
+func argsFloat(b []byte, first *bool, key string, v float64) []byte {
+	b = argsKey(b, first, key)
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
+}
+
+func argsBool(b []byte, first *bool, key string, v bool) []byte {
+	b = argsKey(b, first, key)
+	return strconv.AppendBool(b, v)
+}
+
+func argsInts(b []byte, first *bool, key string, vs []int) []byte {
+	b = argsKey(b, first, key)
+	b = append(b, '[')
+	for i, v := range vs {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendInt(b, int64(v), 10)
+	}
+	return append(b, ']')
+}
+
+// closeArgs closes the args object if one was opened.
+func closeArgs(b []byte, first bool) []byte {
+	if !first {
+		b = append(b, '}')
+	}
+	return b
+}
+
+// JobBegin opens a job's async span at its admission: the job was
+// placed and its functions are starting. servers is the chosen server
+// per function; predJCTS is the predictor's JCT estimate in seconds
+// (0 when unavailable).
+func (t *Tracer) JobBegin(id int, archetype, job string, simTimeS float64, servers []int, predJCTS float64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	b := t.begin(archetype, "job", 'b', simTimeS)
+	b = append(b, `,"id":`...)
+	b = strconv.AppendInt(b, int64(id), 10)
+	first := true
+	b = argsStr(b, &first, "job", job)
+	b = argsInts(b, &first, "servers", servers)
+	if predJCTS > 0 {
+		b = argsFloat(b, &first, "pred_jct_s", predJCTS)
+	}
+	b = closeArgs(b, first)
+	t.emit(b)
+	t.mu.Unlock()
+}
+
+// JobEnd closes a job's async span at completion with the observed
+// outcome: job completion time, slowdown versus solo execution, and
+// the SLA verdict (slaOK is meaningful only when checked is true —
+// jobs without a JCT SLA are never judged).
+func (t *Tracer) JobEnd(id int, archetype string, simTimeS, jctS, slowdown float64, checked, slaOK bool) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	b := t.begin(archetype, "job", 'e', simTimeS)
+	b = append(b, `,"id":`...)
+	b = strconv.AppendInt(b, int64(id), 10)
+	first := true
+	b = argsFloat(b, &first, "jct_s", jctS)
+	if slowdown > 0 {
+		b = argsFloat(b, &first, "slowdown", slowdown)
+	}
+	if checked {
+		b = argsBool(b, &first, "sla_ok", slaOK)
+	}
+	b = closeArgs(b, first)
+	t.emit(b)
+	t.mu.Unlock()
+}
+
+// PlacementInfo is one scheduling decision as the tracer records it:
+// how hard the scheduler searched, what it decided, and what it
+// predicted for the accepted candidate.
+type PlacementInfo struct {
+	Workload     string
+	Outcome      string // "placed", "fallback", "degraded", "rejected", "error"
+	Reason       string // qualifies non-"placed" outcomes
+	SpreadLevels int    // candidate spread levels tried
+	SLAChecks    int    // QoS predictions issued vetting candidates
+	Placement    []int  // chosen server per function (nil when rejected)
+	// PredIPC/PredJCTS are the predictor's estimates for the accepted
+	// candidate (0 when the decision used no prediction).
+	PredIPC  float64
+	PredJCTS float64
+}
+
+// Placement records a scheduling decision as an instant event.
+func (t *Tracer) Placement(simTimeS float64, p *PlacementInfo) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	b := t.begin("placement", "sched", 'i', simTimeS)
+	b = append(b, `,"s":"t"`...)
+	first := true
+	b = argsStr(b, &first, "workload", p.Workload)
+	b = argsStr(b, &first, "outcome", p.Outcome)
+	if p.Reason != "" {
+		b = argsStr(b, &first, "reason", p.Reason)
+	}
+	b = argsInt(b, &first, "spread_levels", p.SpreadLevels)
+	b = argsInt(b, &first, "sla_checks", p.SLAChecks)
+	if p.Placement != nil {
+		b = argsInts(b, &first, "placement", p.Placement)
+	}
+	if p.PredIPC > 0 {
+		b = argsFloat(b, &first, "pred_ipc", p.PredIPC)
+	}
+	if p.PredJCTS > 0 {
+		b = argsFloat(b, &first, "pred_jct_s", p.PredJCTS)
+	}
+	b = closeArgs(b, first)
+	t.emit(b)
+	t.mu.Unlock()
+}
+
+// Reactive records a runtime SLA-control action (corunner eviction or
+// reactive spread) as an instant event — the migration phase of the
+// affected jobs' lifecycle.
+func (t *Tracer) Reactive(simTimeS float64, action, service string, moved int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	b := t.begin(action, "reactive", 'i', simTimeS)
+	b = append(b, `,"s":"t"`...)
+	first := true
+	b = argsStr(b, &first, "service", service)
+	b = argsInt(b, &first, "moved", moved)
+	b = closeArgs(b, first)
+	t.emit(b)
+	t.mu.Unlock()
+}
+
+// Fault records an injected fault transition as an instant event.
+func (t *Tracer) Fault(simTimeS float64, kind string, node int, displaced int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	b := t.begin(kind, "fault", 'i', simTimeS)
+	b = append(b, `,"s":"g"`...)
+	first := true
+	b = argsInt(b, &first, "node", node)
+	if displaced != 0 {
+		b = argsInt(b, &first, "displaced", displaced)
+	}
+	b = closeArgs(b, first)
+	t.emit(b)
+	t.mu.Unlock()
+}
+
+// Degraded records the platform entering or leaving degraded placement
+// mode as an instant event.
+func (t *Tracer) Degraded(simTimeS float64, entered bool, reason string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	b := t.begin("degraded", "fault", 'i', simTimeS)
+	b = append(b, `,"s":"g"`...)
+	first := true
+	b = argsBool(b, &first, "entered", entered)
+	b = argsStr(b, &first, "reason", reason)
+	b = closeArgs(b, first)
+	t.emit(b)
+	t.mu.Unlock()
+}
+
+// PredSample records one prediction-quality sample — a predicted vs
+// observed pair for an archetype — as an instant event in the "predq"
+// category. gsight-inspect rebuilds error-over-time and calibration
+// views from these.
+func (t *Tracer) PredSample(simTimeS float64, archetype, qos string, predicted, observed float64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	b := t.begin("sample", "predq", 'i', simTimeS)
+	b = append(b, `,"s":"t"`...)
+	first := true
+	b = argsStr(b, &first, "archetype", archetype)
+	b = argsStr(b, &first, "qos", qos)
+	b = argsFloat(b, &first, "pred", predicted)
+	b = argsFloat(b, &first, "obs", observed)
+	b = closeArgs(b, first)
+	t.emit(b)
+	t.mu.Unlock()
+}
+
+// Drift records a predictor-drift detection as an instant event.
+func (t *Tracer) Drift(simTimeS float64, d *DriftInfo) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	b := t.begin("predictor_drift", "predq", 'i', simTimeS)
+	b = append(b, `,"s":"g"`...)
+	first := true
+	b = argsStr(b, &first, "archetype", d.Archetype)
+	b = argsStr(b, &first, "qos", d.QoS)
+	b = argsInt(b, &first, "window", d.Window)
+	b = argsFloat(b, &first, "mean_err", d.MeanErr)
+	b = argsFloat(b, &first, "mape", d.MAPE)
+	b = argsFloat(b, &first, "ph", d.PH)
+	b = closeArgs(b, first)
+	t.emit(b)
+	t.mu.Unlock()
+}

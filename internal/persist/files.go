@@ -1,0 +1,41 @@
+package persist
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// OpenAppendTruncated reopens a checkpoint-aware output stream for a
+// resumed run: it opens path read-write, truncates it to exactly size
+// (the offset the snapshot recorded) and positions the cursor at the
+// new end, so the resumed run re-emits precisely the records the crash
+// cut off. Every resumable stream — the decision log, the lifecycle
+// trace, the flight recording — reopens through this.
+//
+// A file shorter than size is rejected: truncate would zero-extend it
+// and silently corrupt the recording instead of continuing it.
+func OpenAppendTruncated(path string, size int64) (*os.File, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size() < size {
+		f.Close()
+		return nil, fmt.Errorf("persist: %s has %d bytes, shorter than the resume offset %d", path, st.Size(), size)
+	}
+	if err := f.Truncate(size); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return f, nil
+}

@@ -9,6 +9,7 @@ import (
 
 	"gsight/internal/core"
 	"gsight/internal/faults"
+	"gsight/internal/obs"
 	"gsight/internal/perfmodel"
 	"gsight/internal/persist"
 	"gsight/internal/profile"
@@ -127,6 +128,9 @@ type jobCkpt struct {
 	// as such.
 	InPlacement []int `json:"in_placement"`
 	InReplicas  []int `json:"in_replicas"`
+	// PredJCTS is the admission-time JCT estimate feeding the job's
+	// completion quality sample (obs; 0 when untracked).
+	PredJCTS float64 `json:"pred_jct_s,omitempty"`
 }
 
 type runningCkpt struct {
@@ -185,6 +189,10 @@ type ckptPayload struct {
 
 	LogSeq   uint64 `json:"log_seq"`
 	LogBytes int64  `json:"log_bytes"`
+
+	// Obs is the observability recorder's position (stream offsets plus
+	// the prediction-quality tracker), absent when obs is disabled.
+	Obs json.RawMessage `json:"obs,omitempty"`
 }
 
 // walRecord is one WAL entry: a placement decision, an online-learning
@@ -434,6 +442,7 @@ func (r *runner) capturePayload(firedUpTo float64, step int) ([]byte, error) {
 			QPSFrac:     a.input.QPSFrac,
 			InPlacement: a.input.Placement,
 			InReplicas:  a.input.Replicas,
+			PredJCTS:    a.predJCTS,
 		})
 	}
 	p.State = stateCkpt{
@@ -462,6 +471,13 @@ func (r *runner) capturePayload(firedUpTo float64, step int) ([]byte, error) {
 	}
 	if r.ins.Decisions != nil {
 		p.LogSeq, p.LogBytes = r.ins.Decisions.Offset()
+	}
+	if r.obs != nil {
+		raw, err := r.obs.CheckpointState()
+		if err != nil {
+			return nil, fmt.Errorf("platform: checkpoint obs: %w", err)
+		}
+		p.Obs = raw
 	}
 	return json.Marshal(&p)
 }
@@ -599,7 +615,7 @@ func (r *runner) restorePayload(p *ckptPayload) error {
 			QPSFrac:   jc.QPSFrac,
 			LifetimeS: pe.w.SoloDurationS,
 		}
-		r.activeSC = append(r.activeSC, &scActive{id: jc.ID, pool: pi, input: in, sla: jc.SLA, dep: dep})
+		r.activeSC = append(r.activeSC, &scActive{id: jc.ID, pool: pi, input: in, sla: jc.SLA, dep: dep, predJCTS: jc.PredJCTS})
 		deps[jc.ID] = dep
 	}
 	if err := r.stepper.RestoreState(p.Stepper, deps); err != nil {
@@ -621,7 +637,7 @@ func (r *runner) restorePayload(p *ckptPayload) error {
 		var ps []profile.Profile
 		if ss := r.serviceByName(rc.Name); ss != nil {
 			ps = ss.profiles
-		} else if base, ok := jobBaseName(rc.Name); ok {
+		} else if base, ok := core.BaseName(rc.Name); ok {
 			for pi := range r.scPool {
 				if r.scPool[pi].w.Name == base {
 					ps = r.scPool[pi].ps
@@ -679,6 +695,14 @@ func (r *runner) restorePayload(p *ckptPayload) error {
 	if r.ins.Decisions != nil {
 		r.ins.Decisions.Rewind(p.LogSeq, p.LogBytes)
 	}
+	if r.obs != nil {
+		// The caller owns the stream files and truncated them to the
+		// offsets PeekCheckpoint reported; rewinding the counters makes
+		// the resumed streams continue byte-identically.
+		if err := r.obs.RestoreCheckpoint(p.Obs); err != nil {
+			return fmt.Errorf("platform: checkpoint obs: %w", err)
+		}
+	}
 	if cfg.Predictor != nil {
 		if len(p.Predictor) == 0 {
 			return fmt.Errorf("platform: checkpoint has no predictor state but a predictor is attached")
@@ -704,17 +728,6 @@ func (r *runner) serviceByName(name string) *serviceState {
 	return nil
 }
 
-// jobBaseName splits a unique batch-job run name ("matmul#17") back to
-// its pool workload name.
-func jobBaseName(name string) (string, bool) {
-	for i := len(name) - 1; i >= 0; i-- {
-		if name[i] == '#' {
-			return name[:i], true
-		}
-	}
-	return "", false
-}
-
 // CheckpointMeta is the latest resumable position in a checkpoint
 // directory. Callers use it before a resume to decide whether to skip
 // bootstrap work and to truncate an external decision-log file to the
@@ -727,6 +740,13 @@ type CheckpointMeta struct {
 	Scheduler string
 	LogSeq    uint64
 	LogBytes  int64
+	// Observability stream offsets (zero when the snapshot carried no
+	// obs state): resuming truncates the trace file to TraceBytes and
+	// the flight recording to FlightBytes before reopening them.
+	TraceEvents  uint64
+	TraceBytes   int64
+	FlightFrames uint64
+	FlightBytes  int64
 }
 
 // PeekCheckpoint reads the latest valid snapshot's metadata.
@@ -739,14 +759,22 @@ func PeekCheckpoint(dir string) (*CheckpointMeta, error) {
 	if err := json.Unmarshal(payload, &p); err != nil {
 		return nil, fmt.Errorf("platform: checkpoint payload: %w", err)
 	}
+	ost, err := obs.DecodeState(p.Obs)
+	if err != nil {
+		return nil, fmt.Errorf("platform: checkpoint obs state: %w", err)
+	}
 	return &CheckpointMeta{
-		Seq:       seq,
-		SimTimeS:  p.FiredUpToS,
-		Step:      p.Step,
-		Seed:      p.Seed,
-		Scheduler: p.Scheduler,
-		LogSeq:    p.LogSeq,
-		LogBytes:  p.LogBytes,
+		Seq:          seq,
+		SimTimeS:     p.FiredUpToS,
+		Step:         p.Step,
+		Seed:         p.Seed,
+		Scheduler:    p.Scheduler,
+		LogSeq:       p.LogSeq,
+		LogBytes:     p.LogBytes,
+		TraceEvents:  ost.TraceEvents,
+		TraceBytes:   ost.TraceBytes,
+		FlightFrames: ost.FlightFrames,
+		FlightBytes:  ost.FlightBytes,
 	}, nil
 }
 

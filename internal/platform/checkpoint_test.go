@@ -11,6 +11,7 @@ import (
 
 	"gsight/internal/core"
 	"gsight/internal/faults"
+	"gsight/internal/obs"
 	"gsight/internal/persist"
 	"gsight/internal/sched"
 	"gsight/internal/telemetry"
@@ -41,16 +42,37 @@ func statsJSON(t *testing.T, st *Stats) []byte {
 	return b
 }
 
+// obsFor attaches a fresh observability recorder writing to the given
+// stream buffers, mirroring how a process (re)start reopens its trace
+// and flight-recorder files.
+func obsFor(cfg *Config, trace, flight *bytes.Buffer) {
+	cfg.Obs = obs.New(obs.Config{
+		Trace:   trace,
+		Flight:  flight,
+		Servers: cfg.Model.Testbed.NumServers(),
+		StepS:   cfg.StepS,
+	})
+}
+
+// ckptRun is what a crash/resume sequence produced: the final stats and
+// the accumulated decision-log, trace and flight-recorder streams.
+type ckptRun struct {
+	stats        *Stats
+	log          []byte
+	trace        []byte
+	flight       []byte
+	incarnations int
+}
+
 // runToCompletion drives a checkpointed run through every injected
-// controller crash, rebuilding predictor, scheduler, sink and decision
-// log per incarnation exactly like a process restart would, truncating
-// the decision log to each resumed snapshot's recorded offset. between,
-// when set, runs after each crashed incarnation (fault injection on the
-// checkpoint files themselves). It returns the final stats, the decision
-// log bytes, and how many incarnations ran.
-func runToCompletion(t *testing.T, seed uint64, dir string, schedule *faults.Schedule, intervalS float64, between func(incarnation int)) (*Stats, []byte, int) {
+// controller crash, rebuilding predictor, scheduler, sink, decision
+// log and observability recorder per incarnation exactly like a process
+// restart would, truncating every stream to each resumed snapshot's
+// recorded offsets. between, when set, runs after each crashed
+// incarnation (fault injection on the checkpoint files themselves).
+func runToCompletion(t *testing.T, seed uint64, dir string, schedule *faults.Schedule, intervalS float64, between func(incarnation int)) ckptRun {
 	t.Helper()
-	var logBytes []byte
+	var logBytes, traceBytes, flightBytes []byte
 	for incarnation := 1; ; incarnation++ {
 		if incarnation > 20 {
 			t.Fatal("resume loop did not converge")
@@ -67,12 +89,23 @@ func runToCompletion(t *testing.T, seed uint64, dir string, schedule *faults.Sch
 				t.Fatalf("incarnation %d: decision log has %d bytes, snapshot records %d",
 					incarnation, len(logBytes), meta.LogBytes)
 			}
+			if int64(len(traceBytes)) < meta.TraceBytes || int64(len(flightBytes)) < meta.FlightBytes {
+				t.Fatalf("incarnation %d: trace/flight have %d/%d bytes, snapshot records %d/%d",
+					incarnation, len(traceBytes), len(flightBytes), meta.TraceBytes, meta.FlightBytes)
+			}
 			logBytes = logBytes[:meta.LogBytes]
+			traceBytes = traceBytes[:meta.TraceBytes]
+			flightBytes = flightBytes[:meta.FlightBytes]
 		}
 		buf := bytes.NewBuffer(logBytes)
+		tbuf := bytes.NewBuffer(traceBytes)
+		fbuf := bytes.NewBuffer(flightBytes)
 		cfg.Telemetry = telemetry.New().WithDecisions(buf)
+		obsFor(&cfg, tbuf, fbuf)
 		st, err := Run(context.Background(), cfg)
 		logBytes = append([]byte(nil), buf.Bytes()...)
+		traceBytes = append([]byte(nil), tbuf.Bytes()...)
+		flightBytes = append([]byte(nil), fbuf.Bytes()...)
 		if errors.Is(err, ErrControllerCrashed) {
 			if between != nil {
 				between(incarnation)
@@ -82,7 +115,7 @@ func runToCompletion(t *testing.T, seed uint64, dir string, schedule *faults.Sch
 		if err != nil {
 			t.Fatalf("incarnation %d: %v", incarnation, err)
 		}
-		return st, logBytes, incarnation
+		return ckptRun{stats: st, log: logBytes, trace: traceBytes, flight: flightBytes, incarnations: incarnation}
 	}
 }
 
@@ -94,11 +127,15 @@ func runToCompletion(t *testing.T, seed uint64, dir string, schedule *faults.Sch
 func TestCrashResumeByteIdentity(t *testing.T) {
 	const seed = 11
 	base := ckptConfig(seed)
-	var baseLog bytes.Buffer
+	var baseLog, baseTrace, baseFlight bytes.Buffer
 	base.Telemetry = telemetry.New().WithDecisions(&baseLog)
+	obsFor(&base, &baseTrace, &baseFlight)
 	baseStats, err := Run(context.Background(), base)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if baseTrace.Len() == 0 || baseFlight.Len() == 0 {
+		t.Fatal("baseline recorded no trace or flight data")
 	}
 
 	crashes := &faults.Schedule{Name: "controller-crashes", Events: []faults.Event{
@@ -106,16 +143,24 @@ func TestCrashResumeByteIdentity(t *testing.T) {
 		{AtS: 910, Kind: faults.ControllerCrash},  // mid-horizon
 		{AtS: 1730, Kind: faults.ControllerCrash}, // near the end
 	}}
-	st, log, incarnations := runToCompletion(t, seed, t.TempDir(), crashes, 300, nil)
-	if incarnations != 4 {
-		t.Fatalf("incarnations = %d, want 4 (three crashes + final)", incarnations)
+	res := runToCompletion(t, seed, t.TempDir(), crashes, 300, nil)
+	if res.incarnations != 4 {
+		t.Fatalf("incarnations = %d, want 4 (three crashes + final)", res.incarnations)
 	}
-	if a, b := statsJSON(t, baseStats), statsJSON(t, st); !bytes.Equal(a, b) {
+	if a, b := statsJSON(t, baseStats), statsJSON(t, res.stats); !bytes.Equal(a, b) {
 		t.Fatalf("stats diverged after crash-resume:\nbase    %s\nresumed %s", a, b)
 	}
-	if !bytes.Equal(baseLog.Bytes(), log) {
+	if !bytes.Equal(baseLog.Bytes(), res.log) {
 		t.Fatalf("decision log diverged after crash-resume:\nbase    %d bytes\nresumed %d bytes\nbase    %q\nresumed %q",
-			baseLog.Len(), len(log), truncStr(baseLog.String()), truncStr(string(log)))
+			baseLog.Len(), len(res.log), truncStr(baseLog.String()), truncStr(string(res.log)))
+	}
+	if !bytes.Equal(baseTrace.Bytes(), res.trace) {
+		t.Fatalf("trace diverged after crash-resume: base %d bytes, resumed %d bytes",
+			baseTrace.Len(), len(res.trace))
+	}
+	if !bytes.Equal(baseFlight.Bytes(), res.flight) {
+		t.Fatalf("flight recording diverged after crash-resume: base %d bytes, resumed %d bytes",
+			baseFlight.Len(), len(res.flight))
 	}
 }
 
@@ -203,8 +248,9 @@ func TestCancelMidRunResumesByteIdentical(t *testing.T) {
 func TestCorruptSnapshotFallsBack(t *testing.T) {
 	const seed = 13
 	base := ckptConfig(seed)
-	var baseLog bytes.Buffer
+	var baseLog, baseTrace, baseFlight bytes.Buffer
 	base.Telemetry = telemetry.New().WithDecisions(&baseLog)
+	obsFor(&base, &baseTrace, &baseFlight)
 	baseStats, err := Run(context.Background(), base)
 	if err != nil {
 		t.Fatal(err)
@@ -212,7 +258,7 @@ func TestCorruptSnapshotFallsBack(t *testing.T) {
 
 	dir := t.TempDir()
 	crashes := &faults.Schedule{Events: []faults.Event{{AtS: 1000, Kind: faults.ControllerCrash}}}
-	st, log, incarnations := runToCompletion(t, seed, dir, crashes, 300, func(incarnation int) {
+	res := runToCompletion(t, seed, dir, crashes, 300, func(incarnation int) {
 		if incarnation != 1 {
 			return
 		}
@@ -230,13 +276,13 @@ func TestCorruptSnapshotFallsBack(t *testing.T) {
 			t.Fatal(err)
 		}
 	})
-	if incarnations != 3 {
-		t.Fatalf("incarnations = %d, want 3 (crash, re-fired crash after fallback, final)", incarnations)
+	if res.incarnations != 3 {
+		t.Fatalf("incarnations = %d, want 3 (crash, re-fired crash after fallback, final)", res.incarnations)
 	}
-	if a, b := statsJSON(t, baseStats), statsJSON(t, st); !bytes.Equal(a, b) {
+	if a, b := statsJSON(t, baseStats), statsJSON(t, res.stats); !bytes.Equal(a, b) {
 		t.Fatalf("stats diverged after corrupt-snapshot fallback:\nbase    %s\nresumed %s", a, b)
 	}
-	if !bytes.Equal(baseLog.Bytes(), log) {
+	if !bytes.Equal(baseLog.Bytes(), res.log) {
 		t.Fatal("decision log diverged after corrupt-snapshot fallback")
 	}
 }

@@ -25,6 +25,7 @@ import (
 
 	"gsight/internal/core"
 	"gsight/internal/faults"
+	"gsight/internal/obs"
 	"gsight/internal/perfmodel"
 	"gsight/internal/persist"
 	"gsight/internal/profile"
@@ -106,6 +107,11 @@ type Config struct {
 	// Telemetry, when set, receives runtime metrics and reactive-control
 	// decision events. telemetry.Nop (nil) leaves the run bit-identical.
 	Telemetry *telemetry.Sink
+	// Obs, when set, records the run's observability streams:
+	// invocation-lifecycle trace, flight recording and prediction-quality
+	// tracking (DESIGN.md §13). nil disables all of it and keeps the
+	// steady-state step loop allocation-free.
+	Obs *obs.Recorder
 	// Faults injects a deterministic fault schedule (crashes,
 	// stragglers, cold-start storms, predictor outages); nil runs a
 	// healthy cluster.
@@ -267,6 +273,16 @@ type runner struct {
 	rev   telemetry.ReactiveAction     // reusable reactive decision event
 	fev   telemetry.FaultEvent         // reusable fault decision event
 	dev   telemetry.DegradedTransition // reusable degraded decision event
+	drev  telemetry.DriftEvent         // reusable drift decision event
+
+	// Observability (nil when disabled): obsDetail is the reusable
+	// placement-detail out-parameter wired into requests, viaFallback
+	// marks the last placement as fallback-served for outcome labeling,
+	// and flFrame is the reusable flight-recorder frame.
+	obs         *obs.Recorder
+	obsDetail   sched.PlacementDetail
+	viaFallback bool
+	flFrame     obs.Frame
 
 	// Per-step scratch, reused so the steady-state loop allocates
 	// nothing: the noise child generator, the online-learning input
@@ -344,6 +360,7 @@ func Run(ctx context.Context, cfg Config) (*Stats, error) {
 			JCTs:          make(map[string][]float64),
 		},
 		ins: cfg.Telemetry.Platform(),
+		obs: cfg.Obs,
 	}
 	r.engine.Instrument(cfg.Telemetry)
 	r.submitFn = r.submitJob
@@ -540,6 +557,13 @@ func (r *runner) submitJob() {
 		r.stats.ColdStarts += rep
 	}
 	a.id = id
+	a.predJCTS = 0
+	if r.obs != nil {
+		// The scheduler's accepted-candidate JCT estimate anchors both
+		// the job's trace span and its completion-time quality sample.
+		a.predJCTS = r.obsDetail.PredJCTS
+		r.obs.Trace().JobBegin(id, w.Name, in.Name, r.engine.Now(), placement, a.predJCTS)
+	}
 	r.activeSC = append(r.activeSC, a)
 }
 
@@ -577,6 +601,7 @@ func (r *runner) placeFallback(req *sched.Request) ([]int, error) {
 	}
 	r.stats.DegradedPlacements++
 	r.ins.DegradedPlacements.Inc()
+	r.viaFallback = true
 	return placement, nil
 }
 
@@ -587,11 +612,53 @@ func (r *runner) placeFallback(req *sched.Request) ([]int, error) {
 // rejections. The final outcome (not the internal attempts) is
 // WAL-logged when checkpointing is on.
 func (r *runner) place(req *sched.Request) ([]int, error) {
+	if r.obs != nil {
+		r.obsDetail = sched.PlacementDetail{}
+		req.Detail = &r.obsDetail
+		r.viaFallback = false
+	}
 	placement, err := r.placeInner(req)
 	if r.ck != nil {
 		r.ck.notePlacement(r.engine.Now(), req.Input.Name, placement, err != nil)
 	}
+	if r.obs != nil {
+		r.tracePlacement(req, placement, err)
+		req.Detail = nil
+	}
 	return placement, err
+}
+
+// tracePlacement records the final decision of one place call as a
+// trace instant, folding the fallback/degraded path into the outcome
+// label (the scheduler that served the request only knows its own
+// verdict).
+func (r *runner) tracePlacement(req *sched.Request, placement []int, err error) {
+	d := &r.obsDetail
+	pi := obs.PlacementInfo{
+		Workload:     req.Input.Name,
+		Outcome:      d.Outcome,
+		Reason:       d.Reason,
+		SpreadLevels: d.SpreadLevels,
+		SLAChecks:    d.SLAChecks,
+		Placement:    placement,
+		PredIPC:      d.PredIPC,
+		PredJCTS:     d.PredJCTS,
+	}
+	if err != nil {
+		if pi.Outcome == "" || pi.Outcome == "placed" {
+			pi.Outcome = "error"
+		}
+	} else if r.viaFallback {
+		pi.Outcome = "degraded"
+		if pi.Reason == "" {
+			if r.degradedReason != "" {
+				pi.Reason = r.degradedReason
+			} else {
+				pi.Reason = reasonUnavailable
+			}
+		}
+	}
+	r.obs.Trace().Placement(r.engine.Now(), &pi)
 }
 
 func (r *runner) placeInner(req *sched.Request) ([]int, error) {
@@ -666,6 +733,9 @@ func (r *runner) enterDegraded(reason string) {
 		r.dev = telemetry.DegradedTransition{SimTimeS: r.engine.Now(), Entered: true, Reason: reason, Fallback: r.fallback.Name()}
 		r.ins.Decisions.Degraded(&r.dev)
 	}
+	if r.obs != nil {
+		r.obs.Trace().Degraded(r.engine.Now(), true, reason)
+	}
 }
 
 // exitDegraded closes the open degraded interval at the current time.
@@ -682,6 +752,9 @@ func (r *runner) closeDegraded(endS float64) {
 	if r.ins.Decisions != nil {
 		r.dev = telemetry.DegradedTransition{SimTimeS: endS, Entered: false, Reason: r.degradedReason, Fallback: r.fallback.Name()}
 		r.ins.Decisions.Degraded(&r.dev)
+	}
+	if r.obs != nil {
+		r.obs.Trace().Degraded(endS, false, r.degradedReason)
 	}
 	r.degraded = false
 	r.degradedReason = ""
@@ -747,6 +820,9 @@ func (r *runner) applyFault(c faults.Change) {
 			DisplacedJobs:     displacedJobs,
 		}
 		r.ins.Decisions.Fault(&r.fev)
+	}
+	if r.obs != nil {
+		r.obs.Trace().Fault(r.engine.Now(), c.Op.String(), c.Node, displacedSvc+displacedJobs)
 	}
 }
 
@@ -983,6 +1059,9 @@ func (r *runner) loop() error {
 							r.rev = telemetry.ReactiveAction{SimTimeS: now, Action: "evict-corunner", Service: ss.svc.W.Name, Moved: moved}
 							ins.Decisions.Reactive(&r.rev)
 						}
+						if r.obs != nil {
+							r.obs.Trace().Reactive(now, "evict-corunner", ss.svc.W.Name, moved)
+						}
 					} else if n := migrateWorst(r.m, r.state, ss, lr, 3); n > 0 {
 						stats.Migrations += n
 						stats.ColdStarts += n
@@ -993,6 +1072,9 @@ func (r *runner) loop() error {
 							r.rev = telemetry.ReactiveAction{SimTimeS: now, Action: "spread-service", Service: ss.svc.W.Name, Moved: n}
 							ins.Decisions.Reactive(&r.rev)
 						}
+						if r.obs != nil {
+							r.obs.Trace().Reactive(now, "spread-service", ss.svc.W.Name, n)
+						}
 					}
 					ss.violations = 0
 				}
@@ -1001,6 +1083,14 @@ func (r *runner) loop() error {
 			// outage makes the predictor unreachable.
 			if cfg.Predictor != nil && step%cfg.ObserveEvery == 0 && !r.predictorOut() {
 				inputs := r.snapshotInputs()
+				if r.obs != nil {
+					// Predict-then-observe: score the model on the label
+					// it is about to learn from. Predict is pure, so the
+					// extra call cannot perturb the run.
+					if pred, perr := cfg.Predictor.Predict(core.IPCQoS, i, inputs); perr == nil {
+						r.trackPrediction(now, ss.svc.W.Name, "ipc", pred, lr.IPC)
+					}
+				}
 				_ = cfg.Predictor.Observe(core.IPCQoS, i, inputs, lr.IPC)
 				if r.ck != nil {
 					r.ck.noteObservation(now, "ipc", i, lr.IPC)
@@ -1012,6 +1102,19 @@ func (r *runner) loop() error {
 		// the pool for the next submission of the same workload.
 		for _, done := range rep.Completed {
 			if a := r.removeJob(done.ID); a != nil {
+				if r.obs != nil {
+					solo := a.dep.W.SoloDurationS
+					slowdown := 0.0
+					if solo > 0 {
+						slowdown = done.JCTS / solo
+					}
+					checked := a.sla.MaxJCTFactor > 0 && solo > 0
+					slaOK := checked && done.JCTS <= solo*a.sla.MaxJCTFactor
+					r.obs.Trace().JobEnd(done.ID, done.Name, now, done.JCTS, slowdown, checked, slaOK)
+					if a.predJCTS > 0 {
+						r.trackPrediction(now, done.Name, "jct", a.predJCTS, done.JCTS)
+					}
+				}
 				r.state.Release(a.input.Name)
 				r.jobFree[a.pool] = append(r.jobFree[a.pool], a)
 			}
@@ -1035,13 +1138,15 @@ func (r *runner) loop() error {
 			cpuDem += d[resources.CPU]
 			memAlloc += r.state.Used[s][resources.Memory]
 		}
+		density, goodDensity, cpuUtil, memUtil := 0.0, 0.0, 0.0, 0.0
 		if activeServers > 0 {
 			activeCores := float64(activeServers) * coresPerServer
-			density := float64(instances) / activeCores
+			density = float64(instances) / activeCores
+			cpuUtil = cpuDem / activeCores
+			memUtil = memAlloc / (float64(activeServers) * r.spec.Capacity[resources.Memory])
 			stats.Density = append(stats.Density, density)
-			stats.CPUUtil = append(stats.CPUUtil, cpuDem/activeCores)
-			stats.MemUtil = append(stats.MemUtil,
-				memAlloc/(float64(activeServers)*r.spec.Capacity[resources.Memory]))
+			stats.CPUUtil = append(stats.CPUUtil, cpuUtil)
+			stats.MemUtil = append(stats.MemUtil, memUtil)
 			okFrac, nSLA := 0.0, 0
 			for i, ss := range r.services {
 				if ss.svc.W.SLAp99Ms <= 0 {
@@ -1057,11 +1162,15 @@ func (r *runner) loop() error {
 			} else {
 				okFrac = 1
 			}
-			stats.GoodDensity = append(stats.GoodDensity, density*okFrac)
+			goodDensity = density * okFrac
+			stats.GoodDensity = append(stats.GoodDensity, goodDensity)
 			stats.ActiveServers = append(stats.ActiveServers, float64(activeServers))
 		}
 		ins.Steps.Inc()
 		ins.ActiveServers.SetInt(activeServers)
+		if r.obs != nil {
+			r.recordFrame(now, step, rep.ServerDemand, activeServers, density, goodDensity, cpuUtil, memUtil)
+		}
 		span.End()
 		if r.ck != nil {
 			if r.ckErr != nil {
@@ -1083,6 +1192,78 @@ func (r *runner) loop() error {
 	ins.ColdStarts.Add(uint64(stats.ColdStarts))
 	ins.RejectedJobs.Add(uint64(stats.RejectedJobs))
 	return nil
+}
+
+// trackPrediction folds one predicted/observed QoS pair into the
+// quality tracker and escalates a drift detection into the decision
+// log. Callers gate on r.obs != nil.
+func (r *runner) trackPrediction(simS float64, archetype, qos string, pred, observed float64) {
+	d, fired := r.obs.TrackPrediction(simS, archetype, qos, pred, observed)
+	if !fired {
+		return
+	}
+	if r.ins.Decisions != nil {
+		r.drev = telemetry.DriftEvent{
+			SimTimeS:  simS,
+			QoS:       d.QoS,
+			Archetype: d.Archetype,
+			Window:    d.Window,
+			MeanErr:   d.MeanErr,
+			MAPE:      d.MAPE,
+			PH:        d.PH,
+		}
+		r.ins.Decisions.Drift(&r.drev)
+	}
+}
+
+// recordFrame appends one flight-recorder frame for the step that just
+// computed its metrics. Callers gate on r.obs != nil; the frame buffer
+// is reused so enabled recording allocates only on the first step.
+func (r *runner) recordFrame(now float64, step int, demand []resources.Vector, active int, density, goodDensity, cpuUtil, memUtil float64) {
+	fl := r.obs.Flight()
+	if fl == nil {
+		return
+	}
+	fr := &r.flFrame
+	if fr.CPUDemand == nil {
+		n := len(r.state.Caps)
+		fr.CPUDemand = make([]float32, n)
+		fr.MemUsed = make([]float32, n)
+		fr.ServerFlags = make([]uint8, n)
+	}
+	fr.SimTimeS = now
+	fr.Step = uint32(step)
+	fr.Flags = 0
+	if r.degraded {
+		fr.Flags |= obs.FrameDegraded
+	}
+	if r.predictorOut() {
+		fr.Flags |= obs.FramePredictorDown
+	}
+	fr.ActiveServers = uint16(active)
+	// Arrivals still ahead: computed from the (sorted) submission
+	// timeline, never the engine queue — queued controller-crash events
+	// must stay invisible so crash/resume recordings stay identical.
+	fr.Pending = uint32(len(r.arrivals) - sort.Search(len(r.arrivals), func(i int) bool {
+		return r.arrivals[i] > now
+	}))
+	fr.Density = float32(density)
+	fr.GoodDensity = float32(goodDensity)
+	fr.CPUUtil = float32(cpuUtil)
+	fr.MemUtil = float32(memUtil)
+	for s := range fr.CPUDemand {
+		fr.CPUDemand[s] = float32(demand[s][resources.CPU])
+		fr.MemUsed[s] = float32(r.state.Used[s][resources.Memory])
+		var sf uint8
+		if r.inj.NodeDown(s) {
+			sf |= obs.ServerDown
+		}
+		if r.inj.CapacityFactor(s) != 1 {
+			sf |= obs.ServerSlow
+		}
+		fr.ServerFlags[s] = sf
+	}
+	fl.Record(fr)
 }
 
 // inputFor builds the scheduler-visible input of a deployment.
@@ -1153,6 +1334,10 @@ type scActive struct {
 	input core.WorkloadInput
 	sla   sched.SLA
 	dep   *perfmodel.Deployment
+	// predJCTS is the scheduler's JCT estimate at admission (0 when the
+	// decision used no prediction); checkpointed so a resumed run's
+	// quality samples match the uninterrupted run's byte-for-byte.
+	predJCTS float64
 }
 
 func countSCInstances(activeSC []*scActive) int {

@@ -31,6 +31,27 @@ type Request struct {
 	SLA   SLA
 	// SoloDurationS supports the JCT SLA check for SC jobs.
 	SoloDurationS float64
+	// Detail, when non-nil, is filled by the scheduler with how the
+	// decision went — the observability layer points it at a reusable
+	// struct to get candidate-search context into the lifecycle trace.
+	// Leaving it nil (the default) costs nothing.
+	Detail *PlacementDetail
+}
+
+// PlacementDetail is a scheduler's account of one decision, written
+// through Request.Detail: the search effort, the outcome, and the
+// predictions that vetted the accepted candidate.
+type PlacementDetail struct {
+	Outcome      string // "placed", "fallback", "degraded", "rejected", "error"
+	Reason       string // qualifies non-"placed" outcomes
+	SpreadLevels int    // candidate spread levels tried
+	SLAChecks    int    // QoS predictions issued vetting candidates
+	// PredIPC/PredJCTS are the predictor's estimates for the accepted
+	// candidate's own workload; 0 when the decision was not vetted by
+	// a prediction (non-"placed" outcomes, no-SLA requests, or
+	// capacity-only schedulers).
+	PredIPC  float64
+	PredJCTS float64
 }
 
 // Deployed is a running workload the scheduler must not regress.
@@ -249,6 +270,11 @@ type placeScratch struct {
 	durations  []float64
 	queries    []core.Query
 	preds      []float64
+	// candIPC/candJCT hold the latest SLA check's predictions for the
+	// candidate workload itself (inputs[0]); finish copies them into
+	// Request.Detail on an accepted placement.
+	candIPC float64
+	candJCT float64
 }
 
 // NewGsight returns the predictor-guided scheduler. Its accurate
@@ -294,6 +320,13 @@ func (g *Gsight) finish(span telemetry.Span, st *State, req *Request, placement 
 			Placement:     placement,
 		}
 		g.ins.Decisions.Placement(&g.ev)
+	}
+	if req.Detail != nil {
+		*req.Detail = PlacementDetail{Outcome: outcome, Reason: reason, SpreadLevels: iters, SLAChecks: checks}
+		if outcome == "placed" {
+			req.Detail.PredIPC = g.scratch.candIPC
+			req.Detail.PredJCTS = g.scratch.candJCT
+		}
 	}
 	span.End()
 }
@@ -519,6 +552,7 @@ func (g *Gsight) checkAll(inputs []core.WorkloadInput, slas []SLA, durations []f
 		return g.checkSequential(inputs, slas, durations)
 	}
 	sc := &g.scratch
+	sc.candIPC, sc.candJCT = 0, 0
 	sc.queries = sc.queries[:0]
 	for i := range inputs {
 		if slas[i].MinIPC > 0 {
@@ -552,6 +586,14 @@ func (g *Gsight) checkAll(inputs []core.WorkloadInput, slas []SLA, durations []f
 			return g.checkSequential(inputs, slas, durations)
 		}
 	}
+	// The candidate workload is always inputs[0], so when it carries
+	// an SLA its predictions head each batch section.
+	if slas[0].MinIPC > 0 {
+		sc.candIPC = sc.preds[0]
+	}
+	if needsJCT(inputs, slas, durations, 0) {
+		sc.candJCT = sc.preds[nIPC]
+	}
 	k := 0
 	for i := range inputs {
 		if slas[i].MinIPC > 0 {
@@ -575,6 +617,7 @@ func (g *Gsight) checkAll(inputs []core.WorkloadInput, slas []SLA, durations []f
 // checkSequential is the one-Predict-per-check path, kept for
 // predictors without a batch interface and as the error-path fallback.
 func (g *Gsight) checkSequential(inputs []core.WorkloadInput, slas []SLA, durations []float64) (bool, int, error) {
+	g.scratch.candIPC, g.scratch.candJCT = 0, 0
 	checks := 0
 	for i := range inputs {
 		ok, n, err := g.checkOne(i, inputs, slas[i], durations[i])
@@ -600,6 +643,9 @@ func (g *Gsight) checkOne(target int, inputs []core.WorkloadInput, sla SLA, solo
 		if err != nil {
 			return false, checks, err
 		}
+		if target == 0 {
+			g.scratch.candIPC = ipc
+		}
 		if ipc < sla.MinIPC {
 			return false, checks, nil
 		}
@@ -609,6 +655,9 @@ func (g *Gsight) checkOne(target int, inputs []core.WorkloadInput, sla SLA, solo
 		jct, err := g.Predictor.Predict(core.JCTQoS, target, inputs)
 		if err != nil {
 			return false, checks, err
+		}
+		if target == 0 {
+			g.scratch.candJCT = jct
 		}
 		if jct > soloDur*sla.MaxJCTFactor {
 			return false, checks, nil
@@ -674,6 +723,9 @@ func (b *BestFit) finish(span telemetry.Span, st *State, req *Request, placement
 			Placement:     placement,
 		}
 		b.ins.Decisions.Placement(&b.ev)
+	}
+	if req.Detail != nil {
+		*req.Detail = PlacementDetail{Outcome: outcome, Reason: reason, SpreadLevels: 1, SLAChecks: checks}
 	}
 	span.End()
 }
@@ -784,6 +836,9 @@ func (w *WorstFit) finish(span telemetry.Span, st *State, req *Request, placemen
 			Placement:     placement,
 		}
 		w.ins.Decisions.Placement(&w.ev)
+	}
+	if req.Detail != nil {
+		*req.Detail = PlacementDetail{Outcome: outcome, Reason: reason, SpreadLevels: 1}
 	}
 	span.End()
 }

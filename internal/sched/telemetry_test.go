@@ -91,8 +91,13 @@ func TestDecisionLogReplaysDeterministically(t *testing.T) {
 	if !bytes.Equal(a, b) {
 		t.Fatalf("decision logs differ:\n%s\n---\n%s", a, b)
 	}
-	// Every line is one valid placement event with the scheduler's name.
-	for _, line := range strings.Split(strings.TrimRight(string(a), "\n"), "\n") {
+	// Every line after the schema header is one valid placement event
+	// with the scheduler's name.
+	lines := strings.Split(strings.TrimRight(string(a), "\n"), "\n")
+	if !strings.Contains(lines[0], `"event":"header"`) {
+		t.Fatalf("log must open with the schema header: %s", lines[0])
+	}
+	for _, line := range lines[1:] {
 		var m map[string]interface{}
 		if err := json.Unmarshal([]byte(line), &m); err != nil {
 			t.Fatalf("invalid JSONL line: %v\n%s", err, line)
@@ -115,7 +120,8 @@ func TestDecisionOutcomes(t *testing.T) {
 	if _, err := g.Place(st, &Request{Input: inputFor(workload.ECommerce(), 0.5), SLA: SLA{MinIPC: 1}}); err != nil {
 		t.Fatal(err)
 	}
-	line := strings.TrimRight(buf.String(), "\n")
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	line := lines[len(lines)-1] // last line: the placement after the header
 	var m map[string]interface{}
 	if err := json.Unmarshal([]byte(line), &m); err != nil {
 		t.Fatal(err)

@@ -49,9 +49,10 @@ type twEvent struct {
 
 // Engine is the simulation core. The zero value is ready to use.
 type Engine struct {
-	now float64
-	seq uint64
-	cnt int
+	now  float64
+	seq  uint64
+	cnt  int
+	done uint64 // events executed since construction
 
 	// cur is the wheel cursor in absolute ticks. Invariants: cur never
 	// passes the earliest queued event's tick, and entering a new
@@ -324,6 +325,7 @@ func (e *Engine) Step() bool {
 	fn := e.arena[idx].fn
 	e.release(idx)
 	e.cnt--
+	e.done++
 	e.ins.Executed.Inc()
 	e.ins.QueueDepth.SetInt(e.cnt)
 	fn()
@@ -365,3 +367,13 @@ func (e *Engine) RunUntilCtx(ctx context.Context, t float64) error {
 
 // Pending returns the number of queued events.
 func (e *Engine) Pending() int { return e.cnt }
+
+// Scheduled returns the total events ever scheduled on this engine —
+// an observability counter for end-of-run summaries. It counts from
+// process start, so unlike Pending it is not invariant across a
+// checkpoint resume and must stay out of byte-compared outputs.
+func (e *Engine) Scheduled() uint64 { return e.seq }
+
+// Executed returns the total events executed on this engine, with the
+// same process-lifetime caveat as Scheduled.
+func (e *Engine) Executed() uint64 { return e.done }

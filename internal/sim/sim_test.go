@@ -97,6 +97,37 @@ func TestStepEmpty(t *testing.T) {
 	}
 }
 
+func TestScheduledExecutedCounters(t *testing.T) {
+	var e Engine
+	if e.Scheduled() != 0 || e.Executed() != 0 {
+		t.Fatalf("fresh engine counters = %d/%d", e.Scheduled(), e.Executed())
+	}
+	for i := 0; i < 5; i++ {
+		e.At(float64(i), func() {})
+	}
+	if e.Scheduled() != 5 {
+		t.Fatalf("Scheduled = %d, want 5", e.Scheduled())
+	}
+	if e.Executed() != 0 {
+		t.Fatalf("Executed = %d before any Step", e.Executed())
+	}
+	e.RunUntil(2)
+	if e.Executed() != 3 {
+		t.Fatalf("Executed = %d after running through t=2, want 3", e.Executed())
+	}
+	e.RunUntil(10)
+	if e.Executed() != e.Scheduled() {
+		t.Fatalf("drained engine: Executed %d != Scheduled %d", e.Executed(), e.Scheduled())
+	}
+	// Counters are process-lifetime: they keep growing across reuse
+	// rather than resetting, which is why resume-invariant outputs must
+	// never include them.
+	e.At(11, func() {})
+	if e.Scheduled() != 6 {
+		t.Fatalf("Scheduled = %d after reuse, want 6", e.Scheduled())
+	}
+}
+
 // ---- time-wheel vs reference heap equivalence ----
 
 // refQueue is the container/heap implementation the time-wheel

@@ -14,6 +14,12 @@ import (
 //
 // Determinism: events carry no wall-clock fields (timings belong to
 // histograms), so a fixed-seed run emits a byte-identical log.
+//
+// The first line of every log is a header event carrying the format
+// version ({"event":"header","seq":0,"schema":N}); readers reject
+// schemas they do not understand instead of misparsing. The header is
+// emitted lazily before the first event so a resumed run — which
+// Rewinds to a non-zero offset — never duplicates it.
 type DecisionLog struct {
 	mu    sync.Mutex
 	w     io.Writer
@@ -22,6 +28,11 @@ type DecisionLog struct {
 	bytes int64
 	err   error
 }
+
+// DecisionLogSchema is the current decision-log format version,
+// recorded in the header event. Bump it on any incompatible change to
+// event shapes so gsight-inspect can reject logs it cannot read.
+const DecisionLogSchema = 1
 
 // NewDecisionLog logs events to w. Callers own w's lifecycle (and any
 // buffering/flushing); the log only writes whole lines.
@@ -86,9 +97,17 @@ func (l *DecisionLog) emit(b []byte) {
 	}
 }
 
-// begin starts a new event line: {"event":"<kind>","seq":N. Callers
-// hold l.mu.
+// begin starts a new event line: {"event":"<kind>","seq":N — emitting
+// the schema header first if this log has never written a byte (a
+// Rewind to a non-zero offset leaves the on-disk header in place).
+// Callers hold l.mu.
 func (l *DecisionLog) begin(kind string) []byte {
+	if l.seq == 0 && l.bytes == 0 {
+		b := l.buf[:0]
+		b = append(b, `{"event":"header","seq":0,"schema":`...)
+		b = strconv.AppendInt(b, DecisionLogSchema, 10)
+		l.emit(b)
+	}
 	b := l.buf[:0]
 	b = append(b, `{"event":`...)
 	b = strconv.AppendQuote(b, kind)
@@ -192,6 +211,28 @@ func (l *DecisionLog) Placement(e *PlacementDecision) {
 	l.mu.Unlock()
 }
 
+// ExperimentRun records one experiment's outcome in a harness run.
+// Events are emitted sequentially in id order after the (possibly
+// parallel) runs finish, so the log stays deterministic; durations are
+// deliberately absent (wall clock belongs to histograms).
+type ExperimentRun struct {
+	ID     string
+	Status string // "ok", "failed" or "cancelled"
+}
+
+// Experiment emits an experiment-outcome event.
+func (l *DecisionLog) Experiment(e *ExperimentRun) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	b := l.begin("experiment")
+	b = appendStr(b, "id", e.ID)
+	b = appendStr(b, "status", e.Status)
+	l.emit(b)
+	l.mu.Unlock()
+}
+
 // PredictorUpdate records one predictor training step: the offline
 // bootstrap or an incremental window flush.
 type PredictorUpdate struct {
@@ -286,6 +327,39 @@ type DegradedTransition struct {
 	Entered  bool   // true on entry, false on exit
 	Reason   string // "predictor-unavailable" or "predictor-untrained"
 	Fallback string // the policy serving placements while degraded
+}
+
+// DriftEvent records a prediction-quality drift detection: the online
+// residual tracker's Page–Hinkley statistic crossed its threshold for
+// one archetype (or the overall stream), meaning the predictor's
+// recent errors shifted from their running mean. The platform emits it
+// so operators — or a future retraining policy — can react.
+type DriftEvent struct {
+	SimTimeS  float64
+	QoS       string  // QoS kind the residuals are for ("ipc", "jct")
+	Archetype string  // workload archetype, or "overall"
+	Window    int     // rolling-window sample count behind the stats
+	MeanErr   float64 // rolling mean signed relative error
+	MAPE      float64 // rolling mean absolute percentage error
+	PH        float64 // Page–Hinkley statistic at detection
+}
+
+// Drift emits a predictor-drift event.
+func (l *DecisionLog) Drift(e *DriftEvent) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	b := l.begin("predictor_drift")
+	b = appendFloat(b, "sim_time_s", e.SimTimeS)
+	b = appendStr(b, "qos", e.QoS)
+	b = appendStr(b, "archetype", e.Archetype)
+	b = appendInt(b, "window", e.Window)
+	b = appendFloat(b, "mean_err", e.MeanErr)
+	b = appendFloat(b, "mape", e.MAPE)
+	b = appendFloat(b, "ph", e.PH)
+	l.emit(b)
+	l.mu.Unlock()
 }
 
 // Degraded emits a degraded-mode transition event.

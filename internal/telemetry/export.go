@@ -48,6 +48,9 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", name, fmtFloat(m.Sum()), name, m.Count()); err != nil {
 				return err
 			}
+			if _, err := fmt.Fprintf(w, "%s_min %s\n%s_max %s\n", name, fmtFloat(m.Min()), name, fmtFloat(m.Max())); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -66,13 +69,23 @@ func writeHeader(w io.Writer, name, help, typ string) error {
 func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 
 // HistogramSnapshot is a histogram's summary in a run report.
+// Quantiles are exact while the sample count fits the histogram's
+// raw-sample buffer, interpolated otherwise; min and max are always
+// exact.
 type HistogramSnapshot struct {
 	Count uint64  `json:"count"`
 	Sum   float64 `json:"sum"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
 	P50   float64 `json:"p50"`
 	P95   float64 `json:"p95"`
 	P99   float64 `json:"p99"`
+	P999  float64 `json:"p999"`
 }
+
+// snapshotQuantiles are the quantiles Snapshot exports, in
+// HistogramSnapshot field order.
+var snapshotQuantiles = []float64{0.50, 0.95, 0.99, 0.999}
 
 // Snapshot is a point-in-time JSON-friendly view of a registry.
 type Snapshot struct {
@@ -100,12 +113,17 @@ func (r *Registry) Snapshot() *Snapshot {
 		case *Gauge:
 			snap.Gauges[name] = m.Value()
 		case *Histogram:
+			var qbuf [4]float64
+			qs := m.Quantiles(snapshotQuantiles, qbuf[:])
 			snap.Histograms[name] = HistogramSnapshot{
 				Count: m.Count(),
 				Sum:   m.Sum(),
-				P50:   m.Quantile(0.50),
-				P95:   m.Quantile(0.95),
-				P99:   m.Quantile(0.99),
+				Min:   m.Min(),
+				Max:   m.Max(),
+				P50:   qs[0],
+				P95:   qs[1],
+				P99:   qs[2],
+				P999:  qs[3],
 			}
 		}
 	}

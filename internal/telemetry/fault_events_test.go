@@ -14,7 +14,7 @@ func TestFaultAndDegradedEvents(t *testing.T) {
 	l.Fault(&FaultEvent{SimTimeS: 400, Kind: "slow-set", Node: 1, Factor: 0.5})
 	l.Degraded(&DegradedTransition{SimTimeS: 500, Entered: true, Reason: "predictor-unavailable", Fallback: "WorstFit"})
 	l.Degraded(&DegradedTransition{SimTimeS: 600, Entered: false, Reason: "predictor-unavailable", Fallback: "WorstFit"})
-	if l.Events() != 4 {
+	if l.Events() != 5 { // schema header + 4 events
 		t.Fatalf("events = %d", l.Events())
 	}
 	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
@@ -33,18 +33,18 @@ func TestFaultAndDegradedEvents(t *testing.T) {
 			}
 		}
 	}
-	if !strings.Contains(lines[0], `"event":"fault"`) || !strings.Contains(lines[0], `"displaced_services":3`) {
-		t.Fatalf("fault event malformed: %s", lines[0])
+	if !strings.Contains(lines[1], `"event":"fault"`) || !strings.Contains(lines[1], `"displaced_services":3`) {
+		t.Fatalf("fault event malformed: %s", lines[1])
 	}
 	// Factor omitted when zero, present when set.
-	if strings.Contains(lines[0], `"factor"`) {
-		t.Fatalf("zero factor should be omitted: %s", lines[0])
+	if strings.Contains(lines[1], `"factor"`) {
+		t.Fatalf("zero factor should be omitted: %s", lines[1])
 	}
-	if !strings.Contains(lines[1], `"factor":0.5`) {
-		t.Fatalf("factor missing: %s", lines[1])
+	if !strings.Contains(lines[2], `"factor":0.5`) {
+		t.Fatalf("factor missing: %s", lines[2])
 	}
-	if !strings.Contains(lines[2], `"entered":true`) || !strings.Contains(lines[3], `"entered":false`) {
-		t.Fatalf("degraded transitions malformed:\n%s\n%s", lines[2], lines[3])
+	if !strings.Contains(lines[3], `"entered":true`) || !strings.Contains(lines[4], `"entered":false`) {
+		t.Fatalf("degraded transitions malformed:\n%s\n%s", lines[3], lines[4])
 	}
 }
 

@@ -22,18 +22,28 @@ func (f *atomicFloat) Add(v float64) {
 
 func (f *atomicFloat) Load() float64 { return math.Float64frombits(f.bits.Load()) }
 
+// rawSampleCap is how many raw observations a histogram retains: while
+// the total count is at or below it, quantiles are computed exactly
+// from the retained samples instead of by bucket interpolation, so
+// short runs report precise tails.
+const rawSampleCap = 64
+
 // Histogram is a fixed-bucket histogram with lock-free observation:
 // bucket i counts values in (bounds[i-1], bounds[i]], with an implicit
 // +Inf overflow bucket. Buckets are fixed at registration so the hot
-// path is a binary search plus three atomic adds — no locks, no
-// allocation. Quantiles (p50/p95/p99) are estimated by linear
-// interpolation inside the covering bucket.
+// path is a binary search plus a handful of atomic updates — no locks,
+// no allocation. Quantiles are exact while the sample count fits the
+// raw-sample buffer and estimated by linear interpolation inside the
+// covering bucket after that; min and max are tracked exactly always.
 type Histogram struct {
 	name, help string
 	bounds     []float64 // strictly increasing upper bounds
 	counts     []atomic.Uint64
 	count      atomic.Uint64
 	sum        atomicFloat
+	minBits    atomic.Uint64 // float bits; +Inf while empty
+	maxBits    atomic.Uint64 // float bits; -Inf while empty
+	raw        [rawSampleCap]atomic.Uint64
 }
 
 // newHistogram builds a histogram; nil/empty bounds get DurationBuckets.
@@ -43,12 +53,15 @@ func newHistogram(name, help string, bounds []float64) *Histogram {
 	}
 	b := append([]float64(nil), bounds...)
 	sort.Float64s(b)
-	return &Histogram{
+	h := &Histogram{
 		name:   name,
 		help:   help,
 		bounds: b,
 		counts: make([]atomic.Uint64, len(b)+1),
 	}
+	h.minBits.Store(math.Float64bits(math.Inf(1)))
+	h.maxBits.Store(math.Float64bits(math.Inf(-1)))
+	return h
 }
 
 // Observe records one value. Safe on a nil receiver and for concurrent
@@ -59,8 +72,38 @@ func (h *Histogram) Observe(v float64) {
 	}
 	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
 	h.counts[i].Add(1)
-	h.count.Add(1)
+	if n := h.count.Add(1); n <= rawSampleCap {
+		h.raw[n-1].Store(math.Float64bits(v))
+	}
 	h.sum.Add(v)
+	for {
+		old := h.minBits.Load()
+		if v >= math.Float64frombits(old) || h.minBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+	for {
+		old := h.maxBits.Load()
+		if v <= math.Float64frombits(old) || h.maxBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+}
+
+// Min returns the smallest observed value (0 for nil or empty).
+func (h *Histogram) Min() float64 {
+	if h == nil || h.count.Load() == 0 {
+		return 0
+	}
+	return math.Float64frombits(h.minBits.Load())
+}
+
+// Max returns the largest observed value (0 for nil or empty).
+func (h *Histogram) Max() float64 {
+	if h == nil || h.count.Load() == 0 {
+		return 0
+	}
+	return math.Float64frombits(h.maxBits.Load())
 }
 
 // Count returns the number of observations (0 for nil).
@@ -87,11 +130,13 @@ func (h *Histogram) Name() string {
 	return h.name
 }
 
-// Quantile estimates the q-th quantile (0 < q <= 1) by linear
-// interpolation within the covering bucket. The overflow bucket clamps
-// to the largest bound; an empty histogram returns 0. The estimate is
-// exact to within one bucket's width, which is the resolution contract
-// callers pick via the bucket layout.
+// Quantile returns the q-th quantile (0 < q <= 1). While the sample
+// count fits the raw buffer the value is exact (nearest-rank on the
+// retained samples); beyond that it is estimated by linear
+// interpolation within the covering bucket — exact to within one
+// bucket's width, which is the resolution contract callers pick via
+// the bucket layout. The overflow bucket clamps to the largest bound;
+// an empty histogram returns 0.
 func (h *Histogram) Quantile(q float64) float64 {
 	if h == nil {
 		return 0
@@ -99,6 +144,9 @@ func (h *Histogram) Quantile(q float64) float64 {
 	total := h.count.Load()
 	if total == 0 {
 		return 0
+	}
+	if total <= rawSampleCap {
+		return exactQuantile(h.sortedRaw(int(total)), q)
 	}
 	rank := q * float64(total)
 	if rank < 1 {
@@ -129,6 +177,41 @@ func (h *Histogram) Quantile(q float64) float64 {
 		cum += c
 	}
 	return h.bounds[len(h.bounds)-1]
+}
+
+// Quantiles fills out with the quantile for each q in qs — the
+// configurable-quantile API behind snapshots (callers pick the list,
+// e.g. 0.5/0.95/0.99/0.999). out must be at least len(qs) long; the
+// filled prefix is returned. Each quantile follows the same
+// exact-then-interpolated contract as Quantile.
+func (h *Histogram) Quantiles(qs, out []float64) []float64 {
+	out = out[:len(qs)]
+	for i, q := range qs {
+		out[i] = h.Quantile(q)
+	}
+	return out
+}
+
+// sortedRaw returns the first n retained raw samples, sorted.
+func (h *Histogram) sortedRaw(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(h.raw[i].Load())
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// exactQuantile is the nearest-rank quantile of a sorted sample.
+func exactQuantile(s []float64, q float64) float64 {
+	idx := int(math.Ceil(q*float64(len(s)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
 }
 
 // snapshotBuckets returns the bucket bounds with cumulative counts —

@@ -65,14 +65,56 @@ func TestHistogramEdgeCases(t *testing.T) {
 	if h.Quantile(0.5) != 0 {
 		t.Fatal("empty histogram quantile should be 0")
 	}
-	h.Observe(100) // overflow
+	// Past the raw-sample window, overflow observations interpolate
+	// within buckets and the top quantile clamps to the last bound.
+	for i := 0; i <= rawSampleCap; i++ {
+		h.Observe(100) // overflow
+	}
 	if got := h.Quantile(0.99); got != 4 {
 		t.Fatalf("overflow quantile should clamp to last bound, got %v", got)
+	}
+	if h.Min() != 100 || h.Max() != 100 {
+		t.Fatalf("min/max = %v/%v, want 100/100", h.Min(), h.Max())
 	}
 	var nilH *Histogram
 	nilH.Observe(1) // must not panic
 	if nilH.Quantile(0.5) != 0 || nilH.Count() != 0 || nilH.Sum() != 0 {
 		t.Fatal("nil histogram accessors should be zero")
+	}
+	if nilH.Min() != 0 || nilH.Max() != 0 {
+		t.Fatal("nil histogram min/max should be zero")
+	}
+}
+
+func TestHistogramExactSmallSamples(t *testing.T) {
+	// While the count fits the raw buffer, quantiles are exact — not
+	// bucket-interpolated — even with absurdly coarse buckets.
+	h := newHistogram("t", "", []float64{1000})
+	vals := []float64{5, 1, 9, 3, 7, 2, 8, 4, 6, 10}
+	for _, v := range vals {
+		h.Observe(v)
+	}
+	if got := h.Quantile(0.5); got != 5 {
+		t.Fatalf("exact p50 = %v, want 5", got)
+	}
+	if got := h.Quantile(0.99); got != 10 {
+		t.Fatalf("exact p99 = %v, want 10", got)
+	}
+	if h.Min() != 1 || h.Max() != 10 {
+		t.Fatalf("min/max = %v/%v, want 1/10", h.Min(), h.Max())
+	}
+	var out [4]float64
+	qs := h.Quantiles([]float64{0.5, 0.95, 0.99, 0.999}, out[:])
+	if qs[0] != 5 || qs[3] != 10 {
+		t.Fatalf("Quantiles = %v", qs)
+	}
+	// Crossing the raw-sample capacity falls back to interpolation
+	// without losing count/sum/min/max.
+	for i := 0; i < rawSampleCap; i++ {
+		h.Observe(0.5)
+	}
+	if h.Count() != uint64(len(vals)+rawSampleCap) || h.Min() != 0.5 || h.Max() != 10 {
+		t.Fatalf("after overflow: count=%d min=%v max=%v", h.Count(), h.Min(), h.Max())
 	}
 }
 
@@ -127,12 +169,15 @@ func TestDecisionLogJSONL(t *testing.T) {
 	})
 	l.PredictorUpdate(&PredictorUpdate{Predictor: "Gsight", Kind: "ipc", Phase: "update", Batch: 100, SamplesSeen: 300})
 	l.Reactive(&ReactiveAction{SimTimeS: 120, Action: "evict-corunner", Service: "e-commerce", Moved: 2})
-	if l.Events() != 3 {
+	if l.Events() != 4 { // schema header + 3 events
 		t.Fatalf("events = %d", l.Events())
 	}
 	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
-	if len(lines) != 3 {
+	if len(lines) != 4 {
 		t.Fatalf("lines = %d", len(lines))
+	}
+	if lines[0] != fmt.Sprintf(`{"event":"header","seq":0,"schema":%d}`, DecisionLogSchema) {
+		t.Fatalf("first line is not the schema header: %s", lines[0])
 	}
 	for i, line := range lines {
 		var m map[string]interface{}
@@ -143,12 +188,17 @@ func TestDecisionLogJSONL(t *testing.T) {
 			t.Fatalf("line %d has seq %v", i, m["seq"])
 		}
 	}
-	if !strings.Contains(lines[0], `"placement":[0,0,1]`) {
-		t.Fatalf("placement array missing: %s", lines[0])
+	if !strings.Contains(lines[1], `"placement":[0,0,1]`) {
+		t.Fatalf("placement array missing: %s", lines[1])
 	}
 	// Omitted optional fields stay omitted.
-	if strings.Contains(lines[0], `"reason"`) {
-		t.Fatalf("empty reason should be omitted: %s", lines[0])
+	if strings.Contains(lines[1], `"reason"`) {
+		t.Fatalf("empty reason should be omitted: %s", lines[1])
+	}
+	// The drift event carries the full detector context.
+	l.Drift(&DriftEvent{SimTimeS: 900, QoS: "jct", Archetype: "matmul", Window: 64, MeanErr: -0.2, MAPE: 0.35, PH: 2.5})
+	if !strings.Contains(buf.String(), `{"event":"predictor_drift","seq":4,"sim_time_s":900,"qos":"jct","archetype":"matmul","window":64,"mean_err":-0.2,"mape":0.35,"ph":2.5}`) {
+		t.Fatalf("drift event malformed:\n%s", buf.String())
 	}
 }
 
@@ -186,8 +236,8 @@ func TestDecisionLogConcurrentWriters(t *testing.T) {
 	}
 	wg.Wait()
 	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
-	if len(lines) != workers*each {
-		t.Fatalf("lines = %d, want %d", len(lines), workers*each)
+	if len(lines) != workers*each+1 { // +1 for the schema header
+		t.Fatalf("lines = %d, want %d", len(lines), workers*each+1)
 	}
 	seqs := map[int]bool{}
 	for _, line := range lines {
@@ -197,7 +247,7 @@ func TestDecisionLogConcurrentWriters(t *testing.T) {
 		}
 		seqs[int(m["seq"].(float64))] = true
 	}
-	if len(seqs) != workers*each {
+	if len(seqs) != workers*each+1 {
 		t.Fatalf("duplicate sequence numbers: %d unique", len(seqs))
 	}
 }
@@ -222,6 +272,8 @@ func TestWritePrometheus(t *testing.T) {
 		`c_hist_bucket{le="2"} 2`,
 		`c_hist_bucket{le="+Inf"} 3`,
 		"c_hist_count 3",
+		"c_hist_min 0.5",
+		"c_hist_max 10",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("prometheus output missing %q:\n%s", want, out)
@@ -241,7 +293,7 @@ func TestSnapshotAndReport(t *testing.T) {
 	ins.PlaceSeconds.Observe(0.001)
 	ins.Decisions.Placement(&PlacementDecision{Scheduler: "Gsight", Outcome: "placed"})
 	rep := s.Report("test-tool", map[string]interface{}{"seed": 42}, map[string]interface{}{"ok": true})
-	if rep.Tool != "test-tool" || rep.DecisionEvents != 1 {
+	if rep.Tool != "test-tool" || rep.DecisionEvents != 2 { // header + placement
 		t.Fatalf("report header wrong: %+v", rep)
 	}
 	if rep.Metrics.Counters["sched_gsight_placements_total"] != 5 {
@@ -317,8 +369,8 @@ func TestDecisionLogOffsetAndRewind(t *testing.T) {
 	}
 	emit(3)
 	seq, bytesAt := l.Offset()
-	if seq != 3 || bytesAt != int64(buf.Len()) {
-		t.Fatalf("offset = (%d, %d), want (3, %d)", seq, bytesAt, buf.Len())
+	if seq != 4 || bytesAt != int64(buf.Len()) { // header + 3 events
+		t.Fatalf("offset = (%d, %d), want (4, %d)", seq, bytesAt, buf.Len())
 	}
 	prefix := append([]byte(nil), buf.Bytes()...)
 	emit(2)
@@ -335,8 +387,13 @@ func TestDecisionLogOffsetAndRewind(t *testing.T) {
 	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
 		t.Fatalf("rewound log diverged:\n%q\n%q", buf.Bytes(), buf2.Bytes())
 	}
-	if s2, b2 := l2.Offset(); s2 != 5 || b2 != int64(buf2.Len()) {
+	if s2, b2 := l2.Offset(); s2 != 6 || b2 != int64(buf2.Len()) {
 		t.Fatalf("post-rewind offset = (%d, %d)", s2, b2)
+	}
+	// A rewind to a non-zero offset must not re-emit the header; only
+	// a log rewound to zero (file truncated empty) writes it again.
+	if strings.Count(buf2.String(), `"event":"header"`) != 1 {
+		t.Fatalf("resumed log duplicated the header:\n%s", buf2.String())
 	}
 	// Nil log is inert.
 	var nilLog *DecisionLog

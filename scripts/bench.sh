@@ -21,7 +21,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-BENCHES='BenchmarkInference$|BenchmarkInferenceBatch$|BenchmarkIncrementalUpdate$|BenchmarkEncode$|BenchmarkForestTraining$|BenchmarkForestTrainingParallel$|BenchmarkBinarySearchScheduling$|BenchmarkSchedulingInstrumented$|BenchmarkFaultyPlatform$|BenchmarkEngineStep$|BenchmarkPlatformStep$'
+BENCHES='BenchmarkInference$|BenchmarkInferenceBatch$|BenchmarkIncrementalUpdate$|BenchmarkEncode$|BenchmarkForestTraining$|BenchmarkForestTrainingParallel$|BenchmarkBinarySearchScheduling$|BenchmarkSchedulingInstrumented$|BenchmarkFaultyPlatform$|BenchmarkTracedPlatform$|BenchmarkEngineStep$|BenchmarkPlatformStep$'
 ML_BENCHES='BenchmarkWindowAbsorb$'
 PERSIST_BENCHES='BenchmarkCheckpointSnapshot$|BenchmarkWALAppend$'
 

@@ -122,10 +122,17 @@ func main() {
 // judged by the recorded history instead.
 const lowAllocMax = 10
 
+// nsWarnFactor is the ns/op ratio over the recorded history that makes
+// -check print a warning. Wall-clock timings need a quiet machine, so
+// the warning is advisory (never fails the check) — it flags likely
+// regressions for a human to re-measure, it does not gate.
+const nsWarnFactor = 1.25
+
 // checkAllocs compares fresh results against the latest history entry
 // and errors if any benchmark that was low-alloc regressed its
 // allocs/op. Benchmarks absent from either side are skipped — the
-// gate guards known-good paths, it does not enforce coverage.
+// gate guards known-good paths, it does not enforce coverage. ns/op
+// drifting past nsWarnFactor prints a non-fatal warning.
 func checkAllocs(h *histFile, fresh map[string]result) error {
 	if len(h.History) == 0 {
 		return errors.New("-check needs an existing history entry to compare against")
@@ -142,6 +149,10 @@ func checkAllocs(h *histFile, fresh map[string]result) error {
 		if now.AllocsPerOp > old.AllocsPerOp {
 			regressions = append(regressions,
 				fmt.Sprintf("%s: %d allocs/op, history has %d", name, now.AllocsPerOp, old.AllocsPerOp))
+		}
+		if old.NsPerOp > 0 && now.NsPerOp > old.NsPerOp*nsWarnFactor {
+			fmt.Fprintf(os.Stderr, "benchhist: warning: %s at %.0f ns/op, >%.0f%% over the %.0f ns/op history (advisory — re-measure on a quiet machine)\n",
+				name, now.NsPerOp, (nsWarnFactor-1)*100, old.NsPerOp)
 		}
 	}
 	if len(regressions) > 0 {

@@ -5,9 +5,10 @@
 # once with two injected controller crashes, checkpointing enabled and
 # a resume loop (exit code 3 = deliberate crash, rerun with -resume).
 # The crashed-and-resumed run must produce a byte-identical decision
-# log and an identical report (wall-clock timing lines filtered) —
-# the repo's headline recovery guarantee, checked on the real binary
-# rather than in-process test harnesses.
+# log, lifecycle trace and flight recording (-record bundle), and an
+# identical report (wall-clock timing lines filtered) — the repo's
+# headline recovery guarantee, checked on the real binary rather than
+# in-process test harnesses.
 #
 # Usage: scripts/crashcheck.sh [hours] [train] [seed]
 set -eu
@@ -31,13 +32,14 @@ EOF
 common="-hours $HOURS -train $TRAIN -seed $SEED -quiet"
 
 echo "crashcheck: baseline run (no faults, no checkpoints)..."
-"$WORK/gsight-sim" $common \
+"$WORK/gsight-sim" $common -record "$WORK/rec-base" \
     -decision-log "$WORK/base.jsonl" > "$WORK/base.out"
 
 echo "crashcheck: crashing run (2 controller crashes, 600s snapshots)..."
 rc=0
 "$WORK/gsight-sim" $common -faults "$WORK/crash.json" \
     -checkpoint-dir "$WORK/ck" -checkpoint-interval 600 \
+    -record "$WORK/rec-crash" \
     -decision-log "$WORK/crashed.jsonl" > "$WORK/crashed.out" || rc=$?
 tries=1
 while [ "$rc" -eq 3 ]; do
@@ -47,6 +49,7 @@ while [ "$rc" -eq 3 ]; do
     rc=0
     "$WORK/gsight-sim" $common -faults "$WORK/crash.json" \
         -checkpoint-dir "$WORK/ck" -checkpoint-interval 600 -resume \
+        -record "$WORK/rec-crash" \
         -decision-log "$WORK/crashed.jsonl" > "$WORK/crashed.out" || rc=$?
 done
 [ "$rc" -eq 0 ] || { echo "crashcheck: FAIL (unexpected exit code $rc)" >&2; exit 1; }
@@ -57,6 +60,15 @@ if ! cmp -s "$WORK/base.jsonl" "$WORK/crashed.jsonl"; then
     cmp "$WORK/base.jsonl" "$WORK/crashed.jsonl" >&2 || true
     exit 1
 fi
+# The observability bundle must also survive the crashes unchanged:
+# controller crashes are invisible in every recorded stream.
+for f in trace.json flight.bin; do
+    if ! cmp -s "$WORK/rec-base/$f" "$WORK/rec-crash/$f"; then
+        echo "crashcheck: FAIL ($f differs between baseline and resumed run)" >&2
+        cmp "$WORK/rec-base/$f" "$WORK/rec-crash/$f" >&2 || true
+        exit 1
+    fi
+done
 # The report is deterministic except for wall-clock timing lines.
 grep -v 'wall-clock' "$WORK/base.out" > "$WORK/base.flt"
 grep -v 'wall-clock' "$WORK/crashed.out" > "$WORK/crashed.flt"
