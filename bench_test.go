@@ -7,6 +7,7 @@ package gsight
 // whole pipeline exercised and timed under `go test -bench`.
 
 import (
+	"fmt"
 	"io"
 	"strings"
 	"testing"
@@ -17,6 +18,7 @@ import (
 	"gsight/internal/perfmodel"
 	"gsight/internal/resources"
 	"gsight/internal/scenario"
+	"gsight/internal/sched"
 	"gsight/internal/sim"
 )
 
@@ -121,6 +123,11 @@ func BenchmarkExtResilience(b *testing.B) { runExperiment(b, "ext-resilience") }
 // BenchmarkExtSoak runs the long-horizon soak: scaled trace replay
 // (rate and time factors) through the allocation-free step loop.
 func BenchmarkExtSoak(b *testing.B) { runExperiment(b, "ext-soak") }
+
+// BenchmarkExtScale runs the sharded-state scale ladder (8 to 10k
+// servers) under Gsight and the baselines — the placements/sec column
+// in its report is the headline number.
+func BenchmarkExtScale(b *testing.B) { runExperiment(b, "ext-scale") }
 
 // ---- micro-benchmarks of the paper's operational costs (§6.4) ----
 
@@ -313,6 +320,73 @@ func BenchmarkSchedulingInstrumented(b *testing.B) {
 	}
 }
 
+// BenchmarkShardedScheduling measures one placement proposal through
+// the sharded state's transaction path at testbed size (single shard —
+// exact legacy behavior). The sealed ClusterView keeps the snapshot
+// from escaping, so the budget is the same 1 alloc/op (the returned
+// placement slice) as direct Place; benchhist -check gates it against
+// the history alongside BenchmarkBinarySearchScheduling.
+func BenchmarkShardedScheduling(b *testing.B) {
+	p, obs := trainedPredictor(b)
+	spec := resources.DefaultServerSpec("bench")
+	scheduler := NewScheduler(p)
+	ss := sched.ShardedStateFromProfiles(spec, 8, 1)
+	// One reusable request: inside propose the scheduler is an
+	// interface, so a per-iteration literal would escape and charge
+	// the caller's allocation to the propose path under test.
+	req := &PlacementRequest{SLA: SLA{MinIPC: 0.5}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o := obs[i%len(obs)]
+		req.Input = o.Inputs[o.Target]
+		if _, err := ss.Propose(scheduler, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkShardedPlacement measures the full propose/commit/release
+// cycle at cluster scale: 1k and 10k servers, shards 1 vs 16. Requests
+// hash to a fixed-size home window, so ns/op is bounded by window size
+// rather than server count; the shard axis isolates the epoch
+// bookkeeping cost and placements/s is the headline throughput number
+// recorded in BENCH_gsight.json.
+func BenchmarkShardedPlacement(b *testing.B) {
+	p, obs := trainedPredictor(b)
+	spec := resources.DefaultServerSpec("bench")
+	for _, n := range []int{1000, 10000} {
+		for _, shards := range []int{1, 16} {
+			b.Run(fmt.Sprintf("servers=%d/shards=%d", n, shards), func(b *testing.B) {
+				scheduler := NewScheduler(p)
+				ss := sched.ShardedStateFromProfiles(spec, n, shards)
+				names := make([]string, 256)
+				for i := range names {
+					names[i] = fmt.Sprintf("bench-%03d", i)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					o := obs[i%len(obs)]
+					in := o.Inputs[o.Target]
+					in.Name = names[i%len(names)]
+					req := &PlacementRequest{Input: in, SLA: SLA{MinIPC: 0.5}}
+					pl, err := ss.Propose(scheduler, req)
+					if err != nil {
+						b.Fatal(err)
+					}
+					in.Placement = pl
+					ss.Commit(in, req.SLA)
+					if !ss.Release(in.Name) {
+						b.Fatal("release failed")
+					}
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "placements/s")
+			})
+		}
+	}
+}
+
 // BenchmarkFaultyPlatform measures the platform's fault path: a short
 // trace-driven run under the "chaos" scenario (crash + straggler +
 // cold-start storm + predictor outage), exercising evacuation, capacity
@@ -451,12 +525,15 @@ func BenchmarkPlatformStep(b *testing.B) {
 	}
 }
 
-func schedState(spec resources.ServerSpec) *SchedulerState {
+// schedState builds a flat 8-server state. The composite literal stays
+// stack-allocatable inside benchmark loops (the sealed ClusterView
+// keeps Place from leaking it), which the alloc-budget tests rely on.
+func schedState(spec resources.ServerSpec) *DirectState {
 	caps := make([]resources.Vector, 8)
 	for i := range caps {
 		caps[i] = spec.Capacity
 	}
-	return &SchedulerState{Caps: caps, Used: make([]resources.Vector, 8)}
+	return &DirectState{Caps: caps, Used: make([]resources.Vector, 8)}
 }
 
 // benchedIDs is the static list of experiment ids with a Benchmark*
@@ -469,7 +546,7 @@ var benchedIDs = []string{
 	"fig3a", "fig3b", "fig4", "fig5", "fig7", "fig8", "fig9",
 	"fig10a", "fig10b", "fig10c", "fig11", "fig12", "fig13", "fig14",
 	"ext-pca", "ext-hierarchy", "ext-coldstart", "ext-isolation",
-	"ext-resilience", "ext-soak",
+	"ext-resilience", "ext-soak", "ext-scale",
 }
 
 // TestBenchRegistryCoverage pins the registry and the bench list to

@@ -44,6 +44,9 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
 	reportPath := flag.String("report", "", "write a JSON run report to this file")
 	decisionPath := flag.String("decision-log", "", "write the JSONL decision log to this file")
+	servers := flag.Int("servers", 0, "ext-scale: run a single server-count rung instead of the 8/256/1k/10k ladder")
+	shards := flag.Int("shards", 0, "ext-scale: scheduler-state shard count (0 = auto; outcomes are shard-independent)")
+	placers := flag.Int("placers", 0, "ext-scale: concurrent placer workers (0 = auto; results identical at any count)")
 	flag.Parse()
 
 	log := logx.Default(*verbose, *quiet)
@@ -62,6 +65,7 @@ func main() {
 		scale: *scale, seed: *seed, run: *run, format: *format, out: *out,
 		parallel: *parallel, debugAddr: *debugAddr, reportPath: *reportPath,
 		decisionPath: *decisionPath,
+		servers: *servers, shards: *shards, placers: *placers,
 	})
 	if !ok {
 		os.Exit(1)
@@ -78,6 +82,9 @@ type config struct {
 	debugAddr    string
 	reportPath   string
 	decisionPath string
+	servers      int
+	shards       int
+	placers      int
 }
 
 // runAll executes the selected experiments and emits their reports; it
@@ -126,7 +133,10 @@ func runAll(ctx context.Context, log *logx.Logger, cfg config) bool {
 	} else {
 		ids = strings.Split(cfg.run, ",")
 	}
-	opt := experiments.Options{Seed: cfg.seed, Scale: cfg.scale}
+	opt := experiments.Options{
+		Seed: cfg.seed, Scale: cfg.scale,
+		Servers: cfg.servers, Shards: cfg.shards, Placers: cfg.placers,
+	}
 	for i := range ids {
 		ids[i] = strings.TrimSpace(ids[i])
 	}

@@ -79,6 +79,9 @@ func main() {
 	recordDir := flag.String("record", "", "record the observability bundle (trace.json, flight.bin) into this directory")
 	rateScale := flag.Float64("rate-scale", 1, "multiply every service's invocation rate (and its MaxQPS ceiling) for soak runs")
 	timeScale := flag.Float64("time-scale", 1, "compress the diurnal/weekly trace clock: k replays k days of rate structure per simulated day")
+	servers := flag.Int("servers", 0, "cluster size (0 = the paper's 8-node testbed)")
+	shards := flag.Int("shards", 0, "scheduler-state shards (0 = 1; placement outcomes are shard-independent)")
+	placers := flag.Int("placers", 0, "concurrent placer workers for initial deployment (0 = serial; results identical)")
 	flag.Parse()
 
 	log := logx.Default(*verbose, *quiet)
@@ -103,6 +106,9 @@ func main() {
 		tracePath:     *tracePath,
 		recordDir:     *recordDir,
 		scaling:       trace.Scaling{RateFactor: *rateScale, TimeFactor: *timeScale},
+		servers:       *servers,
+		shards:        *shards,
+		placers:       *placers,
 	}); err != nil {
 		log.Errorf("%v", err)
 		// A deliberate controller crash is distinguishable from real
@@ -133,6 +139,9 @@ type options struct {
 	tracePath     string
 	recordDir     string
 	scaling       trace.Scaling
+	servers       int
+	shards        int
+	placers       int
 }
 
 func run(ctx context.Context, log *logx.Logger, opt options) error {
@@ -220,9 +229,22 @@ func run(ctx context.Context, log *logx.Logger, opt options) error {
 		log.Infof("debug server on http://%s (metrics, expvar, pprof)", addr)
 	}
 
-	m := perfmodel.New(resources.DefaultTestbed())
+	// The platform runs on the (possibly scaled) testbed; bootstrap
+	// training and SLA-curve calibration stay on the paper's 8-node lab
+	// — the interference code layout is 8-row, and profiles/curves are
+	// per-server-spec, not per-cluster-size.
+	tb := resources.DefaultTestbed()
+	if opt.servers > 0 {
+		tb = resources.NewTestbed(opt.servers)
+	}
+	m := perfmodel.New(tb)
 	scenario.FastConfig(m)
-	g := scenario.NewGenerator(m, opt.seed)
+	lab := m
+	if tb.NumServers() != resources.DefaultTestbed().NumServers() {
+		lab = perfmodel.New(resources.DefaultTestbed())
+		scenario.FastConfig(lab)
+	}
+	g := scenario.NewGenerator(lab, opt.seed)
 
 	var recorder *obs.Recorder
 	if tracePath != "" || flightPath != "" {
@@ -256,16 +278,24 @@ func run(ctx context.Context, log *logx.Logger, opt options) error {
 
 	var pred core.QoSPredictor
 	var scheduler sched.Scheduler
+	var factory func() sched.Scheduler
 	needTraining := true
 	switch opt.scheduler {
 	case "gsight":
-		pred = core.NewPredictor(core.Config{Seed: opt.seed})
-		scheduler = sched.NewGsight(pred)
+		p := core.NewPredictor(core.Config{Seed: opt.seed})
+		pred = p
+		scheduler = sched.NewGsight(p)
+		// Pool workers share the (read-only at placement time)
+		// predictor but get private scheduler scratch.
+		factory = func() sched.Scheduler { return sched.NewGsight(p) }
 	case "bestfit":
-		pred = baselines.NewPythia(opt.seed)
-		scheduler = sched.NewBestFit(pred)
+		p := baselines.NewPythia(opt.seed)
+		pred = p
+		scheduler = sched.NewBestFit(p)
+		factory = func() sched.Scheduler { return sched.NewBestFit(p) }
 	case "worstfit":
 		scheduler = sched.NewWorstFit()
+		factory = func() sched.Scheduler { return sched.NewWorstFit() }
 		needTraining = false
 	default:
 		return fmt.Errorf("unknown scheduler %q", opt.scheduler)
@@ -344,7 +374,7 @@ func run(ctx context.Context, log *logx.Logger, opt options) error {
 	for i, w := range []*workload.Workload{
 		workload.SocialNetwork(), workload.ECommerce(), workload.MLServing(),
 	} {
-		curve := sched.BuildCurve(m, w, 250, opt.seed+uint64(i))
+		curve := sched.BuildCurve(lab, w, 250, opt.seed+uint64(i))
 		minIPC, _ := curve.MinIPCFor(w.SLAp99Ms)
 		p := trace.DefaultPattern(w.MaxQPS * 0.6)
 		p.PhaseShift = float64(i) * 7200
@@ -404,6 +434,9 @@ func run(ctx context.Context, log *logx.Logger, opt options) error {
 			Resume:    opt.resume,
 			FlushLog:  flushLog,
 		},
+		Shards:           opt.shards,
+		Placers:          opt.placers,
+		SchedulerFactory: factory,
 	})
 	if err != nil {
 		if errors.Is(err, platform.ErrControllerCrashed) {

@@ -1,17 +1,20 @@
-// Scheduler bake-off: trains Gsight, then drives the trace-driven
-// serverless platform for a few simulated hours under the Gsight
-// binary-search scheduler, Pythia's Best Fit and Worst Fit, comparing
-// function density, utilization and SLA compliance (the paper's §6.3
-// case study in miniature). A final run repeats the Gsight case under
-// the "chaos" fault scenario to show graceful degradation. Everything
-// here uses only the root gsight package.
+// Scheduling walkthrough on the sharded-state API (DESIGN.md §14):
+// trains Gsight, places workloads through snapshot-isolated
+// transactions (including a forced commit conflict and its retry),
+// drains a request stream through the concurrent placer pool at 1024
+// servers, then runs the §6.3 platform bake-off — Gsight's
+// binary-search scheduler vs Pythia's Best Fit and Worst Fit — plus a
+// chaos-fault rerun to show graceful degradation. Everything here uses
+// only the root gsight package.
 package main
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log"
 	"sort"
+	"time"
 
 	"gsight"
 )
@@ -47,6 +50,73 @@ func main() {
 	pythiaPred := gsight.NewPythia(43)
 	must(pythiaPred.TrainObservations(gsight.IPCQoS, ipcObs))
 
+	// request builds a placement request from a labeled observation's
+	// target workload, renamed so each request is a distinct tenant.
+	request := func(i int, name string) *gsight.PlacementRequest {
+		o := ipcObs[i%len(ipcObs)]
+		in := o.Inputs[o.Target]
+		in.Name = name
+		return &gsight.PlacementRequest{Input: in, SLA: gsight.SLA{MinIPC: 0.5}}
+	}
+
+	// -- Transactional placement ------------------------------------
+	// Placements are proposed against a snapshot and validated at
+	// commit: two transactions that read the same window race, the
+	// loser re-proposes against the fresh state.
+	fmt.Println("\n== snapshot-isolated placement transactions ==")
+	scheduler := gsight.NewScheduler(gsightPred)
+	state := gsight.NewSchedulerState(model, gsight.WithShards(2))
+
+	t1, t2 := state.Begin(), state.Begin()
+	p1, err := t1.Propose(scheduler, request(0, "tenant-a"))
+	must(err)
+	_, err = t2.Propose(scheduler, request(0, "tenant-b"))
+	must(err)
+	must(t1.Commit())
+	fmt.Printf("  txn 1 committed tenant-a at servers %v\n", p1)
+	if err := t2.Commit(); errors.Is(err, gsight.ErrTxnConflict) {
+		fmt.Println("  txn 2 conflicted (same window, stale epochs) — re-proposing...")
+		p2, err := t2.Propose(scheduler, request(0, "tenant-b"))
+		must(err)
+		must(t2.Commit())
+		fmt.Printf("  txn 2 committed tenant-b at servers %v on retry\n", p2)
+	} else {
+		must(err)
+	}
+
+	// -- The placer pool at cluster scale ---------------------------
+	// 1024 servers, 8 epoch shards, 4 concurrent placers. Requests
+	// hash to a fixed-size home window and spill outward only on
+	// rejection, so per-placement cost is bounded by window size, not
+	// cluster size — and results are byte-identical at any shard or
+	// placer count.
+	fmt.Println("\n== placer pool on a 1024-server cluster ==")
+	big := gsight.NewSchedulerState(gsight.NewScaledTestbedModel(1024),
+		gsight.WithShards(8))
+	pool := gsight.NewPlacerPool(big,
+		func() gsight.Scheduler { return gsight.NewScheduler(gsightPred) },
+		gsight.WithPlacers(4))
+	reqs := make([]*gsight.PlacementRequest, 512)
+	for i := range reqs {
+		reqs[i] = request(i, fmt.Sprintf("tenant-%03d", i))
+	}
+	t0 := time.Now()
+	results := pool.PlaceAll(reqs)
+	elapsed := time.Since(t0)
+	placed, retries := 0, 0
+	for _, r := range results {
+		if r.Err == nil {
+			placed++
+		}
+		retries += r.Retries
+	}
+	fmt.Printf("  placed %d/%d requests in %v (%.0f placements/s, %d commit retries)\n",
+		placed, len(reqs), elapsed.Round(time.Millisecond),
+		float64(len(reqs))/elapsed.Seconds(), retries)
+	fmt.Printf("  servers: %d online, %d hosting work\n",
+		big.OnlineServers(), big.ActiveServers())
+
+	// -- Platform bake-off (§6.3 in miniature) ----------------------
 	// SLAs via the latency->IPC transform (Figure 7).
 	services := func() []gsight.PlatformService {
 		var out []gsight.PlatformService
@@ -88,6 +158,7 @@ func main() {
 			DurationS:       durationS,
 			StepS:           30,
 			Seed:            42,
+			Shards:          2, // sharded state in the runner; placements unchanged
 			Faults:          entry.faults,
 		})
 		if err != nil {

@@ -50,6 +50,8 @@ type options struct {
 	seed     *uint64
 	sink     *telemetry.Sink
 	fallback sched.Scheduler
+	shards   int
+	placers  int
 }
 
 func buildOptions(opts []Option) options {
@@ -76,6 +78,22 @@ func WithTelemetry(s *TelemetrySink) Option {
 // instead of being rejected (schedulers).
 func WithFallback(s Scheduler) Option {
 	return func(o *options) { o.fallback = s }
+}
+
+// WithShards partitions scheduler-state epoch bookkeeping into n cells
+// (NewSchedulerState, PlatformConfig via NewPlatformConfig helpers).
+// Placement outcomes are shard-count-independent; shards only refine
+// conflict detection under concurrent placers. <= 1 means one shard —
+// exact legacy behavior.
+func WithShards(n int) Option {
+	return func(o *options) { o.shards = n }
+}
+
+// WithPlacers sets the number of concurrent placer workers draining a
+// placement queue (NewPlacerPool). <= 1 means serial; results are
+// byte-identical at any worker count.
+func WithPlacers(k int) Option {
+	return func(o *options) { o.placers = k }
 }
 
 // Core predictor types (§3).
@@ -180,6 +198,13 @@ func NewTestbedModel() *Model {
 	return perfmodel.New(resources.DefaultTestbed())
 }
 
+// NewScaledTestbedModel returns a cluster of n testbed-class nodes —
+// the scaled target the sharded scheduling state (DESIGN.md §14)
+// places against. NewTestbedModel is the paper's 8-node instance.
+func NewScaledTestbedModel(n int) *Model {
+	return perfmodel.New(resources.NewTestbed(n))
+}
+
 // NewDeployment places every function of w on server 0 (maximal
 // overlap); SpreadDeployment spreads round-robin.
 func NewDeployment(w *Workload) *Deployment { return perfmodel.NewDeployment(w) }
@@ -201,19 +226,42 @@ type (
 // profiling every workload once (the solo-run phase).
 func NewGenerator(m *Model, seed uint64) *Generator { return scenario.NewGenerator(m, seed) }
 
-// Scheduling (§4).
+// Scheduling (§4, sharded-state redesign in DESIGN.md §14).
 type (
 	// Scheduler decides placements.
 	Scheduler = sched.Scheduler
 	// SLA is a workload's admission contract.
 	SLA = sched.SLA
-	// SchedulerState is the scheduler's cluster view.
-	SchedulerState = sched.State
+	// SchedulerState is the scheduler's cluster state: a sharded,
+	// transaction-capable wrapper whose ClusterView surface is what
+	// schedulers read. At one shard it behaves exactly like the
+	// pre-sharding direct state.
+	SchedulerState = sched.ShardedState
+	// DirectState is the flat cluster state SchedulerState wraps.
+	//
+	// Deprecated: construct a SchedulerState (NewSchedulerState) and use
+	// Base() for direct field surgery; this alias remains for callers of
+	// the pre-sharding API.
+	DirectState = sched.State
+	// ClusterView is the read-only cluster surface schedulers consume.
+	ClusterView = sched.ClusterView
+	// SchedulerTxn is one snapshot-isolated placement transaction
+	// (Begin/Propose/Commit with commit-time conflict detection).
+	SchedulerTxn = sched.Txn
+	// PlacerPool drains placement requests through K concurrent
+	// workers with deterministic, serial-equivalent results.
+	PlacerPool = sched.PlacerPool
+	// PlaceResult is one request's outcome from a PlacerPool.
+	PlaceResult = sched.PlaceResult
 	// PlacementRequest asks for a workload placement.
 	PlacementRequest = sched.Request
 	// Curve is a latency-IPC correlation curve (Figure 7).
 	Curve = sched.Curve
 )
+
+// ErrTxnConflict is returned by SchedulerTxn.Commit when another commit
+// touched the proposal's window first; re-propose and retry.
+var ErrTxnConflict = sched.ErrTxnConflict
 
 // NewScheduler returns the Gsight binary-search scheduler around a
 // trained predictor. Options: WithTelemetry instruments it,
@@ -231,10 +279,28 @@ func NewScheduler(p QoSPredictor, opts ...Option) *sched.Gsight {
 	return g
 }
 
-// NewSchedulerState returns an empty scheduler cluster view sized to
-// the model's testbed.
-func NewSchedulerState(m *Model) *SchedulerState {
+// NewSchedulerState returns an empty scheduler cluster state sized to
+// the model's testbed. WithShards partitions its epoch bookkeeping;
+// the default is one shard (exact legacy behavior).
+func NewSchedulerState(m *Model, opts ...Option) *SchedulerState {
+	o := buildOptions(opts)
+	return sched.ShardedStateFromProfiles(m.Testbed.Servers[0], m.Testbed.NumServers(), o.shards)
+}
+
+// NewDirectState returns the flat pre-sharding cluster state.
+//
+// Deprecated: use NewSchedulerState; it is placement-identical and
+// adds the transaction/sharding surface.
+func NewDirectState(m *Model) *DirectState {
 	return sched.StateFromProfiles(m.Testbed.Servers[0], m.Testbed.NumServers())
+}
+
+// NewPlacerPool builds a placer pool over the state. WithPlacers sets
+// the worker count (default 1 — serial). factory must return a fresh
+// Scheduler per call; workers never share one.
+func NewPlacerPool(s *SchedulerState, factory func() Scheduler, opts ...Option) *PlacerPool {
+	o := buildOptions(opts)
+	return sched.NewPlacerPool(s, o.placers, factory)
 }
 
 // NewBestFit returns Pythia's Best Fit policy.

@@ -24,6 +24,14 @@ import (
 type Options struct {
 	Seed  uint64
 	Scale float64
+	// Servers restricts ext-scale to one server-count rung (> 0); the
+	// default runs the full 8/256/1k/10k ladder.
+	Servers int
+	// Shards and Placers override ext-scale's sharded-state geometry
+	// (<= 0 auto-sizes). Placement outcomes are identical either way —
+	// they only trade off conflict granularity and concurrency.
+	Shards  int
+	Placers int
 }
 
 // DefaultOptions returns full-scale, seed-42 options.
@@ -174,6 +182,7 @@ func Registry() []struct {
 		{"ext-isolation", ExtIsolation},
 		{"ext-resilience", ExtResilience},
 		{"ext-soak", ExtSoak},
+		{"ext-scale", ExtScale},
 	}
 }
 

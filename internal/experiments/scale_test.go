@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// scaleDecisionRows strips the wall-clock placements/s column, leaving
+// only the deterministic decision columns.
+func scaleDecisionRows(r *Report) [][]string {
+	out := make([][]string, len(r.Rows))
+	for i, row := range r.Rows {
+		out[i] = row[:len(row)-1]
+	}
+	return out
+}
+
+// TestExtScaleShardPlacerIdentity is the tentpole acceptance check at
+// the experiment level: the same seed produces byte-identical decision
+// rows at every shard x placer combination, including the shards=1,
+// placers=1 legacy-equivalent configuration.
+func TestExtScaleShardPlacerIdentity(t *testing.T) {
+	run := func(shards, placers int) [][]string {
+		opt := tiny()
+		opt.Servers = 256 // one rung keeps the matrix affordable
+		opt.Shards = shards
+		opt.Placers = placers
+		rep, err := ExtScale(nil, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return scaleDecisionRows(rep)
+	}
+	ref := run(1, 1)
+	if len(ref) == 0 {
+		t.Fatal("empty report")
+	}
+	for _, c := range []struct{ shards, placers int }{{4, 1}, {1, 8}, {16, 8}} {
+		got := run(c.shards, c.placers)
+		// The shards/placers columns themselves differ by construction;
+		// blank them before comparing.
+		blank := func(rows [][]string) [][]string {
+			out := make([][]string, len(rows))
+			for i, row := range rows {
+				cp := append([]string(nil), row...)
+				cp[2], cp[3] = "-", "-"
+				out[i] = cp
+			}
+			return out
+		}
+		if !reflect.DeepEqual(blank(got), blank(ref)) {
+			t.Fatalf("shards=%d placers=%d decisions diverged from shards=1 placers=1:\n%v\nvs\n%v",
+				c.shards, c.placers, got, ref)
+		}
+	}
+}
+
+// TestExtScaleLadder checks the default ladder covers 8 through 10k
+// servers for all three schedulers.
+func TestExtScaleLadder(t *testing.T) {
+	rep, err := ExtScale(nil, tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 4*3 {
+		t.Fatalf("rows = %d, want 4 rungs x 3 schedulers", len(rep.Rows))
+	}
+	wantServers := []string{"8", "256", "1000", "10000"}
+	for i, row := range rep.Rows {
+		if row[0] != wantServers[i/3] {
+			t.Fatalf("row %d: servers %s, want %s", i, row[0], wantServers[i/3])
+		}
+	}
+}

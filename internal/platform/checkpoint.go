@@ -153,6 +153,14 @@ type stateCkpt struct {
 	Used    []resources.Vector `json:"used"`
 	Offline []bool             `json:"offline,omitempty"`
 	Running []runningCkpt      `json:"running"`
+	// Sharded-state bookkeeping (DESIGN.md §14). Epochs holds the
+	// per-shard commit stamps; SchedSeq the global sequence counter.
+	// Absent on pre-sharding snapshots — restore then resets every
+	// epoch, which is always sound (no transaction survives a restore).
+	// The placer queue has no field: snapshots are taken at step
+	// boundaries, where the queue is provably drained.
+	Epochs   []uint64 `json:"epochs,omitempty"`
+	SchedSeq uint64   `json:"sched_seq,omitempty"`
 }
 
 // ckptPayload is the platform's snapshot schema, carried opaquely by
@@ -446,11 +454,13 @@ func (r *runner) capturePayload(firedUpTo float64, step int) ([]byte, error) {
 		})
 	}
 	p.State = stateCkpt{
-		Caps:    r.state.Caps,
-		Used:    r.state.Used,
-		Offline: r.state.Offline,
+		Caps:     r.state.Base().Caps,
+		Used:     r.state.Base().Used,
+		Offline:  r.state.Base().Offline,
+		Epochs:   r.state.RawEpochs(),
+		SchedSeq: r.state.Seq(),
 	}
-	for _, d := range r.state.Running {
+	for _, d := range r.state.Base().Running {
 		p.State.Running = append(p.State.Running, runningCkpt{
 			Name:        d.Input.Name,
 			Class:       int(d.Input.Class),
@@ -623,15 +633,16 @@ func (r *runner) restorePayload(p *ckptPayload) error {
 	}
 
 	// Scheduler state, verbatim.
-	copy(r.state.Caps, p.State.Caps)
-	copy(r.state.Used, p.State.Used)
+	st := r.state.Base()
+	copy(st.Caps, p.State.Caps)
+	copy(st.Used, p.State.Used)
 	if p.State.Offline != nil {
 		if len(p.State.Offline) != numServers {
 			return fmt.Errorf("platform: checkpoint offline mask has %d entries for %d servers", len(p.State.Offline), numServers)
 		}
-		r.state.Offline = append([]bool(nil), p.State.Offline...)
+		st.Offline = append([]bool(nil), p.State.Offline...)
 	}
-	r.state.Running = r.state.Running[:0]
+	st.Running = st.Running[:0]
 	for i := range p.State.Running {
 		rc := &p.State.Running[i]
 		var ps []profile.Profile
@@ -648,7 +659,7 @@ func (r *runner) restorePayload(p *ckptPayload) error {
 		if ps == nil {
 			return fmt.Errorf("platform: checkpoint running workload %q has no profiles", rc.Name)
 		}
-		r.state.Running = append(r.state.Running, sched.Deployed{
+		st.Running = append(st.Running, sched.Deployed{
 			Input: core.WorkloadInput{
 				Name:        rc.Name,
 				Class:       workload.Class(rc.Class),
@@ -662,6 +673,12 @@ func (r *runner) restorePayload(p *ckptPayload) error {
 			SLA: rc.SLA,
 		})
 	}
+
+	// The surgery above bypassed the counted caches; rebuild them, then
+	// put the shard epochs back exactly as captured (nil Epochs — a
+	// pre-sharding snapshot — degrades to a reset, which is sound).
+	st.Recount()
+	r.state.RestoreEpochs(p.State.Epochs, p.State.SchedSeq)
 
 	// Fault state: the injector's live view, plus its side effects on
 	// the model and the (already restored) capacity vectors.

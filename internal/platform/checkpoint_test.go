@@ -180,7 +180,7 @@ type cancelAfter struct {
 	n      int
 }
 
-func (c *cancelAfter) Place(st *sched.State, req *sched.Request) ([]int, error) {
+func (c *cancelAfter) Place(st sched.ClusterView, req *sched.Request) ([]int, error) {
 	c.n--
 	if c.n == 0 {
 		c.cancel()

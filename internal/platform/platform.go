@@ -125,6 +125,20 @@ type Config struct {
 	// Checkpoint enables crash-consistent snapshots and recovery
 	// (DESIGN.md §12); the zero value disables it.
 	Checkpoint CheckpointConfig
+	// Shards partitions the scheduler state's epoch bookkeeping
+	// (DESIGN.md §14). <= 1 is a single shard — exact legacy behavior.
+	// Placement outcomes are shard-count-independent either way; shards
+	// only change conflict-detection granularity under concurrent
+	// placers.
+	Shards int
+	// Placers drains the initial service deployment through a
+	// concurrent placer pool when > 1. Requires SchedulerFactory (each
+	// worker needs its own scheduler instance); results are
+	// byte-identical to the serial path at any worker count.
+	Placers int
+	// SchedulerFactory builds per-worker schedulers for the placer
+	// pool. Ignored when Placers <= 1.
+	SchedulerFactory func() sched.Scheduler
 }
 
 // DegradedInterval is a [StartS, EndS) window of simulation time the
@@ -227,7 +241,7 @@ type runner struct {
 	ctx      context.Context
 	m        *perfmodel.Model
 	stepper  *perfmodel.Stepper
-	state    *sched.State
+	state    *sched.ShardedState
 	baseCaps []resources.Vector
 	spec     resources.ServerSpec
 	noise    *rng.Rand
@@ -337,7 +351,7 @@ func Run(ctx context.Context, cfg Config) (*Stats, error) {
 	if err != nil {
 		return nil, err
 	}
-	state := sched.StateFromProfiles(m.Testbed.Servers[0], m.Testbed.NumServers())
+	state := sched.ShardedStateFromProfiles(m.Testbed.Servers[0], m.Testbed.NumServers(), cfg.Shards)
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	r := &runner{
@@ -347,7 +361,7 @@ func Run(ctx context.Context, cfg Config) (*Stats, error) {
 		m:        m,
 		stepper:  m.NewStepper(),
 		state:    state,
-		baseCaps: append([]resources.Vector(nil), state.Caps...),
+		baseCaps: append([]resources.Vector(nil), state.Base().Caps...),
 		spec:     m.Testbed.Servers[0],
 		noise:    rng.Stream(cfg.Seed, "platform-noise"),
 		rnd:      rng.Stream(cfg.Seed, "platform"),
@@ -410,7 +424,10 @@ func Run(ctx context.Context, cfg Config) (*Stats, error) {
 	return r.stats, nil
 }
 
-// deployServices places the resident services through the scheduler.
+// deployServices places the resident services through the scheduler —
+// serially by default, or through a concurrent placer pool when
+// Config.Placers > 1 (byte-identical results either way; see
+// DESIGN.md §14).
 func (r *runner) deployServices() error {
 	r.services = make([]*serviceState, 0, len(r.cfg.Services))
 	for _, svc := range r.cfg.Services {
@@ -423,23 +440,65 @@ func (r *runner) deployServices() error {
 		for f := range dep.Replicas {
 			dep.Replicas[f] = perfmodel.LSReplicasFor(svc.W, f, dep.QPS*1.1)
 		}
-		ss := &serviceState{svc: svc, dep: dep, profiles: ps}
+		r.services = append(r.services, &serviceState{svc: svc, dep: dep, profiles: ps})
+	}
+	// The pool commits internally, bypassing the per-placement WAL,
+	// the decision log and the trace — streams that record serial
+	// per-placement events (and whose proposal-time details would be
+	// placer-count-dependent). Any such observer pins the serial path;
+	// the placements themselves are identical either way.
+	if r.cfg.Placers > 1 && r.cfg.SchedulerFactory != nil &&
+		r.ck == nil && r.ins.Decisions == nil && r.obs == nil {
+		return r.deployServicesPooled()
+	}
+	for _, ss := range r.services {
 		in := ss.syncInput()
-		req := &sched.Request{Input: *in, SLA: svc.SLA}
+		req := &sched.Request{Input: *in, SLA: ss.svc.SLA}
 		placement, err := r.place(req)
 		if err != nil {
-			return fmt.Errorf("platform: deploying %s: %w", svc.W.Name, err)
+			return fmt.Errorf("platform: deploying %s: %w", ss.svc.W.Name, err)
 		}
-		copy(dep.Placement, placement)
+		copy(ss.dep.Placement, placement)
 		copy(in.Placement, placement)
-		r.state.Commit(*in, svc.SLA)
-		if err := r.stepper.AddLS(dep); err != nil {
+		r.state.Commit(*in, ss.svc.SLA)
+		if err := r.stepper.AddLS(ss.dep); err != nil {
 			return err
 		}
-		for _, rep := range dep.Replicas {
+		for _, rep := range ss.dep.Replicas {
 			r.stats.ColdStarts += rep
 		}
-		r.services = append(r.services, ss)
+	}
+	return nil
+}
+
+// deployServicesPooled drains the initial deployment through K
+// concurrent placer workers. The pool commits winning placements
+// itself; this only copies results back and registers the deployments
+// in config order.
+func (r *runner) deployServicesPooled() error {
+	reqs := make([]*sched.Request, len(r.services))
+	for i, ss := range r.services {
+		reqs[i] = &sched.Request{Input: *ss.syncInput(), SLA: ss.svc.SLA}
+	}
+	pool := sched.NewPlacerPool(r.state, r.cfg.Placers, r.cfg.SchedulerFactory)
+	t0 := time.Now()
+	results := pool.PlaceAll(reqs)
+	r.stats.SchedulingTime += time.Since(t0)
+	for i, res := range results {
+		ss := r.services[i]
+		r.stats.Placements++
+		r.stats.PlacementRetries += res.Retries
+		if res.Err != nil {
+			return fmt.Errorf("platform: deploying %s: %w", ss.svc.W.Name, res.Err)
+		}
+		copy(ss.dep.Placement, res.Placement)
+		copy(ss.in.Placement, res.Placement)
+		if err := r.stepper.AddLS(ss.dep); err != nil {
+			return err
+		}
+		for _, rep := range ss.dep.Replicas {
+			r.stats.ColdStarts += rep
+		}
 	}
 	return nil
 }
@@ -586,7 +645,7 @@ func (r *runner) predictorOut() bool { return !r.inj.PredictorAvailable() }
 // placeWith times one Place call against the given policy.
 func (r *runner) placeWith(s sched.Scheduler, req *sched.Request) ([]int, error) {
 	t0 := time.Now()
-	placement, err := s.Place(r.state, req)
+	placement, err := r.state.Propose(s, req)
 	r.stats.SchedulingTime += time.Since(t0)
 	r.stats.Placements++
 	return placement, err
@@ -787,11 +846,11 @@ func (r *runner) applyFault(c faults.Change) {
 	case faults.OpNodeUp:
 		r.state.SetOffline(c.Node, false)
 	case faults.OpSlowSet:
-		r.state.Caps[c.Node] = r.baseCaps[c.Node].Scale(c.Factor)
+		r.state.SetCap(c.Node, r.baseCaps[c.Node].Scale(c.Factor))
 		r.m.SetCapacityScale(c.Node, c.Factor)
 		r.stepper.MarkDirty()
 	case faults.OpSlowClear:
-		r.state.Caps[c.Node] = r.baseCaps[c.Node]
+		r.state.SetCap(c.Node, r.baseCaps[c.Node])
 		r.m.SetCapacityScale(c.Node, 1)
 		r.stepper.MarkDirty()
 	case faults.OpStormStart, faults.OpStormEnd:
@@ -872,7 +931,7 @@ func (r *runner) evacuate(node int) (displacedSvc, displacedJobs int) {
 				}
 			}
 			copy(ss.dep.Placement, placement)
-		} else if alt := emptiestOnline(r.state, node); alt != -1 {
+		} else if alt := emptiestOnline(r.state.Base(), node); alt != -1 {
 			for f, s := range ss.dep.Placement {
 				if s == node {
 					ss.dep.Placement[f] = alt
@@ -889,7 +948,7 @@ func (r *runner) evacuate(node int) (displacedSvc, displacedJobs int) {
 			continue
 		}
 		displacedJobs++
-		alt := emptiestOnline(r.state, node)
+		alt := emptiestOnline(r.state.Base(), node)
 		if alt == -1 {
 			continue // whole cluster down; nowhere to go
 		}
@@ -1044,10 +1103,10 @@ func (r *runner) loop() error {
 					// the density price of crossing the SLA, paid
 					// most often by inaccurate predictors.
 					hot := ss.dep.Placement[worstFuncs(lr, 1)[0]]
-					if evictSC(r.state, r.activeSC, hot) {
+					if evictSC(r.state.Base(), r.activeSC, hot) {
 						stats.Migrations++
 						moved := 1
-						if n := migrateWorst(r.m, r.state, ss, lr, 1); n > 0 {
+						if n := migrateWorst(r.m, r.state.Base(), ss, lr, 1); n > 0 {
 							stats.Migrations += n
 							stats.ColdStarts += n
 							moved += n
@@ -1062,7 +1121,7 @@ func (r *runner) loop() error {
 						if r.obs != nil {
 							r.obs.Trace().Reactive(now, "evict-corunner", ss.svc.W.Name, moved)
 						}
-					} else if n := migrateWorst(r.m, r.state, ss, lr, 3); n > 0 {
+					} else if n := migrateWorst(r.m, r.state.Base(), ss, lr, 3); n > 0 {
 						stats.Migrations += n
 						stats.ColdStarts += n
 						ss.cooldown = 40
@@ -1131,12 +1190,12 @@ func (r *runner) loop() error {
 		instances += countSCInstances(r.activeSC)
 		activeServers, cpuDem, memAlloc := 0, 0.0, 0.0
 		for s, d := range rep.ServerDemand {
-			if d.IsZero() && r.state.Used[s].IsZero() {
+			if d.IsZero() && r.state.Allocated(s).IsZero() {
 				continue
 			}
 			activeServers++
 			cpuDem += d[resources.CPU]
-			memAlloc += r.state.Used[s][resources.Memory]
+			memAlloc += r.state.Allocated(s)[resources.Memory]
 		}
 		density, goodDensity, cpuUtil, memUtil := 0.0, 0.0, 0.0, 0.0
 		if activeServers > 0 {
@@ -1226,7 +1285,7 @@ func (r *runner) recordFrame(now float64, step int, demand []resources.Vector, a
 	}
 	fr := &r.flFrame
 	if fr.CPUDemand == nil {
-		n := len(r.state.Caps)
+		n := r.state.NumServers()
 		fr.CPUDemand = make([]float32, n)
 		fr.MemUsed = make([]float32, n)
 		fr.ServerFlags = make([]uint8, n)
@@ -1253,7 +1312,7 @@ func (r *runner) recordFrame(now float64, step int, demand []resources.Vector, a
 	fr.MemUtil = float32(memUtil)
 	for s := range fr.CPUDemand {
 		fr.CPUDemand[s] = float32(demand[s][resources.CPU])
-		fr.MemUsed[s] = float32(r.state.Used[s][resources.Memory])
+		fr.MemUsed[s] = float32(r.state.Allocated(s)[resources.Memory])
 		var sf uint8
 		if r.inj.NodeDown(s) {
 			sf |= obs.ServerDown
@@ -1315,17 +1374,21 @@ func (ss *serviceState) syncInto(in *core.WorkloadInput) *core.WorkloadInput {
 // services in config order, then jobs ascending by submission id — is
 // the fixed order the map-era sortedSC sort produced, which float
 // accumulation into Used depends on.
-func refreshState(state *sched.State, services []*serviceState, activeSC []*scActive) {
-	for s := range state.Used {
-		state.Used[s] = resources.Vector{}
+func refreshState(state *sched.ShardedState, services []*serviceState, activeSC []*scActive) {
+	st := state.Base()
+	for s := range st.Used {
+		st.Used[s] = resources.Vector{}
 	}
-	state.Running = state.Running[:0]
+	st.Running = st.Running[:0]
 	for _, ss := range services {
-		state.Commit(*ss.syncInput(), ss.svc.SLA)
+		st.Commit(*ss.syncInput(), ss.svc.SLA)
 	}
 	for _, a := range activeSC {
-		state.Commit(a.input, a.sla)
+		st.Commit(a.input, a.sla)
 	}
+	// The surgery above bypassed epoch bookkeeping; Recount restores the
+	// counted-mode caches and conservatively re-stamps every epoch.
+	state.Recount()
 }
 
 type scActive struct {

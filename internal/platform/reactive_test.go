@@ -51,10 +51,11 @@ func resultWorstLast(n int) perfmodel.LSResult {
 }
 
 func TestRefreshStateRebuildsBookkeeping(t *testing.T) {
-	st := sched.StateFromProfiles(testbedSpec(), 4)
+	sst := sched.ShardedStateFromProfiles(testbedSpec(), 4, 1)
+	st := sst.Base()
 	ss := lsFixture(workload.SocialNetwork(), 0)
 	jobs := []*scActive{scFixture(7, workload.DD(), 1)}
-	refreshState(st, []*serviceState{ss}, jobs)
+	refreshState(sst, []*serviceState{ss}, jobs)
 	if len(st.Running) != 2 {
 		t.Fatalf("running = %d, want service + job", len(st.Running))
 	}
@@ -70,7 +71,7 @@ func TestRefreshStateRebuildsBookkeeping(t *testing.T) {
 	for f := range ss.dep.Placement {
 		ss.dep.Placement[f] = 2
 	}
-	refreshState(st, []*serviceState{ss}, jobs)
+	refreshState(sst, []*serviceState{ss}, jobs)
 	if !st.Used[0].IsZero() {
 		t.Fatal("stale allocation on evacuated server after refresh")
 	}
@@ -83,10 +84,11 @@ func TestRefreshStateRebuildsBookkeeping(t *testing.T) {
 }
 
 func TestMigrateWorstSpreadsOffHotServer(t *testing.T) {
-	st := sched.StateFromProfiles(testbedSpec(), 4)
+	sst := sched.ShardedStateFromProfiles(testbedSpec(), 4, 1)
+	st := sst.Base()
 	m := perfmodel.New(resources.DefaultTestbed())
 	ss := lsFixture(workload.SocialNetwork(), 0)
-	refreshState(st, []*serviceState{ss}, nil)
+	refreshState(sst, []*serviceState{ss}, nil)
 	lr := resultWorstLast(len(ss.dep.Placement))
 	moved := migrateWorst(m, st, ss, lr, 3)
 	if moved != 3 {
@@ -109,10 +111,11 @@ func TestMigrateWorstSpreadsOffHotServer(t *testing.T) {
 }
 
 func TestMigrateWorstSkipsOfflineServers(t *testing.T) {
-	st := sched.StateFromProfiles(testbedSpec(), 3)
+	sst := sched.ShardedStateFromProfiles(testbedSpec(), 3, 1)
+	st := sst.Base()
 	m := perfmodel.New(resources.DefaultTestbed())
 	ss := lsFixture(workload.SocialNetwork(), 0)
-	refreshState(st, []*serviceState{ss}, nil)
+	refreshState(sst, []*serviceState{ss}, nil)
 	st.SetOffline(1, true)
 	lr := resultWorstLast(len(ss.dep.Placement))
 	moved := migrateWorst(m, st, ss, lr, 2)
@@ -127,10 +130,11 @@ func TestMigrateWorstSkipsOfflineServers(t *testing.T) {
 }
 
 func TestMigrateWorstAllOffline(t *testing.T) {
-	st := sched.StateFromProfiles(testbedSpec(), 2)
+	sst := sched.ShardedStateFromProfiles(testbedSpec(), 2, 1)
+	st := sst.Base()
 	m := perfmodel.New(resources.DefaultTestbed())
 	ss := lsFixture(workload.SocialNetwork(), 0)
-	refreshState(st, []*serviceState{ss}, nil)
+	refreshState(sst, []*serviceState{ss}, nil)
 	st.SetOffline(1, true)
 	// Only the hot server itself is online: there is nowhere to go.
 	if moved := migrateWorst(m, st, ss, resultWorstLast(len(ss.dep.Placement)), 2); moved != 0 {
@@ -139,12 +143,13 @@ func TestMigrateWorstAllOffline(t *testing.T) {
 }
 
 func TestEvictSCMovesLargestCorunner(t *testing.T) {
-	st := sched.StateFromProfiles(testbedSpec(), 4)
+	sst := sched.ShardedStateFromProfiles(testbedSpec(), 4, 1)
+	st := sst.Base()
 	small := scFixture(1, workload.DD(), 0)
 	big := scFixture(2, workload.MatMul(), 0)
 	elsewhere := scFixture(3, workload.FloatOp(), 2)
 	jobs := []*scActive{small, big, elsewhere}
-	refreshState(st, nil, jobs)
+	refreshState(sst, nil, jobs)
 	if !evictSC(st, jobs, 0) {
 		t.Fatal("no corunner evicted from the hot server")
 	}
@@ -178,10 +183,11 @@ func TestEvictSCMovesLargestCorunner(t *testing.T) {
 }
 
 func TestEvictSCRespectsOffline(t *testing.T) {
-	st := sched.StateFromProfiles(testbedSpec(), 3)
+	sst := sched.ShardedStateFromProfiles(testbedSpec(), 3, 1)
+	st := sst.Base()
 	job := scFixture(1, workload.DD(), 0)
 	jobs := []*scActive{job}
-	refreshState(st, nil, jobs)
+	refreshState(sst, nil, jobs)
 	st.SetOffline(1, true)
 	if !evictSC(st, jobs, 0) {
 		t.Fatal("eviction failed with server 2 still online")
@@ -194,10 +200,11 @@ func TestEvictSCRespectsOffline(t *testing.T) {
 }
 
 func TestEvictSCNowhereToGo(t *testing.T) {
-	st := sched.StateFromProfiles(testbedSpec(), 2)
+	sst := sched.ShardedStateFromProfiles(testbedSpec(), 2, 1)
+	st := sst.Base()
 	job := scFixture(1, workload.DD(), 0)
 	jobs := []*scActive{job}
-	refreshState(st, nil, jobs)
+	refreshState(sst, nil, jobs)
 	st.SetOffline(1, true)
 	if evictSC(st, jobs, 0) {
 		t.Fatal("evicted a job with every other server offline")
@@ -205,9 +212,10 @@ func TestEvictSCNowhereToGo(t *testing.T) {
 }
 
 func TestEvictSCNoCorunner(t *testing.T) {
-	st := sched.StateFromProfiles(testbedSpec(), 4)
+	sst := sched.ShardedStateFromProfiles(testbedSpec(), 4, 1)
+	st := sst.Base()
 	jobs := []*scActive{scFixture(1, workload.DD(), 3)}
-	refreshState(st, nil, jobs)
+	refreshState(sst, nil, jobs)
 	if evictSC(st, jobs, 0) {
 		t.Fatal("evicted a job that was not on the hot server")
 	}

@@ -38,7 +38,8 @@ func (h *Hierarchical) Name() string {
 // projects the state onto the chosen zone, delegates to the inner
 // scheduler, and maps the placement back to global server indices. If
 // the best zone cannot host the request the next zone is tried.
-func (h *Hierarchical) Place(st *State, req *Request) ([]int, error) {
+func (h *Hierarchical) Place(v ClusterView, req *Request) ([]int, error) {
+	st := viewState(v)
 	s := st.NumServers()
 	if s == 0 {
 		return nil, fmt.Errorf("sched: empty cluster")

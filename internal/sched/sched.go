@@ -7,6 +7,7 @@ import (
 
 	"gsight/internal/core"
 	"gsight/internal/resources"
+	"gsight/internal/sortx"
 	"gsight/internal/telemetry"
 	"gsight/internal/workload"
 )
@@ -60,7 +61,13 @@ type Deployed struct {
 	SLA   SLA
 }
 
-// State is the scheduler's view of the cluster.
+// State is the scheduler's view of the cluster. Its exported fields
+// remain directly addressable (tests and the platform's recovery path
+// build and patch states by hand), so the O(1) bookkeeping below is
+// opt-in: Recount() snapshots the counts and keeps them maintained
+// through the mutating methods. A state whose fields were mutated
+// directly must call Recount() again before the cached counts are
+// trusted — states that never opt in keep the legacy scan behavior.
 type State struct {
 	// Caps[s] is server s's capacity.
 	Caps []resources.Vector
@@ -71,6 +78,49 @@ type State struct {
 	// Offline[s] excludes server s from placement (crashed or
 	// cordoned); nil means every server is schedulable.
 	Offline []bool
+
+	// counted enables the cached bookkeeping: online/active server
+	// counts (OnlineServers and ActiveServers are called per placement
+	// and would otherwise scan all servers — ruinous at 10k) and the
+	// name→index map that spares Release its linear scan over Running.
+	counted bool
+	online  int
+	active  int
+	// nameIdx maps a workload name to its first index in Running,
+	// matching Release's first-match semantics when names repeat.
+	nameIdx map[string]int
+}
+
+// Recount rebuilds the cached online/active counts and the
+// name→index map from the current field values and enables their
+// maintenance through SetOffline/Commit/Release. Call it after
+// mutating Used, Running or Offline directly (checkpoint restore,
+// state refresh); Caps may always be patched in place.
+func (st *State) Recount() {
+	st.online = 0
+	for s := range st.Caps {
+		if st.Offline == nil || !st.Offline[s] {
+			st.online++
+		}
+	}
+	st.active = 0
+	for s := range st.Used {
+		if !st.Used[s].IsZero() {
+			st.active++
+		}
+	}
+	if st.nameIdx == nil {
+		st.nameIdx = make(map[string]int, len(st.Running))
+	} else {
+		clear(st.nameIdx)
+	}
+	for i := range st.Running {
+		nm := st.Running[i].Input.Name
+		if _, ok := st.nameIdx[nm]; !ok {
+			st.nameIdx[nm] = i
+		}
+	}
+	st.counted = true
 }
 
 // NumServers returns the cluster size.
@@ -86,6 +136,13 @@ func (st *State) SetOffline(s int, down bool) {
 		}
 		st.Offline = make([]bool, len(st.Caps))
 	}
+	if st.counted && st.Offline[s] != down {
+		if down {
+			st.online--
+		} else {
+			st.online++
+		}
+	}
 	st.Offline[s] = down
 }
 
@@ -94,8 +151,12 @@ func (st *State) Online(s int) bool {
 	return st.Offline == nil || !st.Offline[s]
 }
 
-// OnlineServers counts the servers accepting placements.
+// OnlineServers counts the servers accepting placements — O(1) after
+// Recount, a scan otherwise.
 func (st *State) OnlineServers() int {
+	if st.counted {
+		return st.online
+	}
 	if st.Offline == nil {
 		return len(st.Caps)
 	}
@@ -131,28 +192,76 @@ func AllocOf(in *core.WorkloadInput, f int) resources.Vector {
 // Commit applies a placement to the state's bookkeeping.
 func (st *State) Commit(in core.WorkloadInput, sla SLA) {
 	for f := range in.Profiles {
-		st.Used[in.Placement[f]] = st.Used[in.Placement[f]].Add(AllocOf(&in, f))
+		s := in.Placement[f]
+		next := st.Used[s].Add(AllocOf(&in, f))
+		if st.counted && st.Used[s].IsZero() && !next.IsZero() {
+			st.active++
+		}
+		st.Used[s] = next
+	}
+	if st.counted {
+		if _, ok := st.nameIdx[in.Name]; !ok {
+			st.nameIdx[in.Name] = len(st.Running)
+		}
 	}
 	st.Running = append(st.Running, Deployed{Input: in, SLA: sla})
 }
 
-// Release removes the named workload from the state.
+// Release removes the named workload from the state. With the cached
+// bookkeeping the name lookup is a map hit instead of a scan over
+// Running; the splice stays ordered either way because the running
+// set's iteration order feeds the predictor's colocation queries.
 func (st *State) Release(name string) bool {
-	for i, d := range st.Running {
-		if d.Input.Name == name {
-			for f := range d.Input.Profiles {
-				st.Used[d.Input.Placement[f]] = st.Used[d.Input.Placement[f]].Sub(AllocOf(&d.Input, f)).Clamped()
+	i := -1
+	if st.counted {
+		idx, ok := st.nameIdx[name]
+		if !ok {
+			return false
+		}
+		i = idx
+	} else {
+		for j := range st.Running {
+			if st.Running[j].Input.Name == name {
+				i = j
+				break
 			}
-			st.Running = append(st.Running[:i], st.Running[i+1:]...)
-			return true
+		}
+		if i == -1 {
+			return false
 		}
 	}
-	return false
+	d := &st.Running[i]
+	for f := range d.Input.Profiles {
+		s := d.Input.Placement[f]
+		next := st.Used[s].Sub(AllocOf(&d.Input, f)).Clamped()
+		if st.counted && !st.Used[s].IsZero() && next.IsZero() {
+			st.active--
+		}
+		st.Used[s] = next
+	}
+	st.Running = append(st.Running[:i], st.Running[i+1:]...)
+	if st.counted {
+		delete(st.nameIdx, name)
+		// Indices past the splice shifted down by one; restore the
+		// first-occurrence invariant for the moved entries (a name
+		// repeated across the seam must keep its earliest index).
+		for j := i; j < len(st.Running); j++ {
+			nm := st.Running[j].Input.Name
+			if cur, ok := st.nameIdx[nm]; !ok || cur > j {
+				st.nameIdx[nm] = j
+			}
+		}
+	}
+	return true
 }
 
 // ActiveServers counts servers with any allocation — the denominator of
 // the paper's density objective ("minimum number of active servers").
+// O(1) after Recount, a scan otherwise.
 func (st *State) ActiveServers() int {
+	if st.counted {
+		return st.active
+	}
 	n := 0
 	for s := range st.Used {
 		if !st.Used[s].IsZero() {
@@ -162,11 +271,14 @@ func (st *State) ActiveServers() int {
 	return n
 }
 
-// Scheduler decides placements.
+// Scheduler decides placements. Place consumes a read-only
+// ClusterView and must not mutate the cluster — applying the returned
+// placement is the caller's job (State.Commit directly, or a Txn
+// commit under concurrent placers).
 type Scheduler interface {
 	Name() string
 	// Place returns a server index per function of req's workload.
-	Place(st *State, req *Request) ([]int, error)
+	Place(v ClusterView, req *Request) ([]int, error)
 }
 
 // memFits checks the incompressible resource: memory must fit; CPU may
@@ -196,6 +308,34 @@ func insertionSort(ids []int, less func(a, b int) bool) {
 			ids[j], ids[j-1] = ids[j-1], ids[j]
 		}
 	}
+}
+
+// sortCutoff is the list length above which the schedulers switch from
+// insertion sort (O(n²), but fastest on the paper's 8-server lists) to
+// the sortx pdqsort port. Testbed-size clusters never cross it, so the
+// legacy paths are untouched instruction for instruction.
+const sortCutoff = 32
+
+// sortIDs orders ids like insertionSort would, at any length. Above
+// the cutoff it runs pdqsort — an unstable sort — under the comparator
+// extended with an id tie-break. The call sites enumerate ids in
+// ascending order before sorting, so stable-sort-on-ties and
+// total-order-by-id are the same permutation; TestSortIDsMatchesInsertionSort
+// pins the equivalence.
+func sortIDs(ids []int, less func(a, b int) bool) {
+	if len(ids) <= sortCutoff {
+		insertionSort(ids, less)
+		return
+	}
+	sortx.Ints(ids, func(a, b int) bool {
+		if less(a, b) {
+			return true
+		}
+		if less(b, a) {
+			return false
+		}
+		return a < b
+	})
 }
 
 func resizeInts(s []int, n int) []int {
@@ -332,7 +472,8 @@ func (g *Gsight) finish(span telemetry.Span, st *State, req *Request, placement 
 }
 
 // Place implements Scheduler.
-func (g *Gsight) Place(st *State, req *Request) ([]int, error) {
+func (g *Gsight) Place(v ClusterView, req *Request) ([]int, error) {
+	st := viewState(v)
 	s := st.NumServers()
 	if s == 0 {
 		return nil, fmt.Errorf("sched: empty cluster")
@@ -352,7 +493,7 @@ func (g *Gsight) Place(st *State, req *Request) ([]int, error) {
 		g.finish(span, st, req, nil, 0, 0, "rejected", "no-fit")
 		return nil, fmt.Errorf("%w: no online servers", ErrNoPlacement)
 	}
-	insertionSort(sc.order, func(a, b int) bool {
+	sortIDs(sc.order, func(a, b int) bool {
 		ua, ub := st.Used[a], st.Used[b]
 		activeA, activeB := !ua.IsZero(), !ub.IsZero()
 		if activeA != activeB {
@@ -467,7 +608,7 @@ func (g *Gsight) candidate(st *State, req *Request, servers []int) ([]int, error
 	for i := range sc.fnOrder {
 		sc.fnOrder[i] = i
 	}
-	insertionSort(sc.fnOrder, func(a, b int) bool {
+	sortIDs(sc.fnOrder, func(a, b int) bool {
 		return AllocOf(in, a)[resources.CPU] > AllocOf(in, b)[resources.CPU]
 	})
 	for _, f := range sc.fnOrder {
@@ -731,7 +872,8 @@ func (b *BestFit) finish(span telemetry.Span, st *State, req *Request, placement
 }
 
 // Place implements Scheduler.
-func (b *BestFit) Place(st *State, req *Request) ([]int, error) {
+func (b *BestFit) Place(v ClusterView, req *Request) ([]int, error) {
+	st := viewState(v)
 	span := telemetry.StartSpan(b.ins.PlaceSeconds)
 	in := &req.Input
 	n := len(in.Profiles)
@@ -844,7 +986,8 @@ func (w *WorstFit) finish(span telemetry.Span, st *State, req *Request, placemen
 }
 
 // Place implements Scheduler.
-func (w *WorstFit) Place(st *State, req *Request) ([]int, error) {
+func (w *WorstFit) Place(v ClusterView, req *Request) ([]int, error) {
+	st := viewState(v)
 	span := telemetry.StartSpan(w.ins.PlaceSeconds)
 	in := &req.Input
 	n := len(in.Profiles)
@@ -857,7 +1000,7 @@ func (w *WorstFit) Place(st *State, req *Request) ([]int, error) {
 	for i := range w.fnOrder {
 		w.fnOrder[i] = i
 	}
-	insertionSort(w.fnOrder, func(a, b int) bool {
+	sortIDs(w.fnOrder, func(a, b int) bool {
 		return AllocOf(in, a)[resources.CPU] > AllocOf(in, b)[resources.CPU]
 	})
 	oversub := w.CPUOversub

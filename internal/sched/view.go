@@ -1,0 +1,73 @@
+package sched
+
+import "gsight/internal/resources"
+
+// ClusterView is the read-only cluster surface a Scheduler consumes:
+// capacities, current usage, the running set and the online mask.
+// Schedulers never mutate the cluster through it — placements are
+// applied by the owner of the underlying state (directly via
+// State.Commit on the serial path, or through the Txn protocol under
+// concurrent placers).
+//
+// The interface is sealed (note the unexported method): *State and
+// *ShardedState are its only implementations. Sealing is what keeps
+// the placement hot path allocation-free — schedulers resolve the
+// view to its backing State with a type switch whose arms are
+// exhaustive, so escape analysis sees no path on which the view
+// leaks, and a caller's stack-constructed State stays on the stack.
+// An open interface would force a materialize fallback into Place,
+// and that one (never-taken) branch is enough to heap-allocate every
+// caller's state.
+type ClusterView interface {
+	// NumServers returns the cluster size.
+	NumServers() int
+	// Capacity returns server s's capacity vector.
+	Capacity(s int) resources.Vector
+	// Allocated returns server s's currently allocated resources.
+	Allocated(s int) resources.Vector
+	// Free returns server s's unallocated resources.
+	Free(s int) resources.Vector
+	// Online reports whether server s accepts placements.
+	Online(s int) bool
+	// OnlineServers counts the servers accepting placements.
+	OnlineServers() int
+	// ActiveServers counts servers with any allocation.
+	ActiveServers() int
+	// NumRunning returns the number of deployed workloads.
+	NumRunning() int
+	// RunningAt returns deployed workload i.
+	RunningAt(i int) Deployed
+
+	// sealed restricts implementations to this package (see the type
+	// comment for why that is load-bearing, not gatekeeping).
+	sealed()
+}
+
+// Capacity implements ClusterView.
+func (st *State) Capacity(s int) resources.Vector { return st.Caps[s] }
+
+// Allocated implements ClusterView.
+func (st *State) Allocated(s int) resources.Vector { return st.Used[s] }
+
+// NumRunning implements ClusterView.
+func (st *State) NumRunning() int { return len(st.Running) }
+
+// RunningAt implements ClusterView.
+func (st *State) RunningAt(i int) Deployed { return st.Running[i] }
+
+func (st *State) sealed() {}
+
+// viewState resolves a ClusterView to the *State the schedulers index
+// directly — a type switch, not interface calls (one dynamic call per
+// server per placement would dominate at 10k servers). The switch is
+// exhaustive because the interface is sealed; the panic arm is
+// unreachable and exists so the switch has no flow that would leak v.
+func viewState(v ClusterView) *State {
+	switch x := v.(type) {
+	case *State:
+		return x
+	case *ShardedState:
+		return &x.st
+	}
+	panic("sched: ClusterView is sealed; only *State and *ShardedState implement it")
+}

@@ -24,6 +24,9 @@ type result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	// PlacementsPerSec records the sharded-placement benchmarks'
+	// custom throughput metric (b.ReportMetric "placements/s").
+	PlacementsPerSec float64 `json:"placements_per_sec,omitempty"`
 }
 
 type entry struct {
@@ -192,6 +195,8 @@ func parseBenchLine(line string) (string, result, bool) {
 			r.BytesPerOp = int64(v)
 		case "allocs/op":
 			r.AllocsPerOp = int64(v)
+		case "placements/s":
+			r.PlacementsPerSec = v
 		}
 	}
 	return name, r, seen

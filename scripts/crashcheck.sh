@@ -10,13 +10,17 @@
 # headline recovery guarantee, checked on the real binary rather than
 # in-process test harnesses.
 #
-# Usage: scripts/crashcheck.sh [hours] [train] [seed]
+# Usage: scripts/crashcheck.sh [hours] [train] [seed] [shards]
+#   shards defaults to 4 so the gate exercises the sharded scheduling
+#   state's epoch serialization (DESIGN.md §14), not just the legacy
+#   single-shard path.
 set -eu
 
 cd "$(dirname "$0")/.."
 HOURS="${1:-1}"
 TRAIN="${2:-64}"
 SEED="${3:-42}"
+SHARDS="${4:-4}"
 
 WORK="$(mktemp -d)"
 trap 'rm -rf "$WORK"' EXIT INT TERM
@@ -29,7 +33,7 @@ cat > "$WORK/crash.json" <<EOF
  {"at_s":2600,"kind":"controller-crash"}]}
 EOF
 
-common="-hours $HOURS -train $TRAIN -seed $SEED -quiet"
+common="-hours $HOURS -train $TRAIN -seed $SEED -shards $SHARDS -quiet"
 
 echo "crashcheck: baseline run (no faults, no checkpoints)..."
 "$WORK/gsight-sim" $common -record "$WORK/rec-base" \
