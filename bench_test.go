@@ -129,6 +129,10 @@ func BenchmarkExtSoak(b *testing.B) { runExperiment(b, "ext-soak") }
 // in its report is the headline number.
 func BenchmarkExtScale(b *testing.B) { runExperiment(b, "ext-scale") }
 
+// BenchmarkExtTwoTier runs the prune-depth sweep: QoS-density lost vs
+// placement throughput gained as tier-0 pruning tightens K.
+func BenchmarkExtTwoTier(b *testing.B) { runExperiment(b, "ext-twotier") }
+
 // ---- micro-benchmarks of the paper's operational costs (§6.4) ----
 
 func trainedPredictor(b testing.TB) (*core.Predictor, []core.Observation) {
@@ -387,6 +391,75 @@ func BenchmarkShardedPlacement(b *testing.B) {
 	}
 }
 
+// contendedState builds an n-server cluster where every server except
+// each idleEvery-th holds one latency-sensitive antagonist workload —
+// the worst case for the spread ladder, and the scenario the two-tier
+// prune exists for (DESIGN.md §15).
+func contendedState(n, idleEvery int, obs []core.Observation, spec resources.ServerSpec) *DirectState {
+	caps := make([]resources.Vector, n)
+	for i := range caps {
+		caps[i] = spec.Capacity
+	}
+	st := &DirectState{Caps: caps, Used: make([]resources.Vector, n)}
+	for i := 0; i < n; i++ {
+		if i%idleEvery == 0 {
+			continue
+		}
+		o := obs[i%len(obs)]
+		ant := o.Inputs[o.Target]
+		ant.Name = fmt.Sprintf("bg-%d", i)
+		ant.Placement = make([]int, len(ant.Profiles))
+		for f := range ant.Placement {
+			ant.Placement[f] = i
+		}
+		st.Commit(ant, SLA{})
+	}
+	return st
+}
+
+// BenchmarkTwoTierPlacement measures two-tier pruned placement against
+// the legacy K=∞ ladder on a contended cluster: 7 of every 8 servers
+// hold a latency-sensitive antagonist and the request carries a tight
+// MinIPC, so the legacy spread ladder pays 10+ levels of candidate
+// scans and inference before it finds a fit, while the pruned path
+// places among the tier-0 finalists at level one. Steady state must
+// stay within the low-alloc budget (see scripts/bench.sh check).
+func BenchmarkTwoTierPlacement(b *testing.B) {
+	p, obs := trainedPredictor(b)
+	spec := resources.DefaultServerSpec("bench")
+	o := obs[0]
+	target := o.Inputs[o.Target]
+	for _, n := range []int{1000, 10000} {
+		st := contendedState(n, 8, obs, spec)
+		for _, k := range []int{8, 32, 0} {
+			name := fmt.Sprintf("%d", k)
+			if k == 0 {
+				name = "inf"
+			}
+			b.Run(fmt.Sprintf("servers=%d/topk=%s", n, name), func(b *testing.B) {
+				opts := []Option{}
+				if k > 0 {
+					opts = append(opts, WithTopK(k))
+				}
+				scheduler := NewScheduler(p, opts...)
+				req := &PlacementRequest{Input: target, SLA: SLA{MinIPC: 0.98}}
+				if _, err := scheduler.Place(st, req); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := scheduler.Place(st, req); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "placements/s")
+			})
+		}
+	}
+}
+
 // BenchmarkFaultyPlatform measures the platform's fault path: a short
 // trace-driven run under the "chaos" scenario (crash + straggler +
 // cold-start storm + predictor outage), exercising evacuation, capacity
@@ -546,7 +619,7 @@ var benchedIDs = []string{
 	"fig3a", "fig3b", "fig4", "fig5", "fig7", "fig8", "fig9",
 	"fig10a", "fig10b", "fig10c", "fig11", "fig12", "fig13", "fig14",
 	"ext-pca", "ext-hierarchy", "ext-coldstart", "ext-isolation",
-	"ext-resilience", "ext-soak", "ext-scale",
+	"ext-resilience", "ext-soak", "ext-scale", "ext-twotier",
 }
 
 // TestBenchRegistryCoverage pins the registry and the bench list to

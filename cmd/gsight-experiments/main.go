@@ -47,6 +47,7 @@ func main() {
 	servers := flag.Int("servers", 0, "ext-scale: run a single server-count rung instead of the 8/256/1k/10k ladder")
 	shards := flag.Int("shards", 0, "ext-scale: scheduler-state shard count (0 = auto; outcomes are shard-independent)")
 	placers := flag.Int("placers", 0, "ext-scale: concurrent placer workers (0 = auto; results identical at any count)")
+	topk := flag.Int("topk", 0, "ext-twotier: run a single top-K rung instead of the 4/8/16/32/\u221e sweep (0 = full sweep)")
 	flag.Parse()
 
 	log := logx.Default(*verbose, *quiet)
@@ -66,6 +67,7 @@ func main() {
 		parallel: *parallel, debugAddr: *debugAddr, reportPath: *reportPath,
 		decisionPath: *decisionPath,
 		servers: *servers, shards: *shards, placers: *placers,
+		topk: *topk,
 	})
 	if !ok {
 		os.Exit(1)
@@ -85,6 +87,7 @@ type config struct {
 	servers      int
 	shards       int
 	placers      int
+	topk         int
 }
 
 // runAll executes the selected experiments and emits their reports; it
@@ -136,6 +139,7 @@ func runAll(ctx context.Context, log *logx.Logger, cfg config) bool {
 	opt := experiments.Options{
 		Seed: cfg.seed, Scale: cfg.scale,
 		Servers: cfg.servers, Shards: cfg.shards, Placers: cfg.placers,
+		TopK: cfg.topk,
 	}
 	for i := range ids {
 		ids[i] = strings.TrimSpace(ids[i])

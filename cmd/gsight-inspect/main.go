@@ -325,6 +325,7 @@ func summarizeLog(events []map[string]interface{}) {
 	kinds := map[string]int{}
 	outcomes := map[string]int{}
 	rejected := map[string]int{}
+	tier0Decisions, tier0Kept, tier0Pruned := 0, 0.0, 0.0
 	var drifts []map[string]interface{}
 	for _, ev := range events {
 		kind, _ := ev["event"].(string)
@@ -335,6 +336,11 @@ func summarizeLog(events []map[string]interface{}) {
 			if out == "rejected" {
 				w, _ := ev["workload"].(string)
 				rejected[w]++
+			}
+			if _, ok := ev["tier0_kept"]; ok {
+				tier0Decisions++
+				tier0Kept += num(ev["tier0_kept"])
+				tier0Pruned += num(ev["tier0_pruned"])
 			}
 		}
 		if kind == "predictor_drift" {
@@ -354,6 +360,15 @@ func summarizeLog(events []map[string]interface{}) {
 	if len(rejected) > 0 {
 		fmt.Println("top rejected workloads:")
 		printTopCounts(rejected, 5)
+	}
+	if tier0Decisions > 0 {
+		scanned := tier0Kept + tier0Pruned
+		rate := 0.0
+		if scanned > 0 {
+			rate = tier0Pruned / scanned
+		}
+		fmt.Printf("two-tier pruning: %d decisions, %.0f candidates pruned of %.0f scanned (%.1f%%)\n",
+			tier0Decisions, tier0Pruned, scanned, 100*rate)
 	}
 	for _, d := range drifts {
 		fmt.Printf("predictor drift at t=%.0fs: qos=%s archetype=%s mape=%.3f ph=%.2f\n",

@@ -82,6 +82,7 @@ func main() {
 	servers := flag.Int("servers", 0, "cluster size (0 = the paper's 8-node testbed)")
 	shards := flag.Int("shards", 0, "scheduler-state shards (0 = 1; placement outcomes are shard-independent)")
 	placers := flag.Int("placers", 0, "concurrent placer workers for initial deployment (0 = serial; results identical)")
+	topk := flag.Int("topk", 0, "two-tier placement: tier-0 score prunes candidates to the top K before full prediction (0 = K=∞, pruning off)")
 	flag.Parse()
 
 	log := logx.Default(*verbose, *quiet)
@@ -109,6 +110,7 @@ func main() {
 		servers:       *servers,
 		shards:        *shards,
 		placers:       *placers,
+		topk:          *topk,
 	}); err != nil {
 		log.Errorf("%v", err)
 		// A deliberate controller crash is distinguishable from real
@@ -142,6 +144,7 @@ type options struct {
 	servers       int
 	shards        int
 	placers       int
+	topk          int
 }
 
 func run(ctx context.Context, log *logx.Logger, opt options) error {
@@ -284,10 +287,17 @@ func run(ctx context.Context, log *logx.Logger, opt options) error {
 	case "gsight":
 		p := core.NewPredictor(core.Config{Seed: opt.seed})
 		pred = p
-		scheduler = sched.NewGsight(p)
+		twoTier := func(g *sched.Gsight) *sched.Gsight {
+			if opt.topk > 0 {
+				g.Tier0 = p.Tier0()
+				g.TopK = opt.topk
+			}
+			return g
+		}
+		scheduler = twoTier(sched.NewGsight(p))
 		// Pool workers share the (read-only at placement time)
 		// predictor but get private scheduler scratch.
-		factory = func() sched.Scheduler { return sched.NewGsight(p) }
+		factory = func() sched.Scheduler { return twoTier(sched.NewGsight(p)) }
 	case "bestfit":
 		p := baselines.NewPythia(opt.seed)
 		pred = p
@@ -494,14 +504,19 @@ func run(ctx context.Context, log *logx.Logger, opt options) error {
 				"start_s": d.StartS, "end_s": d.EndS, "reason": d.Reason,
 			})
 		}
-		rep := sink.Report("gsight-sim",
-			map[string]interface{}{
-				"scheduler": scheduler.Name(),
-				"hours":     opt.hours,
-				"train":     opt.trainScen,
-				"seed":      opt.seed,
-				"faults":    opt.faults,
-			},
+		config := map[string]interface{}{
+			"scheduler": scheduler.Name(),
+			"hours":     opt.hours,
+			"train":     opt.trainScen,
+			"seed":      opt.seed,
+			"faults":    opt.faults,
+		}
+		if opt.topk > 0 {
+			// Recorded only when set so K=∞ reports stay byte-identical
+			// to the pre-two-tier format.
+			config["topk"] = opt.topk
+		}
+		rep := sink.Report("gsight-sim", config,
 			map[string]interface{}{
 				"steps":               st.Steps,
 				"mean_density":        stats.Mean(st.Density),

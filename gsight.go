@@ -52,6 +52,7 @@ type options struct {
 	fallback sched.Scheduler
 	shards   int
 	placers  int
+	topk     int
 }
 
 func buildOptions(opts []Option) options {
@@ -94,6 +95,14 @@ func WithShards(n int) Option {
 // byte-identical at any worker count.
 func WithPlacers(k int) Option {
 	return func(o *options) { o.placers = k }
+}
+
+// WithTopK enables two-tier placement (NewScheduler): the predictor's
+// tier-0 interference scorer prunes the candidate servers to the top K
+// before full IRFR prediction vets the finalists. <= 0 means K=∞ —
+// pruning disabled, exact legacy placements.
+func WithTopK(k int) Option {
+	return func(o *options) { o.topk = k }
 }
 
 // Core predictor types (§3).
@@ -272,6 +281,12 @@ func NewScheduler(p QoSPredictor, opts ...Option) *sched.Gsight {
 	g := sched.NewGsight(p)
 	if o.fallback != nil {
 		g.Fallback = o.fallback
+	}
+	if o.topk > 0 {
+		if cp, ok := p.(*core.Predictor); ok {
+			g.Tier0 = cp.Tier0()
+			g.TopK = o.topk
+		}
 	}
 	if o.sink != nil {
 		g.Instrument(o.sink)

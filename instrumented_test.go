@@ -84,6 +84,31 @@ func TestSchedulingAllocBudget(t *testing.T) {
 	}
 }
 
+// TestTwoTierAllocBudget pins the tier-0 prune path to the same 1
+// alloc/op budget as the legacy path: ranking, the score-cache lookup
+// and the top-K truncation must all run on pooled scratch.
+// AllocsPerRun's warm-up call absorbs the one-time cache-entry fill.
+func TestTwoTierAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("predictor bootstrap is slow")
+	}
+	pauseGC(t)
+	p, obs := trainedPredictor(t)
+	spec := resources.DefaultServerSpec("alloc")
+	scheduler := NewScheduler(p, WithTopK(4))
+	o := obs[0]
+	allocs := testing.AllocsPerRun(200, func() {
+		st := schedState(spec)
+		req := &PlacementRequest{Input: o.Inputs[o.Target], SLA: SLA{MinIPC: 0.5}}
+		if _, err := scheduler.Place(st, req); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 1 {
+		t.Fatalf("two-tier placement decision allocates %.1f allocs/op, budget is 1", allocs)
+	}
+}
+
 // TestInferenceAllocNeutral pins the predictor side: single and batched
 // inference stay allocation-free with telemetry enabled (matching the
 // BENCH_gsight.json baseline of 0 allocs/op).

@@ -22,10 +22,23 @@ type Checkpointable interface {
 	RestoreCheckpoint(json.RawMessage) error
 }
 
-// predictorState is the Gsight predictor's checkpoint schema.
+// predictorState is the Gsight predictor's checkpoint schema. The
+// tier-0 scorer state is optional for backward compatibility: snapshots
+// written before the two-tier path restore with a reset scorer, which
+// only matters if the resumed run also enables pruning.
 type predictorState struct {
 	Version int                  `json:"version"`
 	Kinds   []predictorKindState `json:"kinds"`
+	Tier0   *tier0State          `json:"tier0,omitempty"`
+}
+
+// tier0State carries the tier-0 scorer across a crash: the ridge
+// accumulators verbatim (rebuilding them would change float
+// accumulation order) plus the ingest generation, so scheduler-side
+// score caches invalidate at exactly the same points after resume.
+type tier0State struct {
+	Gen   uint64        `json:"gen"`
+	Ridge ml.RidgeState `json:"ridge"`
 }
 
 type predictorKindState struct {
@@ -72,6 +85,7 @@ func (p *Predictor) CheckpointState() (json.RawMessage, error) {
 		}
 		st.Kinds = append(st.Kinds, ks)
 	}
+	st.Tier0 = &tier0State{Gen: p.tier0.gen, Ridge: p.tier0.ridge.ExportState()}
 	return json.Marshal(st)
 }
 
@@ -128,6 +142,15 @@ func (p *Predictor) RestoreCheckpoint(raw json.RawMessage) error {
 		for i := range ks.PendingY {
 			p.pending[k].Append(ks.PendingX[i], ks.PendingY[i])
 		}
+	}
+	if st.Tier0 != nil {
+		if err := p.tier0.ridge.RestoreState(st.Tier0.Ridge); err != nil {
+			return fmt.Errorf("core: tier0: %w", err)
+		}
+		p.tier0.gen = st.Tier0.Gen
+	} else {
+		p.tier0.ridge.Reset()
+		p.tier0.gen = 0
 	}
 	return nil
 }

@@ -102,6 +102,10 @@ type Predictor struct {
 	// during Predict and must not retain it.
 	xPool sync.Pool
 
+	// tier0 is the cheap candidate-pruning scorer. It rides the IPC
+	// training stream: every batch the forest ingests, it ingests too.
+	tier0 *Tier0
+
 	ins telemetry.PredictorInstruments
 	ev  telemetry.PredictorUpdate // reusable training event
 }
@@ -147,7 +151,7 @@ func NewPredictor(cfg Config) *Predictor {
 	if cfg.Coder.NumServers == 0 {
 		cfg.Coder = DefaultCoder()
 	}
-	p := &Predictor{cfg: cfg, coder: cfg.Coder}
+	p := &Predictor{cfg: cfg, coder: cfg.Coder, tier0: newTier0(cfg.Coder)}
 	p.xPool.New = func() interface{} {
 		buf := make([]float64, p.coder.Dim())
 		return &buf
@@ -171,6 +175,10 @@ func (p *Predictor) Coder() Coder { return p.coder }
 
 // Model returns the underlying model for a QoS kind.
 func (p *Predictor) Model(kind QoSKind) ml.Incremental { return p.models[kind] }
+
+// Tier0 returns the tier-0 candidate scorer, trained alongside the IPC
+// forest. Schedulers attach it to enable top-K candidate pruning.
+func (p *Predictor) Tier0() *Tier0 { return p.tier0 }
 
 // Encode exposes the feature encoding for external tooling.
 func (p *Predictor) Encode(target int, ws []WorkloadInput) ([]float64, error) {
@@ -230,6 +238,9 @@ func (p *Predictor) TrainObservations(kind QoSKind, obs []Observation) error {
 	}
 	if err := p.models[kind].Fit(ds.X, ds.Y); err != nil {
 		return err
+	}
+	if kind == IPCQoS {
+		p.tier0.train(ds.X, ds.Y)
 	}
 	p.trained[kind] = true
 	p.seen[kind] = ds.Len()
@@ -319,6 +330,9 @@ func (p *Predictor) Flush(kind QoSKind) error {
 	}
 	if err != nil {
 		return err
+	}
+	if kind == IPCQoS {
+		p.tier0.absorb(ds.X, ds.Y)
 	}
 	p.seen[kind] += batch
 	// Keep the pending buffer's capacity: the update cadence makes this

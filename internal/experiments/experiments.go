@@ -32,6 +32,9 @@ type Options struct {
 	// they only trade off conflict granularity and concurrency.
 	Shards  int
 	Placers int
+	// TopK restricts ext-twotier to one prune-depth rung (> 0); the
+	// default sweeps K over 4/8/16/32/∞.
+	TopK int
 }
 
 // DefaultOptions returns full-scale, seed-42 options.
@@ -183,6 +186,7 @@ func Registry() []struct {
 		{"ext-resilience", ExtResilience},
 		{"ext-soak", ExtSoak},
 		{"ext-scale", ExtScale},
+		{"ext-twotier", ExtTwoTier},
 	}
 }
 

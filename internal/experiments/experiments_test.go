@@ -15,7 +15,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig3a", "fig3b", "fig4", "fig5", "fig7", "fig8", "fig9",
 		"fig10a", "fig10b", "fig10c", "fig11", "fig12", "fig13", "fig14",
 		"ext-pca", "ext-hierarchy", "ext-coldstart", "ext-isolation",
-		"ext-resilience", "ext-soak", "ext-scale",
+		"ext-resilience", "ext-soak", "ext-scale", "ext-twotier",
 	}
 	got := IDs()
 	if len(got) != len(want) {

@@ -338,9 +338,74 @@ func sortIDs(ids []int, less func(a, b int) bool) {
 	})
 }
 
+// selectIDs partially sorts ids so that ids[:k] holds the k smallest
+// elements in exactly the order a full sortIDs pass would leave them.
+// less must be a strict total order over distinct ids (the two-tier
+// comparator ends with an id tie-break, matching sortIDs' own tie
+// rule, which is what makes the prefix identical to sort-then-
+// truncate). Quickselect narrows the window containing the k-boundary
+// in O(n) comparisons and only the k-prefix pays a sort — at 10k
+// servers and K=32 this removes the O(n log n) candidate sort that
+// dominated the pruned path's remaining shared cost.
+func selectIDs(ids []int, k int, less func(a, b int) bool) {
+	lo, hi := 0, len(ids)
+	if k >= hi {
+		sortIDs(ids, less)
+		return
+	}
+	for hi-lo > sortCutoff {
+		// Median-of-three pivot parked at hi-1. Pivot choice depends
+		// only on element values and window positions, so the whole
+		// selection is deterministic for a deterministic input.
+		m := lo + (hi-lo)/2
+		if less(ids[m], ids[lo]) {
+			ids[m], ids[lo] = ids[lo], ids[m]
+		}
+		if less(ids[hi-1], ids[lo]) {
+			ids[hi-1], ids[lo] = ids[lo], ids[hi-1]
+		}
+		if less(ids[m], ids[hi-1]) {
+			ids[m], ids[hi-1] = ids[hi-1], ids[m]
+		}
+		p := ids[hi-1]
+		i := lo
+		for j := lo; j < hi-1; j++ {
+			if less(ids[j], p) {
+				ids[i], ids[j] = ids[j], ids[i]
+				i++
+			}
+		}
+		ids[i], ids[hi-1] = ids[hi-1], ids[i]
+		switch {
+		case i == k:
+			// The pivot landed on the boundary: ids[:k] is exactly
+			// the k smallest, membership settled.
+			lo, hi = k, k
+		case k < i:
+			hi = i
+		default:
+			lo = i + 1
+		}
+	}
+	// The window always straddles k (hi only shrinks to a partition
+	// point > k, lo only grows to one <= k). If any of it lies below
+	// the boundary, sorting the window settles prefix membership.
+	if lo < k && lo < hi {
+		insertionSort(ids[lo:hi], less)
+	}
+	sortIDs(ids[:k], less)
+}
+
 func resizeInts(s []int, n int) []int {
 	if cap(s) < n {
 		return make([]int, n)
+	}
+	return s[:n]
+}
+
+func resizeBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
 	}
 	return s[:n]
 }
@@ -389,9 +454,19 @@ type Gsight struct {
 	// unavailable predictor), Place delegates to Fallback instead of
 	// failing, recording the decision with outcome "degraded".
 	Fallback Scheduler
+	// Tier0 and TopK enable two-tier placement: when both are set and
+	// the online-server count exceeds TopK, the tier-0 scorer ranks
+	// candidates and the binary-search ladder runs over only the top-K
+	// finalists. TopK <= 0 (K=∞) disables pruning entirely — the legacy
+	// code path runs instruction for instruction. Set both before
+	// Instrument so the prune counters register.
+	Tier0 *core.Tier0
+	TopK  int
 
 	scratch placeScratch
+	t0      tier0Scratch
 	ins     telemetry.SchedulerInstruments
+	t0ins   telemetry.Tier0Instruments
 	ev      telemetry.PlacementDecision // reusable decision event
 }
 
@@ -402,6 +477,8 @@ type Gsight struct {
 type placeScratch struct {
 	order      []int              // candidate server order
 	free       []resources.Vector // headroom per server id during candidate()
+	sortCPU    []float64          // free-CPU sort key per server id
+	sortActive []bool             // activity sort key per server id
 	candServer []bool             // servers touched by the candidate placement
 	fnOrder    []int              // functions in descending CPU demand
 	placement  []int              // candidate placement under construction
@@ -429,8 +506,15 @@ func (g *Gsight) Name() string { return "Gsight" }
 
 // Instrument attaches a telemetry sink. Passing telemetry.Nop (or never
 // calling Instrument) leaves every decision and allocation
-// bit-identical to the uninstrumented scheduler.
-func (g *Gsight) Instrument(s *telemetry.Sink) { g.ins = s.Scheduler(g.Name()) }
+// bit-identical to the uninstrumented scheduler. The tier-0 prune
+// counters register only when two-tier placement is configured, so
+// reports from runs without pruning keep their legacy metrics snapshot.
+func (g *Gsight) Instrument(s *telemetry.Sink) {
+	g.ins = s.Scheduler(g.Name())
+	if g.Tier0 != nil && g.TopK > 0 {
+		g.t0ins = s.SchedulerTier0(g.Name())
+	}
+}
 
 // finish records one decision into the instruments; a no-op when
 // uninstrumented. The event struct is scheduler-owned scratch so
@@ -458,6 +542,14 @@ func (g *Gsight) finish(span telemetry.Span, st *State, req *Request, placement 
 			Outcome:       outcome,
 			Reason:        reason,
 			Placement:     placement,
+		}
+		if g.t0.active {
+			g.ev.Tier0 = true
+			g.ev.Tier0Kept = g.t0.kept
+			g.ev.Tier0Pruned = g.t0.pruned
+			if len(placement) > 0 {
+				g.ev.Tier0Score = g.t0.score[placement[0]]
+			}
 		}
 		g.ins.Decisions.Placement(&g.ev)
 	}
@@ -489,21 +581,60 @@ func (g *Gsight) Place(v ClusterView, req *Request) ([]int, error) {
 			sc.order = append(sc.order, i)
 		}
 	}
+	g.t0.active = false
 	if len(sc.order) == 0 {
 		g.finish(span, st, req, nil, 0, 0, "rejected", "no-fit")
 		return nil, fmt.Errorf("%w: no online servers", ErrNoPlacement)
 	}
-	sortIDs(sc.order, func(a, b int) bool {
-		ua, ub := st.Used[a], st.Used[b]
-		activeA, activeB := !ua.IsZero(), !ub.IsZero()
-		if activeA != activeB {
-			return activeA // active servers first
-		}
-		return st.Free(a)[resources.CPU] < st.Free(b)[resources.CPU]
-	})
+	// Sort keys are cached per server id before sorting: Free() costs a
+	// full vector subtract-and-clamp, and an O(n log n) comparator that
+	// recomputes it dominates large-cluster placement. The keys are pure
+	// per-server functions of the immutable snapshot, so the cached
+	// comparison results — and the resulting permutation — are exactly
+	// the legacy ones.
+	sc.sortCPU = resizeFloats(sc.sortCPU, s)
+	sc.sortActive = resizeBools(sc.sortActive, s)
+	for _, i := range sc.order {
+		sc.sortCPU[i] = st.Free(i)[resources.CPU]
+		sc.sortActive[i] = !st.Used[i].IsZero()
+	}
+	if g.Tier0 != nil && g.TopK > 0 && g.TopK < len(sc.order) {
+		// Two-tier path: rank every candidate with the tier-0 score and
+		// keep only the top-K finalists for the ladder below. The
+		// composite comparator extends the legacy order with the tier-0
+		// band, so K=∞ (or a K no smaller than the online count, which
+		// skips this branch) reproduces the legacy permutation exactly.
+		g.tier0Rank(st, req)
+		t0 := &g.t0
+		selectIDs(sc.order, g.TopK, func(a, b int) bool {
+			if t0.rank[a] != t0.rank[b] {
+				return t0.rank[a] < t0.rank[b]
+			}
+			if sc.sortActive[a] != sc.sortActive[b] {
+				return sc.sortActive[a] // active servers first
+			}
+			if sc.sortCPU[a] != sc.sortCPU[b] {
+				return sc.sortCPU[a] < sc.sortCPU[b]
+			}
+			return a < b
+		})
+		t0.active = true
+		t0.kept = g.TopK
+		t0.pruned = len(sc.order) - g.TopK
+		sc.order = sc.order[:g.TopK]
+		g.t0ins.Kept.Add(uint64(t0.kept))
+		g.t0ins.Pruned.Add(uint64(t0.pruned))
+	} else {
+		sortIDs(sc.order, func(a, b int) bool {
+			if sc.sortActive[a] != sc.sortActive[b] {
+				return sc.sortActive[a] // active servers first
+			}
+			return sc.sortCPU[a] < sc.sortCPU[b]
+		})
+	}
 
 	online := len(sc.order)
-	var lastErr error
+	var lastErr, fullErr error
 	iters, checks := 0, 0
 	reason := ""
 	for k := 1; ; k *= 2 {
@@ -512,6 +643,9 @@ func (g *Gsight) Place(v ClusterView, req *Request) ([]int, error) {
 		}
 		iters++
 		placement, err := g.candidate(st, req, sc.order[:k])
+		if k == online {
+			fullErr = err
+		}
 		if err == nil {
 			ok, n, err := g.satisfies(st, req, placement)
 			checks += n
@@ -547,14 +681,17 @@ func (g *Gsight) Place(v ClusterView, req *Request) ([]int, error) {
 			break
 		}
 	}
-	// Full spread as last resort: one more candidate over all online
-	// servers.
-	placement, err := g.candidate(st, req, sc.order)
-	if err != nil {
+	// Full spread as last resort. The loop's final iteration already
+	// built (or failed to build) the candidate over the complete order —
+	// its verdict is fullErr and, on success, sc.placement still holds
+	// that candidate (satisfies never mutates it) — so the legacy
+	// re-evaluation of the same server set is skipped: degraded paths no
+	// longer pay a second headroom scan for a result that cannot differ.
+	if fullErr != nil {
 		g.finish(span, st, req, nil, iters, checks, "rejected", reason)
 		return nil, fmt.Errorf("%w: %v", ErrNoPlacement, lastErr)
 	}
-	out := append([]int(nil), placement...)
+	out := append([]int(nil), sc.placement...)
 	g.finish(span, st, req, out, iters, checks, "fallback", reason)
 	return out, nil
 }

@@ -39,6 +39,46 @@ func TestSortIDsMatchesInsertionSort(t *testing.T) {
 	}
 }
 
+// TestSelectIDsMatchesSortPrefix proves the quickselect used by the
+// two-tier prune produces EXACTLY the k-prefix a full sortIDs pass
+// would: byte-identical pruned placements depend on it. The comparator
+// is tie-heavy and made total with an id tie-break, as at the call
+// site.
+func TestSelectIDsMatchesSortPrefix(t *testing.T) {
+	r := rng.New(7)
+	for _, n := range []int{1, 8, 33, 100, 1000, 5000} {
+		keys := make([]float64, n)
+		for i := range keys {
+			keys[i] = float64(int(r.Range(0, 5))) // few distinct values: tie-heavy
+		}
+		less := func(x, y int) bool {
+			if keys[x] != keys[y] {
+				return keys[x] < keys[y]
+			}
+			return x < y
+		}
+		for _, k := range []int{1, 2, 4, 32, 33, n / 2, n - 1, n, n + 10} {
+			if k < 1 {
+				continue
+			}
+			a := make([]int, n)
+			b := make([]int, n)
+			for i := 0; i < n; i++ {
+				a[i], b[i] = i, i
+			}
+			sortIDs(b, less)
+			selectIDs(a, k, less)
+			kk := k
+			if kk > n {
+				kk = n
+			}
+			if !reflect.DeepEqual(a[:kk], b[:kk]) {
+				t.Fatalf("n=%d k=%d: selectIDs prefix differs from sorted prefix", n, k)
+			}
+		}
+	}
+}
+
 // TestCountedBookkeepingMatchesScan drives a counted and an uncounted
 // state through an identical operation sequence and checks the cached
 // counts and map-based Release against the legacy scans after every

@@ -183,6 +183,19 @@ type PlacementDecision struct {
 	// ActiveServers is the cluster's active-server count before the
 	// decision — the density denominator the scheduler optimizes.
 	ActiveServers int
+	// Tier0 marks decisions where the tier-0 scorer pruned the
+	// candidate set; the fields below are emitted only then, so logs
+	// from runs without pruning stay byte-identical to the legacy
+	// format. All values are derived from deterministic scheduler state
+	// (never wall clock).
+	Tier0 bool
+	// Tier0Kept/Tier0Pruned are the finalist and discarded candidate
+	// counts for this decision.
+	Tier0Kept   int
+	Tier0Pruned int
+	// Tier0Score is the tier-0 score of the accepted placement's
+	// primary server (0 when the request was not placed).
+	Tier0Score float64
 }
 
 // Placement emits a placement decision event.
@@ -206,6 +219,11 @@ func (l *DecisionLog) Placement(e *PlacementDecision) {
 	}
 	if e.Placement != nil {
 		b = appendInts(b, "placement", e.Placement)
+	}
+	if e.Tier0 {
+		b = appendInt(b, "tier0_kept", e.Tier0Kept)
+		b = appendInt(b, "tier0_pruned", e.Tier0Pruned)
+		b = appendFloat(b, "tier0_score", e.Tier0Score)
 	}
 	l.emit(b)
 	l.mu.Unlock()

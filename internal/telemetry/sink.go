@@ -89,6 +89,26 @@ func (s *Sink) Scheduler(name string) SchedulerInstruments {
 	}
 }
 
+// Tier0Instruments counts the two-tier scheduler's candidate pruning.
+// It is registered separately from SchedulerInstruments — only when a
+// scheduler actually has tier-0 pruning configured — so runs without
+// pruning keep a byte-identical metrics snapshot in their reports.
+type Tier0Instruments struct {
+	Kept   *Counter // finalist candidates passed to full prediction
+	Pruned *Counter // candidates discarded by the tier-0 score
+}
+
+// SchedulerTier0 registers (or re-resolves) the tier-0 pruning counters
+// for the named scheduler.
+func (s *Sink) SchedulerTier0(name string) Tier0Instruments {
+	r := s.reg()
+	p := "sched_" + sanitize(name) + "_"
+	return Tier0Instruments{
+		Kept:   r.Counter(p+"tier0_kept_total", "candidate servers kept by tier-0 pruning"),
+		Pruned: r.Counter(p+"tier0_pruned_total", "candidate servers pruned by the tier-0 score"),
+	}
+}
+
 // PredictorInstruments instruments the QoS predictor's hot paths.
 type PredictorInstruments struct {
 	Predicts      *Counter   // single-query predictions served

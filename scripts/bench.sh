@@ -21,7 +21,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-BENCHES='BenchmarkInference$|BenchmarkInferenceBatch$|BenchmarkIncrementalUpdate$|BenchmarkEncode$|BenchmarkForestTraining$|BenchmarkForestTrainingParallel$|BenchmarkBinarySearchScheduling$|BenchmarkSchedulingInstrumented$|BenchmarkShardedScheduling$|BenchmarkShardedPlacement$|BenchmarkFaultyPlatform$|BenchmarkTracedPlatform$|BenchmarkEngineStep$|BenchmarkPlatformStep$'
+BENCHES='BenchmarkInference$|BenchmarkInferenceBatch$|BenchmarkIncrementalUpdate$|BenchmarkEncode$|BenchmarkForestTraining$|BenchmarkForestTrainingParallel$|BenchmarkBinarySearchScheduling$|BenchmarkSchedulingInstrumented$|BenchmarkShardedScheduling$|BenchmarkShardedPlacement$|BenchmarkTwoTierPlacement$|BenchmarkFaultyPlatform$|BenchmarkTracedPlatform$|BenchmarkEngineStep$|BenchmarkPlatformStep$'
 ML_BENCHES='BenchmarkWindowAbsorb$'
 PERSIST_BENCHES='BenchmarkCheckpointSnapshot$|BenchmarkWALAppend$'
 
@@ -30,7 +30,10 @@ if [ "${1:-}" = "check" ]; then
     # The low-alloc subset: steady-state alloc-free (or near-free)
     # paths whose budgets the history pins. 50 iterations amortize
     # one-time pool warm-up below the integer allocs/op truncation.
-    SMOKE='BenchmarkInference$|BenchmarkInferenceBatch$|BenchmarkEncode$|BenchmarkBinarySearchScheduling$|BenchmarkSchedulingInstrumented$|BenchmarkShardedScheduling$|BenchmarkEngineStep$'
+    # BenchmarkTwoTierPlacement's K=∞ rows allocate past lowAllocMax
+    # (the legacy ladder), so the gate automatically pins only the
+    # pruned rows' 1 alloc/op.
+    SMOKE='BenchmarkInference$|BenchmarkInferenceBatch$|BenchmarkEncode$|BenchmarkBinarySearchScheduling$|BenchmarkSchedulingInstrumented$|BenchmarkShardedScheduling$|BenchmarkTwoTierPlacement$|BenchmarkEngineStep$'
     RAW="$(go test -run '^$' -bench "$SMOKE" -benchmem -benchtime 50x .)
 $(go test -run '^$' -bench "$ML_BENCHES" -benchmem -benchtime 50x ./internal/ml)"
     echo "$RAW"
