@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check race bench build vet vuln test fuzzsmoke crashcheck benchcheck
+.PHONY: check race bench build vet vuln test fuzzsmoke crashcheck servecheck benchcheck
 
 build:
 	$(GO) build ./...
@@ -36,15 +36,22 @@ fuzzsmoke:
 crashcheck:
 	scripts/crashcheck.sh
 
+# SIGKILL-under-load failover on the real gsight-serve binary: the
+# active is killed mid-load, the standby takes over through the lease,
+# and the merged decision log must match an uninterrupted run
+# byte-for-byte.
+servecheck:
+	scripts/servecheck.sh
+
 # Alloc-regression smoke gate: low-alloc benchmarks must not allocate
 # more per op than the latest BENCH_gsight.json entry records.
 benchcheck:
 	scripts/bench.sh check
 
-check: build vet vuln test fuzzsmoke crashcheck benchcheck
+check: build vet vuln test fuzzsmoke crashcheck servecheck benchcheck
 
 race:
-	$(GO) test -race ./internal/ml ./internal/core ./internal/sched ./internal/experiments ./internal/telemetry
+	$(GO) test -race ./internal/ml ./internal/core ./internal/sched ./internal/experiments ./internal/telemetry ./internal/persist ./internal/serve
 
 bench:
 	scripts/bench.sh

@@ -7,10 +7,13 @@ package gsight
 // whole pipeline exercised and timed under `go test -bench`.
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"gsight/internal/core"
 	"gsight/internal/experiments"
@@ -19,7 +22,9 @@ import (
 	"gsight/internal/resources"
 	"gsight/internal/scenario"
 	"gsight/internal/sched"
+	"gsight/internal/serve"
 	"gsight/internal/sim"
+	"gsight/internal/telemetry"
 )
 
 // benchOptions keeps bench iterations affordable while preserving every
@@ -654,4 +659,50 @@ func TestBenchRegistryCoverage(t *testing.T) {
 			t.Errorf("unexpected experiment id %q", id)
 		}
 	}
+}
+
+// BenchmarkServePlacement measures end-to-end placement latency
+// through the gsight-serve daemon — HTTP decode, admission, the
+// committer's PlaceAll round, the group-commit WAL fsync — under 32
+// concurrent closed-loop clients. Reports the p99 in milliseconds
+// (the ISSUE's serving SLO metric) alongside throughput; each placed
+// instance is released immediately so the cluster never fills.
+func BenchmarkServePlacement(b *testing.B) {
+	srv, err := serve.New(serve.Config{
+		DataDir: b.TempDir(),
+		Seed:    7,
+		Train:   4,
+		Placers: 2,
+		Health:  telemetry.NewHealth(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	defer func() {
+		hs.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Stop(ctx)
+	}()
+
+	b.ResetTimer()
+	res, err := serve.RunLoad(context.Background(), serve.LoadConfig{
+		Addrs:       []string{hs.URL},
+		Workers:     32,
+		Requests:    b.N,
+		Warmup:      0,
+		Seed:        11,
+		Workloads:   []string{"matmul", "social-network", "dd", "e-commerce", "kmeans"},
+		ReleaseFrac: 1,
+	})
+	b.StopTimer()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res.Errors > 0 {
+		b.Fatalf("%d errors: %s", res.Errors, res)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "placements/s")
+	b.ReportMetric(res.P99Ms, "p99_ms")
 }

@@ -1,0 +1,938 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"gsight/internal/core"
+	"gsight/internal/perfmodel"
+	"gsight/internal/persist"
+	"gsight/internal/resources"
+	"gsight/internal/scenario"
+	"gsight/internal/sched"
+	"gsight/internal/telemetry"
+)
+
+// Server is the crash-tolerant placement daemon: a single committer
+// goroutine serializes every state mutation, batching contiguous
+// placements through the PlacerPool (concurrent propose, serial
+// commit) and acknowledging nothing before its WAL record is
+// group-commit fsynced.
+//
+// Determinism contract (what the servecheck gate proves): the decision
+// stream is a pure function of the admitted record order. Ordered
+// requests (client-stamped order numbers) are admitted strictly in
+// order through a reorder buffer, so the stream is independent of
+// network interleaving, batch boundaries and crash/takeover timing:
+//
+//   - PlaceAll batches are serial-equivalent — a proposal only reads
+//     its placement window, and a commit validates those exact epoch
+//     stamps, so any request affected by an earlier commit re-proposes
+//     against the refreshed state. Splitting a run of placements
+//     across batches cannot change any decision.
+//   - The online learner's flush cadence is a function of the
+//     observation count, and observations apply in record order.
+//   - Replay applies stored decisions (no re-scheduling), so a resumed
+//     or taken-over daemon continues from exactly the acknowledged
+//     prefix; duplicate retries of acknowledged orders are answered
+//     from a response cache instead of re-executed.
+type Server struct {
+	cfg   Config
+	cat   *Catalog
+	pred  *core.Predictor
+	state *sched.ShardedState
+	pool  *sched.PlacerPool
+
+	intake  chan *pending
+	stopC   chan struct{}
+	doneC   chan struct{}
+	stopped bool
+
+	// Committer-owned state (single goroutine; no locks).
+	gen       uint64 // current checkpoint generation
+	wal       *persist.GroupWAL
+	logF      *os.File
+	logBytes  int64
+	applied   uint64 // last applied record seq
+	snapSeq   uint64 // applied seq at the last snapshot
+	nextOrder uint64 // next client order the reorder buffer admits
+	parked    map[uint64]*pending
+	resp      map[uint64]json.RawMessage // order → response (dup answers)
+	respRing  []uint64                   // eviction order for resp
+
+	met     serveMetrics
+	health  *telemetry.Health
+	logf    func(string, ...interface{})
+	started time.Time
+}
+
+// Config configures a Server.
+type Config struct {
+	// DataDir holds snapshots, WAL generations, decisions.jsonl and
+	// lease.json. Required.
+	DataDir string
+	// Servers is the cluster size (0 = the paper's 8-node testbed).
+	Servers int
+	// Shards / Placers configure the sharded state and placer pool.
+	Shards  int
+	Placers int
+	// Seed drives the catalog, SLA curves and bootstrap training.
+	Seed uint64
+	// Train is the bootstrap scenario count; 0 starts untrained, so
+	// every placement takes the degraded fallback path until
+	// observations accumulate.
+	Train int
+	// TopK enables two-tier placement (0 = off).
+	TopK int
+	// QueueCap bounds the admission queue; a full queue sheds with
+	// 429 + Retry-After instead of queueing unboundedly. Default 256.
+	QueueCap int
+	// MaxBatch bounds records per commit batch. Default 64.
+	MaxBatch int
+	// SnapshotEvery snapshots after this many records. Default 1024.
+	SnapshotEvery int
+	// Keep is the checkpoint generations retained. Default 3.
+	Keep int
+	// FlushWindow is the group-commit coalescing window (0 = flush as
+	// soon as the WAL flusher is free).
+	FlushWindow time.Duration
+	// Sink receives serving metrics; nil allocates a private one.
+	Sink *telemetry.Sink
+	// Health, when set, tracks readiness through restore and drain.
+	Health *telemetry.Health
+	// Logf, when set, receives progress lines.
+	Logf func(string, ...interface{})
+}
+
+func (c *Config) fill() error {
+	if c.DataDir == "" {
+		return errors.New("serve: Config.DataDir is required")
+	}
+	if c.Servers <= 0 {
+		c.Servers = resources.DefaultTestbed().NumServers()
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 256
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.SnapshotEvery <= 0 {
+		c.SnapshotEvery = 1024
+	}
+	if c.Keep <= 0 {
+		c.Keep = 3
+	}
+	if c.Sink == nil {
+		c.Sink = telemetry.New()
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...interface{}) {}
+	}
+	return nil
+}
+
+// respCacheCap bounds the duplicate-answer cache. It must exceed any
+// client's retry window; evicted orders answer 410 Gone.
+const respCacheCap = 4096
+
+// serveMetrics are the serving-path instruments.
+type serveMetrics struct {
+	place, observe, release *telemetry.Counter
+	rejected, degraded      *telemetry.Counter
+	shed, dups, timeouts    *telemetry.Counter
+	walRecords, snapshots   *telemetry.Counter
+	replayed, takeovers     *telemetry.Counter
+	conflicts               *telemetry.Counter
+	batchSize               *telemetry.Histogram
+	placeLatency            *telemetry.Histogram
+}
+
+func newServeMetrics(reg *telemetry.Registry) serveMetrics {
+	return serveMetrics{
+		place:        reg.Counter("serve_place_total", "placement requests acknowledged"),
+		observe:      reg.Counter("serve_observe_total", "observations acknowledged"),
+		release:      reg.Counter("serve_release_total", "releases acknowledged"),
+		rejected:     reg.Counter("serve_rejected_total", "placements rejected (no feasible placement)"),
+		degraded:     reg.Counter("serve_degraded_total", "placements served by the degraded fallback"),
+		shed:         reg.Counter("serve_shed_total", "requests shed with 429 (queue or reorder buffer full)"),
+		dups:         reg.Counter("serve_duplicate_total", "duplicate ordered requests answered from cache"),
+		timeouts:     reg.Counter("serve_timeout_total", "requests that timed out waiting for the committer"),
+		walRecords:   reg.Counter("serve_wal_records_total", "records group-committed to the WAL"),
+		snapshots:    reg.Counter("serve_snapshots_total", "snapshots written"),
+		replayed:     reg.Counter("serve_replayed_records_total", "WAL records replayed at startup"),
+		takeovers:    reg.Counter("serve_takeovers_total", "restores from an existing snapshot (restart or takeover)"),
+		conflicts:    reg.Counter("serve_commit_conflicts_total", "placement commit retries (stale-epoch re-proposals)"),
+		batchSize:    reg.Histogram("serve_batch_records", "records per commit batch", telemetry.ExpBuckets(1, 2, 12)),
+		placeLatency: reg.Histogram("serve_place_seconds", "placement request latency", telemetry.DurationBuckets()),
+	}
+}
+
+// pending is one request waiting for the committer.
+type pending struct {
+	kind  string // kindPlace, kindObserve, kindRelease, ctlSnapshot
+	order uint64
+	arch  string  // place: archetype
+	qps   float64 // place: LS load override
+	name  string  // observe/release: instance name
+	qos   string  // observe: QoS kind ("ipc", "p99", "jct")
+	value float64 // observe: measured value
+	reply chan pendingResp
+}
+
+// ctlSnapshot is the admin snapshot control message (no WAL record).
+const ctlSnapshot = "snapshot-ctl"
+
+// pendingResp is the committer's answer. status 0 means 200.
+type pendingResp struct {
+	payload json.RawMessage
+	status  int
+	err     error
+}
+
+// New builds the daemon: construct the catalog, restore from the
+// newest snapshot + WAL (or bootstrap-train on a fresh data dir),
+// regenerate the decision log to the acknowledged prefix, and start
+// the committer. On return the server is ready (Config.Health flipped
+// true); mount Handler on a listener to serve.
+func New(cfg Config) (*Server, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: data dir: %w", err)
+	}
+	cfg.Health.SetReady(false, "starting")
+
+	lab := perfmodel.New(resources.DefaultTestbed())
+	scenario.FastConfig(lab)
+	cat := NewCatalog(lab, cfg.Seed)
+	pred := core.NewPredictor(core.Config{Seed: cfg.Seed})
+
+	s := &Server{
+		cfg:     cfg,
+		cat:     cat,
+		pred:    pred,
+		state:   sched.ShardedStateFromProfiles(cat.Spec(), cfg.Servers, cfg.Shards),
+		intake:  make(chan *pending, cfg.QueueCap),
+		stopC:   make(chan struct{}),
+		doneC:   make(chan struct{}),
+		parked:  map[uint64]*pending{},
+		resp:    map[uint64]json.RawMessage{},
+		met:     newServeMetrics(cfg.Sink.Registry),
+		health:  cfg.Health,
+		logf:    cfg.Logf,
+		started: time.Now(),
+	}
+	s.nextOrder = 1
+	placers := cfg.Placers
+	if placers < 1 {
+		placers = 1
+	}
+	factory := func() sched.Scheduler {
+		g := sched.NewGsight(pred)
+		g.Fallback = sched.NewWorstFit()
+		if cfg.TopK > 0 {
+			g.Tier0 = pred.Tier0()
+			g.TopK = cfg.TopK
+		}
+		return g
+	}
+	s.pool = sched.NewPlacerPool(s.state, placers, factory)
+
+	if err := s.restore(); err != nil {
+		return nil, err
+	}
+	go s.committerLoop()
+	cfg.Health.SetReady(true, "")
+	return s, nil
+}
+
+func (s *Server) logPath() string { return filepath.Join(s.cfg.DataDir, "decisions.jsonl") }
+
+// LeasePath returns the lease file shared by active and standby for
+// a data dir.
+func LeasePath(dir string) string { return filepath.Join(dir, "lease.json") }
+
+// Applied returns the last applied record sequence number (for tests
+// and the state endpoint; reads a committer-owned value, so it is
+// advisory under load).
+func (s *Server) Applied() uint64 { return s.applied }
+
+// Catalog exposes the archetype catalog.
+func (s *Server) Catalog() *Catalog { return s.cat }
+
+// restore loads the newest snapshot, replays its WAL generation and
+// regenerates the decision log to exactly the acknowledged prefix. A
+// directory without a snapshot is a fresh start: bootstrap-train and
+// write the genesis generation, so every later incarnation (restart,
+// standby takeover) restores the same trained lineage instead of
+// re-training divergently.
+func (s *Server) restore() error {
+	payload, gen, err := persist.LatestSnapshot(s.cfg.DataDir)
+	if errors.Is(err, persist.ErrNoSnapshot) {
+		return s.bootstrap()
+	}
+	if err != nil {
+		return fmt.Errorf("serve: restore: %w", err)
+	}
+	s.met.takeovers.Inc()
+
+	var snap snapshotState
+	if err := json.Unmarshal(payload, &snap); err != nil {
+		return fmt.Errorf("serve: snapshot payload: %w", err)
+	}
+	if snap.Version != snapshotStateVersion {
+		return fmt.Errorf("serve: unsupported snapshot version %d", snap.Version)
+	}
+	// Rebuild the running set through Commit (restores Used vectors),
+	// then pin the commit clock to the snapshot's.
+	for _, d := range snap.Running {
+		req, err := s.cat.Request(d.Archetype, d.Name, d.QPSFrac)
+		if err != nil {
+			return fmt.Errorf("serve: snapshot running set: %w", err)
+		}
+		in := req.Input
+		in.Placement = append([]int(nil), d.Placement...)
+		s.state.Commit(in, sched.SLA{MinIPC: d.MinIPC, MaxJCTFactor: d.MaxJCT})
+	}
+	s.state.Recount()
+	s.state.RestoreEpochs(snap.Epochs, snap.SchedSeq)
+	if len(snap.Predictor) > 0 {
+		if err := s.pred.RestoreCheckpoint(snap.Predictor); err != nil {
+			return fmt.Errorf("serve: predictor restore: %w", err)
+		}
+	}
+	s.applied = snap.Applied
+	s.snapSeq = snap.Applied
+	s.nextOrder = snap.NextOrder
+	if s.nextOrder == 0 {
+		s.nextOrder = 1
+	}
+	for _, cr := range snap.Responses {
+		s.cacheResponse(cr.Order, cr.Resp)
+	}
+
+	// Continue the decision log from the snapshot's recorded offset,
+	// re-emitting the replayed records so the bytes line up exactly
+	// with an uninterrupted run.
+	logF, err := persist.OpenAppendTruncated(s.logPath(), snap.LogBytes)
+	if err != nil {
+		return fmt.Errorf("serve: decision log: %w", err)
+	}
+	s.logF = logF
+	s.logBytes = snap.LogBytes
+
+	walPath := persist.WALPath(s.cfg.DataDir, gen)
+	records, validLen, err := persist.ReplayWAL(walPath)
+	if err != nil {
+		return fmt.Errorf("serve: wal replay: %w", err)
+	}
+	for _, raw := range records {
+		rec, err := decodeRecord(raw)
+		if err != nil {
+			return err
+		}
+		if err := s.applyRecord(rec); err != nil {
+			return fmt.Errorf("serve: wal replay seq %d: %w", rec.Seq, err)
+		}
+		if err := s.emitLog(raw); err != nil {
+			return err
+		}
+		s.met.replayed.Inc()
+	}
+	w, err := persist.OpenWALAppend(walPath, validLen)
+	if err != nil {
+		return fmt.Errorf("serve: wal: %w", err)
+	}
+	s.wal = persist.NewGroupWAL(w, s.cfg.FlushWindow)
+	s.gen = gen
+	s.logf("restored snapshot gen %d, replayed %d wal records (applied seq %d, next order %d)",
+		gen, len(records), s.applied, s.nextOrder)
+	// Compact immediately: the takeover (or restart) starts its own
+	// generation, so the replayed window is never replayed twice.
+	return s.snapshot()
+}
+
+// bootstrap initializes a fresh data dir: train, open a fresh decision
+// log, write the genesis snapshot and its WAL.
+func (s *Server) bootstrap() error {
+	t0 := time.Now()
+	if err := s.cat.Train(s.pred, s.cfg.Train); err != nil {
+		return err
+	}
+	if s.cfg.Train > 0 {
+		s.logf("bootstrap-trained predictor on %d scenarios in %v",
+			s.cfg.Train, time.Since(t0).Round(time.Millisecond))
+	} else {
+		s.logf("predictor untrained (-train 0): placements degrade to the fallback scheduler")
+	}
+	logF, err := os.Create(s.logPath())
+	if err != nil {
+		return fmt.Errorf("serve: decision log: %w", err)
+	}
+	s.logF = logF
+	s.logBytes = 0
+	return s.snapshot()
+}
+
+// emitLog appends one decision line (a WAL payload verbatim).
+func (s *Server) emitLog(payload []byte) error {
+	if _, err := s.logF.Write(append(payload, '\n')); err != nil {
+		return fmt.Errorf("serve: decision log: %w", err)
+	}
+	s.logBytes += int64(len(payload)) + 1
+	return nil
+}
+
+// snapshot writes the next generation: decision log fsynced first (so
+// LogBytes is durable), then the snapshot envelope, then a fresh WAL;
+// old generations are pruned.
+func (s *Server) snapshot() error {
+	if err := s.logF.Sync(); err != nil {
+		return fmt.Errorf("serve: decision log sync: %w", err)
+	}
+	predState, err := s.pred.CheckpointState()
+	if err != nil {
+		return fmt.Errorf("serve: predictor checkpoint: %w", err)
+	}
+	st := s.state.Base()
+	snap := snapshotState{
+		Version:   snapshotStateVersion,
+		Applied:   s.applied,
+		NextOrder: s.nextOrder,
+		LogBytes:  s.logBytes,
+		SchedSeq:  s.state.Seq(),
+		Epochs:    s.state.RawEpochs(),
+		Predictor: predState,
+	}
+	for i := range st.Running {
+		d := &st.Running[i]
+		base, _ := core.BaseName(d.Input.Name)
+		snap.Running = append(snap.Running, deployedState{
+			Name:      d.Input.Name,
+			Archetype: base,
+			QPSFrac:   d.Input.QPSFrac,
+			Placement: d.Input.Placement,
+			MinIPC:    d.SLA.MinIPC,
+			MaxJCT:    d.SLA.MaxJCTFactor,
+		})
+	}
+	orders := append([]uint64(nil), s.respRing...)
+	sort.Slice(orders, func(i, j int) bool { return orders[i] < orders[j] })
+	for _, o := range orders {
+		snap.Responses = append(snap.Responses, cachedResponse{Order: o, Resp: s.resp[o]})
+	}
+	payload, err := json.Marshal(&snap)
+	if err != nil {
+		return fmt.Errorf("serve: snapshot: %w", err)
+	}
+	newGen := s.gen + 1
+	if s.wal != nil {
+		if err := s.wal.Close(); err != nil && !errors.Is(err, persist.ErrWALClosed) {
+			return fmt.Errorf("serve: wal rotate: %w", err)
+		}
+	}
+	if _, err := persist.WriteSnapshot(s.cfg.DataDir, newGen, payload); err != nil {
+		return err
+	}
+	w, err := persist.CreateWAL(persist.WALPath(s.cfg.DataDir, newGen))
+	if err != nil {
+		return err
+	}
+	s.wal = persist.NewGroupWAL(w, s.cfg.FlushWindow)
+	s.gen = newGen
+	s.snapSeq = s.applied
+	s.met.snapshots.Inc()
+	if newGen > uint64(s.cfg.Keep) {
+		if err := persist.PruneCheckpoints(s.cfg.DataDir, newGen-uint64(s.cfg.Keep)+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// applyRecord folds one replayed WAL record into the daemon state —
+// the stored decision, never a re-run of the scheduler. Mismatches
+// between the stored effect and the replayed one (an observation that
+// applied then but not now, a release of a workload that is not
+// running) mean the snapshot and WAL disagree; refusing to serve beats
+// silently forking the decision stream.
+func (s *Server) applyRecord(rec *walRecord) error {
+	switch rec.Kind {
+	case kindPlace:
+		p := rec.Place
+		if p == nil {
+			return errors.New("serve: place record without body")
+		}
+		if placedOutcome(p.Outcome) {
+			req, err := s.cat.Request(p.Workload, p.Name, p.QPSFrac)
+			if err != nil {
+				return err
+			}
+			in := req.Input
+			in.Placement = append([]int(nil), p.Placement...)
+			s.state.Commit(in, req.SLA)
+		}
+	case kindObserve:
+		o := rec.Obs
+		if o == nil {
+			return errors.New("serve: observe record without body")
+		}
+		applied := s.applyObserve(o.Name, o.QoS, o.Value)
+		if applied != o.Applied {
+			return fmt.Errorf("serve: observation of %s replayed applied=%v, record says %v",
+				o.Name, applied, o.Applied)
+		}
+	case kindRelease:
+		r := rec.Rel
+		if r == nil {
+			return errors.New("serve: release record without body")
+		}
+		released := s.state.Release(r.Name)
+		if released != r.Released {
+			return fmt.Errorf("serve: release of %s replayed released=%v, record says %v",
+				r.Name, released, r.Released)
+		}
+	default:
+		return fmt.Errorf("serve: unknown record kind %q", rec.Kind)
+	}
+	s.applied = rec.Seq
+	if rec.Order > 0 {
+		if rec.Order >= s.nextOrder {
+			s.nextOrder = rec.Order + 1
+		}
+		if resp, err := responseFor(rec); err == nil {
+			s.cacheResponse(rec.Order, resp)
+		}
+	}
+	return nil
+}
+
+// applyObserve feeds one QoS measurement to the online learner. The
+// observation's colocation context is the target plus every running
+// workload sharing at least one of its servers, in running-set order —
+// a pure function of the applied record prefix, so replay rebuilds the
+// identical learning stream.
+func (s *Server) applyObserve(name, qos string, value float64) bool {
+	kind, ok := qosKind(qos)
+	if !ok {
+		return false
+	}
+	st := s.state.Base()
+	idx := -1
+	for i := range st.Running {
+		if st.Running[i].Input.Name == name {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return false
+	}
+	target := &st.Running[idx]
+	onTarget := map[int]bool{}
+	for _, sv := range target.Input.Placement {
+		onTarget[sv] = true
+	}
+	inputs := []core.WorkloadInput{target.Input}
+	for i := range st.Running {
+		if i == idx {
+			continue
+		}
+		shares := false
+		for _, sv := range st.Running[i].Input.Placement {
+			if onTarget[sv] {
+				shares = true
+				break
+			}
+		}
+		if shares {
+			inputs = append(inputs, st.Running[i].Input)
+		}
+	}
+	return s.pred.Observe(kind, 0, inputs, value) == nil
+}
+
+// qosKind parses the wire QoS kind names (core.QoSKind.String values).
+func qosKind(s string) (core.QoSKind, bool) {
+	switch s {
+	case "ipc":
+		return core.IPCQoS, true
+	case "p99":
+		return core.TailLatencyQoS, true
+	case "jct":
+		return core.JCTQoS, true
+	}
+	return 0, false
+}
+
+// cacheResponse retains one ordered answer for duplicate retries.
+func (s *Server) cacheResponse(order uint64, resp json.RawMessage) {
+	if _, ok := s.resp[order]; !ok {
+		s.respRing = append(s.respRing, order)
+		if len(s.respRing) > respCacheCap {
+			evict := s.respRing[0]
+			s.respRing = s.respRing[1:]
+			delete(s.resp, evict)
+		}
+	}
+	s.resp[order] = resp
+}
+
+// ---------------------------------------------------------------------
+// Committer
+// ---------------------------------------------------------------------
+
+// committerLoop is the daemon's single mutation thread.
+func (s *Server) committerLoop() {
+	defer close(s.doneC)
+	for {
+		batch, stopped := s.nextBatch()
+		if len(batch) > 0 {
+			if err := s.commitBatch(batch); err != nil {
+				s.fence(batch, err)
+				return
+			}
+		}
+		if stopped {
+			s.failParked("draining")
+			if err := s.snapshot(); err != nil {
+				s.logf("final snapshot: %v", err)
+			}
+			if err := s.wal.Close(); err != nil && !errors.Is(err, persist.ErrWALClosed) {
+				s.logf("wal close: %v", err)
+			}
+			s.logF.Sync()
+			s.logF.Close()
+			return
+		}
+	}
+}
+
+// nextBatch blocks for the first admissible request, then drains the
+// intake queue opportunistically up to MaxBatch. stopped reports the
+// drain signal; the returned batch is still committed.
+func (s *Server) nextBatch() (batch []*pending, stopped bool) {
+	for len(batch) == 0 {
+		select {
+		case p := <-s.intake:
+			s.admit(p, &batch)
+		case <-s.stopC:
+			for {
+				select {
+				case p := <-s.intake:
+					s.admit(p, &batch)
+				default:
+					return batch, true
+				}
+			}
+		}
+	}
+	for len(batch) < s.cfg.MaxBatch {
+		select {
+		case p := <-s.intake:
+			s.admit(p, &batch)
+		default:
+			return batch, false
+		}
+	}
+	return batch, false
+}
+
+// admit routes one intake item through the reorder buffer: unordered
+// items pass straight through; the expected order admits and unparks
+// its successors; duplicates answer from the response cache; future
+// orders park (bounded — overflow sheds).
+func (s *Server) admit(p *pending, batch *[]*pending) {
+	if p.order == 0 || p.kind == ctlSnapshot {
+		*batch = append(*batch, p)
+		return
+	}
+	switch {
+	case p.order < s.nextOrder:
+		s.met.dups.Inc()
+		if cached, ok := s.resp[p.order]; ok {
+			p.reply <- pendingResp{payload: cached}
+		} else {
+			p.reply <- pendingResp{status: 410,
+				err: fmt.Errorf("serve: order %d acknowledged long ago; response evicted", p.order)}
+		}
+	case p.order == s.nextOrder:
+		*batch = append(*batch, p)
+		s.nextOrder++
+		for {
+			q, ok := s.parked[s.nextOrder]
+			if !ok {
+				break
+			}
+			delete(s.parked, s.nextOrder)
+			*batch = append(*batch, q)
+			s.nextOrder++
+		}
+	default: // future order: park
+		if old, ok := s.parked[p.order]; ok {
+			old.reply <- pendingResp{status: 409,
+				err: fmt.Errorf("serve: order %d superseded by a retry", p.order)}
+		} else if len(s.parked) >= s.cfg.QueueCap {
+			s.met.shed.Inc()
+			p.reply <- pendingResp{status: 429,
+				err: fmt.Errorf("serve: reorder buffer full (%d parked)", len(s.parked))}
+			return
+		}
+		s.parked[p.order] = p
+	}
+}
+
+// failParked answers every parked request with a retryable error.
+func (s *Server) failParked(reason string) {
+	for order, p := range s.parked {
+		p.reply <- pendingResp{status: 503, err: fmt.Errorf("serve: %s", reason)}
+		delete(s.parked, order)
+	}
+}
+
+// fence stops acknowledging after an unrecoverable commit error: the
+// batch's waiters get the error, health goes down, and the committer
+// exits — a standby's takeover is the recovery path.
+func (s *Server) fence(batch []*pending, err error) {
+	s.logf("FENCED: %v", err)
+	s.health.Down(fmt.Sprintf("fenced: %v", err))
+	for _, p := range batch {
+		p.reply <- pendingResp{status: 503, err: err}
+	}
+	s.failParked("fenced")
+}
+
+// commitBatch processes one admitted batch: decide everything, append
+// every record to the WAL under ONE group fsync, emit the decision
+// lines, then acknowledge. Contiguous placements decide through the
+// placer pool (concurrent propose, serial commit); observations and
+// releases apply serially at their positions. Snapshot controls split
+// the batch: records before the control are durable before the
+// snapshot covers them.
+func (s *Server) commitBatch(batch []*pending) error {
+	s.met.batchSize.Observe(float64(len(batch)))
+	var (
+		records  []*walRecord
+		waiters  []*pending
+		placeRun []*pending
+	)
+	nextSeq := s.applied
+	flushPlaces := func() error {
+		if len(placeRun) == 0 {
+			return nil
+		}
+		reqs := make([]*sched.Request, len(placeRun))
+		details := make([]sched.PlacementDetail, len(placeRun))
+		for i, p := range placeRun {
+			name := fmt.Sprintf("%s#%d", p.arch, nextSeq+uint64(i)+1)
+			if p.order > 0 {
+				name = fmt.Sprintf("%s#o%d", p.arch, p.order)
+			}
+			req, err := s.cat.Request(p.arch, name, p.qps)
+			if err != nil {
+				return err // handler validates archetypes; this is a bug
+			}
+			req.Detail = &details[i]
+			reqs[i] = req
+		}
+		results := s.pool.PlaceAll(reqs)
+		for i, p := range placeRun {
+			nextSeq++
+			res := &results[i]
+			s.met.conflicts.Add(uint64(res.Retries))
+			pr := &placeRecord{
+				Workload: p.arch,
+				QPSFrac:  reqs[i].Input.QPSFrac,
+				Name:     reqs[i].Input.Name,
+				Outcome:  res.Outcome,
+				Reason:   details[i].Reason,
+			}
+			if res.Err != nil {
+				if pr.Outcome == "" {
+					pr.Outcome = "error"
+				}
+				if pr.Reason == "" {
+					pr.Reason = res.Err.Error()
+				}
+			} else {
+				pr.Placement = res.Placement
+				pr.PredIPC = details[i].PredIPC
+				pr.PredJCTS = details[i].PredJCTS
+			}
+			records = append(records, &walRecord{Seq: nextSeq, Kind: kindPlace, Order: p.order, Place: pr})
+			waiters = append(waiters, p)
+		}
+		placeRun = placeRun[:0]
+		return nil
+	}
+	ack := func() error {
+		if len(records) == 0 {
+			return nil
+		}
+		payloads := make([][]byte, len(records))
+		for i, rec := range records {
+			b, err := encodeRecord(rec)
+			if err != nil {
+				return err
+			}
+			payloads[i] = b
+		}
+		if err := s.wal.AppendBatch(payloads); err != nil {
+			return fmt.Errorf("serve: wal append: %w", err)
+		}
+		for _, b := range payloads {
+			if err := s.emitLog(b); err != nil {
+				return err
+			}
+		}
+		s.met.walRecords.Add(uint64(len(records)))
+		for i, rec := range records {
+			s.applied = rec.Seq
+			resp, err := responseFor(rec)
+			if err != nil {
+				return err
+			}
+			if rec.Order > 0 {
+				s.cacheResponse(rec.Order, resp)
+			}
+			waiters[i].reply <- pendingResp{payload: resp}
+		}
+		records = records[:0]
+		waiters = waiters[:0]
+		return nil
+	}
+
+	for _, p := range batch {
+		switch p.kind {
+		case kindPlace:
+			placeRun = append(placeRun, p)
+		case kindObserve:
+			if err := flushPlaces(); err != nil {
+				return err
+			}
+			nextSeq++
+			applied := s.applyObserve(p.name, p.qos, p.value)
+			records = append(records, &walRecord{Seq: nextSeq, Kind: kindObserve, Order: p.order,
+				Obs: &observeRecord{Name: p.name, QoS: p.qos, Value: p.value, Applied: applied}})
+			waiters = append(waiters, p)
+		case kindRelease:
+			if err := flushPlaces(); err != nil {
+				return err
+			}
+			nextSeq++
+			released := s.state.Release(p.name)
+			records = append(records, &walRecord{Seq: nextSeq, Kind: kindRelease, Order: p.order,
+				Rel: &releaseRecord{Name: p.name, Released: released}})
+			waiters = append(waiters, p)
+		case ctlSnapshot:
+			if err := flushPlaces(); err != nil {
+				return err
+			}
+			if err := ack(); err != nil {
+				return err
+			}
+			if err := s.snapshot(); err != nil {
+				p.reply <- pendingResp{status: 500, err: err}
+				return err
+			}
+			p.reply <- pendingResp{payload: json.RawMessage(
+				fmt.Sprintf(`{"snapshot":%d,"applied":%d}`, s.gen, s.applied))}
+		default:
+			p.reply <- pendingResp{status: 400, err: fmt.Errorf("serve: unknown request kind %q", p.kind)}
+		}
+	}
+	if err := flushPlaces(); err != nil {
+		return err
+	}
+	if err := ack(); err != nil {
+		return err
+	}
+	s.countKinds(batch)
+	if s.applied-s.snapSeq >= uint64(s.cfg.SnapshotEvery) {
+		return s.snapshot()
+	}
+	return nil
+}
+
+func (s *Server) countKinds(batch []*pending) {
+	for _, p := range batch {
+		switch p.kind {
+		case kindPlace:
+			s.met.place.Inc()
+		case kindObserve:
+			s.met.observe.Inc()
+		case kindRelease:
+			s.met.release.Inc()
+		}
+	}
+}
+
+// responseFor builds the canonical API response for a committed
+// record — also used to rebuild the duplicate-answer cache on replay,
+// so a retried order receives the exact bytes the original did.
+func responseFor(rec *walRecord) (json.RawMessage, error) {
+	switch rec.Kind {
+	case kindPlace:
+		return json.Marshal(placeResponse{
+			Seq: rec.Seq, Order: rec.Order,
+			Name: rec.Place.Name, Outcome: rec.Place.Outcome,
+			Placement: rec.Place.Placement, Reason: rec.Place.Reason,
+			PredIPC: rec.Place.PredIPC, PredJCTS: rec.Place.PredJCTS,
+		})
+	case kindObserve:
+		return json.Marshal(observeResponse{Seq: rec.Seq, Order: rec.Order, Applied: rec.Obs.Applied})
+	case kindRelease:
+		return json.Marshal(releaseResponse{Seq: rec.Seq, Order: rec.Order, Released: rec.Rel.Released})
+	}
+	return nil, fmt.Errorf("serve: no response for record kind %q", rec.Kind)
+}
+
+// enqueue hands a request to the committer, shedding with 429 when
+// the admission queue is full.
+func (s *Server) enqueue(ctx context.Context, p *pending) pendingResp {
+	select {
+	case <-s.stopC:
+		return pendingResp{status: 503, err: errors.New("serve: draining")}
+	default:
+	}
+	select {
+	case s.intake <- p:
+	default:
+		s.met.shed.Inc()
+		return pendingResp{status: 429, err: errors.New("serve: admission queue full")}
+	}
+	select {
+	case r := <-p.reply:
+		return r
+	case <-ctx.Done():
+		s.met.timeouts.Inc()
+		return pendingResp{status: 503, err: fmt.Errorf("serve: %w", ctx.Err())}
+	}
+}
+
+// Stop drains the daemon: readiness flips false, the committer
+// finishes the queued work, writes a final snapshot and closes the
+// WAL and decision log. ctx bounds the wait.
+func (s *Server) Stop(ctx context.Context) error {
+	if s.stopped {
+		<-s.doneC
+		return nil
+	}
+	s.stopped = true
+	s.health.SetReady(false, "draining")
+	close(s.stopC)
+	select {
+	case <-s.doneC:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain: %w", ctx.Err())
+	}
+}

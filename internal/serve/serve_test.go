@@ -1,0 +1,318 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gsight/internal/telemetry"
+)
+
+// testServer builds a daemon in a temp dir plus an httptest listener.
+func testServer(t *testing.T, mutate func(*Config)) (*Server, *httptest.Server, *Client) {
+	t.Helper()
+	cfg := Config{
+		DataDir: t.TempDir(),
+		Seed:    7,
+		Train:   4,
+		Placers: 2,
+		Health:  telemetry.NewHealth(),
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Stop(ctx)
+	})
+	return srv, hs, NewClient(hs.URL)
+}
+
+func TestServePlaceObserveRelease(t *testing.T) {
+	srv, _, cl := testServer(t, nil)
+	ctx := context.Background()
+
+	ack, err := cl.Place(ctx, PlaceRequest{Workload: "social-network"})
+	if err != nil {
+		t.Fatalf("place: %v", err)
+	}
+	if ack.Outcome != "placed" || len(ack.Placement) == 0 {
+		t.Fatalf("place ack = %+v, want placed with servers", ack)
+	}
+	if ack.Seq != 1 {
+		t.Fatalf("first record seq = %d, want 1", ack.Seq)
+	}
+
+	obs, err := cl.Observe(ctx, ObserveRequest{Name: ack.Name, QoS: "ipc", Value: ack.PredIPC})
+	if err != nil {
+		t.Fatalf("observe: %v", err)
+	}
+	if !obs.Applied {
+		t.Fatalf("observation of running instance %s not applied", ack.Name)
+	}
+
+	rel, err := cl.Release(ctx, ReleaseRequest{Name: ack.Name})
+	if err != nil {
+		t.Fatalf("release: %v", err)
+	}
+	if !rel.Released {
+		t.Fatal("release of running instance reported false")
+	}
+	if rel2, _ := cl.Release(ctx, ReleaseRequest{Name: ack.Name}); rel2.Released {
+		t.Fatal("double release reported true")
+	}
+
+	// The decision log carries one line per acknowledged record.
+	data, err := os.ReadFile(srv.logPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimRight(data, "\n"), []byte("\n"))
+	if len(lines) != 4 {
+		t.Fatalf("decision log has %d lines, want 4:\n%s", len(lines), data)
+	}
+	for _, line := range lines {
+		if _, err := decodeRecord(line); err != nil {
+			t.Fatalf("decision line %q: %v", line, err)
+		}
+	}
+}
+
+func TestServeUnknownWorkloadAndQoS(t *testing.T) {
+	_, hs, _ := testServer(t, nil)
+	for _, tc := range []struct{ path, body string }{
+		{"/v1/place", `{"workload":"no-such-thing"}`},
+		{"/v1/observe", `{"name":"x#1","qos":"nope","value":1}`},
+	} {
+		resp, err := http.Post(hs.URL+tc.path, "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s %s = %d, want 400", tc.path, tc.body, resp.StatusCode)
+		}
+	}
+}
+
+// TestServeDegradedUntrained: -train 0 starts with an untrained
+// predictor; placements fall back to the degraded path instead of
+// failing.
+func TestServeDegradedUntrained(t *testing.T) {
+	_, _, cl := testServer(t, func(c *Config) { c.Train = 0 })
+	ack, err := cl.Place(context.Background(), PlaceRequest{Workload: "matmul"})
+	if err != nil {
+		t.Fatalf("place: %v", err)
+	}
+	if ack.Outcome != "degraded" {
+		t.Fatalf("untrained placement outcome = %q (reason %q), want degraded", ack.Outcome, ack.Reason)
+	}
+	if len(ack.Placement) == 0 {
+		t.Fatal("degraded placement returned no servers")
+	}
+}
+
+// TestServeShedding: the reorder buffer is bounded; a flood of future
+// orders (their predecessor never arrives) fills it and overflow is
+// answered 429 + Retry-After rather than queued forever.
+func TestServeShedding(t *testing.T) {
+	_, hs, _ := testServer(t, func(c *Config) { c.QueueCap = 8 })
+
+	var wg sync.WaitGroup
+	codes := make([]int, 64)
+	for i := range codes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Orders 2..65: order 1 never arrives, so every one parks.
+			body := fmt.Sprintf(`{"workload":"matmul","order":%d}`, i+2)
+			req, _ := http.NewRequest(http.MethodPost, hs.URL+"/v1/place", strings.NewReader(body))
+			req.Header.Set("Content-Type", "application/json")
+			hc := &http.Client{Timeout: 2 * time.Second}
+			resp, err := hc.Do(req)
+			if err != nil {
+				codes[i] = -1
+				return
+			}
+			defer resp.Body.Close()
+			codes[i] = resp.StatusCode
+			if resp.StatusCode == http.StatusTooManyRequests && resp.Header.Get("Retry-After") == "" {
+				t.Error("429 without Retry-After")
+			}
+		}(i)
+	}
+	wg.Wait()
+	shed := 0
+	for _, c := range codes {
+		if c == http.StatusTooManyRequests {
+			shed++
+		}
+	}
+	if shed == 0 {
+		t.Fatalf("no 429s among %d stalled ordered requests with QueueCap 8 (codes: %v)", len(codes), codes)
+	}
+}
+
+// TestServeDuplicateOrder: a retried acknowledged order gets the
+// original response bytes from the cache, not a re-execution.
+func TestServeDuplicateOrder(t *testing.T) {
+	_, hs, _ := testServer(t, nil)
+	post := func() (int, string) {
+		resp, err := http.Post(hs.URL+"/v1/place", "application/json",
+			strings.NewReader(`{"workload":"dd","order":1}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return resp.StatusCode, buf.String()
+	}
+	c1, b1 := post()
+	c2, b2 := post()
+	if c1 != 200 || c2 != 200 {
+		t.Fatalf("codes %d, %d", c1, c2)
+	}
+	if b1 != b2 {
+		t.Fatalf("duplicate order answered differently:\n%s\n%s", b1, b2)
+	}
+}
+
+// TestServeBatchPlace: the batch form answers one result per request,
+// coalesced through shared fsync rounds.
+func TestServeBatchPlace(t *testing.T) {
+	_, hs, _ := testServer(t, nil)
+	body := `{"batch":[{"workload":"matmul"},{"workload":"dd"},{"workload":"social-network"}]}`
+	resp, err := http.Post(hs.URL+"/v1/place", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Results []PlaceAck `json:"results"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 3 {
+		t.Fatalf("batch returned %d results, want 3", len(out.Results))
+	}
+	for i, r := range out.Results {
+		if r.Seq == 0 || r.Name == "" {
+			t.Fatalf("batch result %d incomplete: %+v", i, r)
+		}
+	}
+}
+
+// TestServeRestartContinuesStream: stop after K ordered requests,
+// restart in the same dir, run the rest — the decision log must be
+// byte-identical to an uninterrupted run of the same ordered load.
+func TestServeRestartContinuesStream(t *testing.T) {
+	mix := []string{"matmul", "social-network", "dd", "e-commerce"}
+	run := func(dir string, from, to int) {
+		cfg := Config{DataDir: dir, Seed: 7, Train: 4, Placers: 2, Health: telemetry.NewHealth()}
+		srv, err := New(cfg)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		hs := httptest.NewServer(srv.Handler())
+		cl := NewClient(hs.URL)
+		ctx := context.Background()
+		for i := from; i < to; i++ {
+			if _, err := cl.Place(ctx, PlaceRequest{
+				Workload: mix[i%len(mix)], Order: uint64(i + 1)}); err != nil {
+				t.Fatalf("place %d: %v", i, err)
+			}
+		}
+		hs.Close()
+		sctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+		defer cancel()
+		if err := srv.Stop(sctx); err != nil {
+			t.Fatalf("stop: %v", err)
+		}
+	}
+
+	const total = 24
+	split := t.TempDir()
+	run(split, 0, 9)
+	run(split, 9, total)
+	whole := t.TempDir()
+	run(whole, 0, total)
+
+	a, err := os.ReadFile(filepath.Join(split, "decisions.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(whole, "decisions.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("restarted decision log diverged from uninterrupted run:\n--- split (%d bytes)\n%s\n--- whole (%d bytes)\n%s",
+			len(a), a, len(b), b)
+	}
+}
+
+// TestServeSnapshotEndpoint: a forced snapshot rotates the generation
+// and a restore from it continues the applied sequence.
+func TestServeSnapshotEndpoint(t *testing.T) {
+	srv, hs, cl := testServer(t, nil)
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if _, err := cl.Place(ctx, PlaceRequest{Workload: "matmul"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cl.Snapshot(ctx); err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	st, err := cl.State(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Applied != 3 {
+		t.Fatalf("applied = %d, want 3", st.Applied)
+	}
+	if st.Snapshots < 2 {
+		t.Fatalf("snapshot gen = %d, want >= 2 after a forced rotation", st.Snapshots)
+	}
+	_ = srv
+	_ = hs
+}
+
+// TestServeReadyLifecycle: readiness is false until New returns and
+// false again once draining.
+func TestServeReadyLifecycle(t *testing.T) {
+	h := telemetry.NewHealth()
+	srv, err := New(Config{DataDir: t.TempDir(), Seed: 7, Train: 0, Health: h})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := h.Ready(); !ok {
+		t.Fatal("not ready after New returned")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Stop(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if ok, reason := h.Ready(); ok || reason != "draining" {
+		t.Fatalf("after Stop: ready=%v reason=%q, want draining", ok, reason)
+	}
+}

@@ -1,0 +1,92 @@
+package telemetry
+
+import (
+	"net/http"
+	"sync"
+)
+
+// Health is the process's liveness/readiness state, served as
+// /healthz and /readyz by the debug server (and by any other mux via
+// Handle). Liveness is true from construction until Down; readiness
+// is explicitly toggled by the owner — a serving daemon flips it true
+// only once its snapshot is loaded and the WAL replayed, and back to
+// false the moment a drain begins, so load balancers stop routing to
+// it before it stops accepting.
+type Health struct {
+	mu          sync.Mutex
+	live        bool
+	ready       bool
+	liveReason  string
+	readyReason string
+}
+
+// NewHealth returns a live, not-ready health state.
+func NewHealth() *Health {
+	return &Health{live: true, readyReason: "starting"}
+}
+
+// SetReady flips readiness. The reason is reported in the response
+// body of a failing probe (ignored when ready is true).
+func (h *Health) SetReady(ready bool, reason string) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.ready, h.readyReason = ready, reason
+	h.mu.Unlock()
+}
+
+// Down marks the process not-live (a fenced zombie, an unrecoverable
+// internal error). Not-live implies not-ready.
+func (h *Health) Down(reason string) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.live, h.liveReason = false, reason
+	h.ready, h.readyReason = false, reason
+	h.mu.Unlock()
+}
+
+// Ready reports the current readiness and its reason.
+func (h *Health) Ready() (bool, string) {
+	if h == nil {
+		return true, ""
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.ready, h.readyReason
+}
+
+// Live reports the current liveness and its reason.
+func (h *Health) Live() (bool, string) {
+	if h == nil {
+		return true, ""
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.live, h.liveReason
+}
+
+// Handle mounts /healthz and /readyz on mux. A nil Health serves
+// always-OK probes, so callers without health state still expose the
+// endpoints.
+func (h *Health) Handle(mux *http.ServeMux) {
+	probe := func(check func() (bool, string)) http.HandlerFunc {
+		return func(w http.ResponseWriter, _ *http.Request) {
+			ok, reason := check()
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			if !ok {
+				w.WriteHeader(http.StatusServiceUnavailable)
+				if reason == "" {
+					reason = "unavailable"
+				}
+				_, _ = w.Write([]byte(reason + "\n"))
+				return
+			}
+			_, _ = w.Write([]byte("ok\n"))
+		}
+	}
+	mux.Handle("/healthz", probe(h.Live))
+	mux.Handle("/readyz", probe(h.Ready))
+}

@@ -21,9 +21,9 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-BENCHES='BenchmarkInference$|BenchmarkInferenceBatch$|BenchmarkIncrementalUpdate$|BenchmarkEncode$|BenchmarkForestTraining$|BenchmarkForestTrainingParallel$|BenchmarkBinarySearchScheduling$|BenchmarkSchedulingInstrumented$|BenchmarkShardedScheduling$|BenchmarkShardedPlacement$|BenchmarkTwoTierPlacement$|BenchmarkFaultyPlatform$|BenchmarkTracedPlatform$|BenchmarkEngineStep$|BenchmarkPlatformStep$'
+BENCHES='BenchmarkInference$|BenchmarkInferenceBatch$|BenchmarkIncrementalUpdate$|BenchmarkEncode$|BenchmarkForestTraining$|BenchmarkForestTrainingParallel$|BenchmarkBinarySearchScheduling$|BenchmarkSchedulingInstrumented$|BenchmarkShardedScheduling$|BenchmarkShardedPlacement$|BenchmarkTwoTierPlacement$|BenchmarkFaultyPlatform$|BenchmarkTracedPlatform$|BenchmarkEngineStep$|BenchmarkPlatformStep$|BenchmarkServePlacement$'
 ML_BENCHES='BenchmarkWindowAbsorb$'
-PERSIST_BENCHES='BenchmarkCheckpointSnapshot$|BenchmarkWALAppend$'
+PERSIST_BENCHES='BenchmarkCheckpointSnapshot$|BenchmarkWALAppend$|BenchmarkWALAppendGroup$|BenchmarkWALAppendSyncEach$'
 
 if [ "${1:-}" = "check" ]; then
     OUT="${2:-BENCH_gsight.json}"

@@ -27,6 +27,10 @@ type result struct {
 	// PlacementsPerSec records the sharded-placement benchmarks'
 	// custom throughput metric (b.ReportMetric "placements/s").
 	PlacementsPerSec float64 `json:"placements_per_sec,omitempty"`
+	// P99Ms records the serving benchmark's tail-latency metric
+	// (b.ReportMetric "p99_ms"): placement p99 at 32 concurrent
+	// clients against the in-process daemon.
+	P99Ms float64 `json:"p99_ms,omitempty"`
 }
 
 type entry struct {
@@ -197,6 +201,8 @@ func parseBenchLine(line string) (string, result, bool) {
 			r.AllocsPerOp = int64(v)
 		case "placements/s":
 			r.PlacementsPerSec = v
+		case "p99_ms":
+			r.P99Ms = v
 		}
 	}
 	return name, r, seen

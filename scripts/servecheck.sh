@@ -1,0 +1,127 @@
+#!/usr/bin/env sh
+# servecheck.sh — SIGKILL-under-load failover gate for gsight-serve.
+#
+# Runs the same ordered placement load twice: once against a single
+# uninterrupted daemon, once against an active/standby pair sharing a
+# data dir where the active is SIGKILLed mid-load and the standby takes
+# over through the lease. The merged decision log of the crashed run
+# must be byte-identical to the uninterrupted run's — every
+# acknowledged placement survives the kill (WAL fsync before ack) and
+# the takeover resumes the exact decision stream (DESIGN.md §16).
+#
+# Usage: scripts/servecheck.sh [requests] [seed]
+set -eu
+
+cd "$(dirname "$0")/.."
+REQUESTS="${1:-200}"
+SEED="${2:-7}"
+
+WORK="$(mktemp -d)"
+cleanup() {
+    [ -z "${ACTIVE_PID:-}" ] || kill -9 "$ACTIVE_PID" 2>/dev/null || true
+    [ -z "${STANDBY_PID:-}" ] || kill -9 "$STANDBY_PID" 2>/dev/null || true
+    [ -z "${REF_PID:-}" ] || kill -9 "$REF_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$WORK/gsight-serve" ./cmd/gsight-serve
+go build -o "$WORK/gsight-loadgen" ./cmd/gsight-loadgen
+
+REF_ADDR=127.0.0.1:7461
+ACT_ADDR=127.0.0.1:7462
+STB_ADDR=127.0.0.1:7463
+MIX='matmul,social-network,dd,e-commerce,kmeans'
+SERVE_FLAGS="-seed $SEED -train 4 -placers 2 -snapshot-every 64 -lease-ttl 500ms"
+LOAD_FLAGS="-n $REQUESTS -warmup 0 -seed 11 -mix $MIX -ordered -release 0 -observe 0 -workers 8"
+
+wait_exit() { # pid timeout_s
+    i=0
+    while kill -0 "$1" 2>/dev/null; do
+        i=$((i + 1))
+        [ "$i" -lt $(( $2 * 10 )) ] || return 1
+        sleep 0.1
+    done
+    return 0
+}
+
+wait_log() { # file pattern timeout_s
+    i=0
+    while ! grep -q "$2" "$1" 2>/dev/null; do
+        i=$((i + 1))
+        [ "$i" -lt $(( $3 * 10 )) ] || return 1
+        sleep 0.1
+    done
+    return 0
+}
+
+echo "servecheck: reference run (uninterrupted)..."
+"$WORK/gsight-serve" -data "$WORK/ref" -addr "$REF_ADDR" $SERVE_FLAGS \
+    > "$WORK/ref.log" 2>&1 &
+REF_PID=$!
+"$WORK/gsight-loadgen" -addr "http://$REF_ADDR" $LOAD_FLAGS > "$WORK/ref-load.out"
+kill -TERM "$REF_PID"
+wait_exit "$REF_PID" 30 || { echo "servecheck: FAIL (reference daemon did not drain)" >&2; exit 1; }
+REF_PID=
+
+echo "servecheck: crash run (active + standby, SIGKILL mid-load)..."
+"$WORK/gsight-serve" -data "$WORK/crash" -addr "$ACT_ADDR" $SERVE_FLAGS \
+    > "$WORK/active.log" 2>&1 &
+ACTIVE_PID=$!
+# The active must hold the lease before the standby starts, or the
+# standby wins the initial acquisition and the roles invert.
+wait_log "$WORK/active.log" 'listening on' 30 || {
+    echo "servecheck: FAIL (active never came up)" >&2
+    cat "$WORK/active.log" >&2
+    exit 1
+}
+"$WORK/gsight-serve" -data "$WORK/crash" -addr "$STB_ADDR" -standby $SERVE_FLAGS \
+    > "$WORK/standby.log" 2>&1 &
+STANDBY_PID=$!
+
+# Kill the active once the decision log shows real progress.
+(
+    i=0
+    while [ "$i" -lt 600 ]; do
+        if [ -f "$WORK/crash/decisions.jsonl" ]; then
+            sz=$(wc -c < "$WORK/crash/decisions.jsonl")
+        else
+            sz=0
+        fi
+        if [ "$sz" -gt 3000 ]; then
+            kill -9 "$ACTIVE_PID"
+            exit 0
+        fi
+        i=$((i + 1))
+        sleep 0.05
+    done
+) &
+KILLER_PID=$!
+
+"$WORK/gsight-loadgen" -addr "http://$ACT_ADDR,http://$STB_ADDR" $LOAD_FLAGS \
+    > "$WORK/crash-load.out" || {
+        echo "servecheck: FAIL (load generator errored during failover)" >&2
+        cat "$WORK/crash-load.out" "$WORK/active.log" "$WORK/standby.log" >&2
+        exit 1
+    }
+wait "$KILLER_PID" || { echo "servecheck: FAIL (active was never killed — load too small?)" >&2; exit 1; }
+ACTIVE_PID=
+
+grep -q 'lease acquired' "$WORK/standby.log" || {
+    echo "servecheck: FAIL (standby never took over)" >&2
+    cat "$WORK/standby.log" >&2
+    exit 1
+}
+kill -TERM "$STANDBY_PID"
+wait_exit "$STANDBY_PID" 30 || { echo "servecheck: FAIL (standby did not drain)" >&2; exit 1; }
+STANDBY_PID=
+
+if ! cmp -s "$WORK/ref/decisions.jsonl" "$WORK/crash/decisions.jsonl"; then
+    echo "servecheck: FAIL (decision logs differ after SIGKILL takeover)" >&2
+    cmp "$WORK/ref/decisions.jsonl" "$WORK/crash/decisions.jsonl" >&2 || true
+    diff "$WORK/ref/decisions.jsonl" "$WORK/crash/decisions.jsonl" | head -8 >&2 || true
+    exit 1
+fi
+lines=$(wc -l < "$WORK/ref/decisions.jsonl")
+echo "servecheck: crash-run load: $(cat "$WORK/crash-load.out")"
+echo "servecheck: OK ($lines decisions byte-identical across SIGKILL + takeover)"
